@@ -1,0 +1,67 @@
+// Command insta-correlate regenerates the paper's correlation study:
+// Table I (five blocks, TopK=32) and Figure 6 (TopK=1 vs TopK=128 on
+// block-1), printing the same rows the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"insta/internal/bench"
+	"insta/internal/exp"
+)
+
+func main() {
+	topK := flag.Int("topk", 32, "Top-K entries per pin for Table I")
+	workers := flag.Int("workers", runtime.NumCPU(), "forward-kernel goroutines")
+	fig6 := flag.Bool("fig6", true, "also run the Figure 6 Top-K trade-off")
+	fig6Block := flag.String("fig6-block", "block-1", "block used for Figure 6")
+	fig6Ks := flag.String("fig6-ks", "1,128", "comma-separated Top-K values for Figure 6")
+	scatterPath := flag.String("scatter", "", "optional CSV path for the Figure 6 scatter data")
+	blocks := flag.String("blocks", strings.Join(bench.BlockNames(), ","), "comma-separated block presets")
+	flag.Parse()
+
+	names := strings.Split(*blocks, ",")
+	if _, err := exp.TableI(os.Stdout, names, *topK, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "table I:", err)
+		os.Exit(1)
+	}
+	if !*fig6 {
+		return
+	}
+	var ks []int
+	for _, f := range strings.Split(*fig6Ks, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -fig6-ks:", err)
+			os.Exit(1)
+		}
+		ks = append(ks, v)
+	}
+	var scatter *os.File
+	if *scatterPath != "" {
+		f, err := os.Create(*scatterPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scatter:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		scatter = f
+	}
+	fmt.Println()
+	if scatter != nil {
+		if _, err := exp.Fig6(os.Stdout, *fig6Block, ks, *workers, scatter); err != nil {
+			fmt.Fprintln(os.Stderr, "figure 6:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if _, err := exp.Fig6(os.Stdout, *fig6Block, ks, *workers, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "figure 6:", err)
+		os.Exit(1)
+	}
+}

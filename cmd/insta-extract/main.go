@@ -1,0 +1,59 @@
+// Command insta-extract generates a design preset, runs the reference
+// signoff engine, and dumps the CircuitOps-style initialization tables that
+// INSTA consumes — the paper's one-time extraction step (Fig. 2) as a
+// standalone artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/refsta"
+)
+
+func main() {
+	name := flag.String("design", "block-2", "block, IWLS or superblue preset name")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	spec, err := bench.BlockSpec(*name)
+	if err != nil {
+		if spec, err = bench.IWLSSpec(*name); err != nil {
+			if spec, err = bench.SuperblueSpec(*name); err != nil {
+				fmt.Fprintf(os.Stderr, "unknown design %q\n", *name)
+				os.Exit(1)
+			}
+		}
+	}
+	b, err := bench.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tab := circuitops.Extract(ref)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tab.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "extracted %s: %d pins, %d arcs, %d SPs, %d EPs, WNS=%.1f TNS=%.1f\n",
+		spec.Name, tab.NumPins, len(tab.Arcs), len(tab.SPs), len(tab.EPs), ref.WNS(), ref.TNS())
+}

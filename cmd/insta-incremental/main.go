@@ -1,0 +1,39 @@
+// Command insta-incremental regenerates Figure 7 (incremental STA runtime
+// per sizing iteration across an in-house full engine, the reference
+// incremental engine, and INSTA with estimate_eco re-annotation) and
+// Figure 8 (INSTA correlation before/after the flow without
+// re-synchronization).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"insta/internal/bench"
+	"insta/internal/exp"
+)
+
+func main() {
+	block := flag.String("block", "block-2", "block preset (the paper uses block-2)")
+	n := flag.Int("n", 30, "sizing iterations")
+	batch := flag.Int("batch", 120, "cells resized per iteration")
+	topK := flag.Int("topk", 32, "INSTA Top-K")
+	workers := flag.Int("workers", runtime.NumCPU(), "forward-kernel goroutines")
+	flag.Parse()
+
+	spec, err := bench.BlockSpec(*block)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f7, f8, err := exp.Incremental(spec, *n, *batch, *topK, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exp.PrintFig7(os.Stdout, f7)
+	fmt.Println()
+	exp.PrintFig8(os.Stdout, f8)
+}

@@ -1,0 +1,36 @@
+// Command insta-place regenerates Table III (INSTA-Place vs plain DREAMPlace
+// and DP4.0-style net weighting on the superblue-like suite, post
+// legalization) and Figure 9 (timing-update iteration runtime breakdown).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"insta/internal/bench"
+	"insta/internal/exp"
+)
+
+func main() {
+	designs := flag.String("designs", strings.Join(bench.SuperblueNames(), ","), "comma-separated superblue presets")
+	iters := flag.Int("iters", 0, "placement iterations (0 = mode default)")
+	workers := flag.Int("workers", runtime.NumCPU(), "kernel goroutines")
+	fig9 := flag.Bool("fig9", true, "also run the Figure 9 breakdown")
+	fig9Design := flag.String("fig9-design", "superblue10", "benchmark for Figure 9")
+	flag.Parse()
+
+	if _, err := exp.TableIII(os.Stdout, strings.Split(*designs, ","), *iters, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *fig9 {
+		fmt.Println()
+		if _, err := exp.Fig9(os.Stdout, *fig9Design, *iters, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Command insta-size regenerates Table II: INSTA-Size (gradient-ranked
+// sizing with estimate_eco) against the reference-tool-style slack-driven
+// baseline on the IWLS-like suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"insta/internal/bench"
+	"insta/internal/exp"
+)
+
+func main() {
+	designs := flag.String("designs", strings.Join(bench.IWLSNames(), ","), "comma-separated IWLS presets")
+	topK := flag.Int("topk", 4, "INSTA Top-K during sizing evaluation")
+	workers := flag.Int("workers", runtime.NumCPU(), "forward-kernel goroutines")
+	flag.Parse()
+
+	if _, err := exp.TableII(os.Stdout, strings.Split(*designs, ","), *topK, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

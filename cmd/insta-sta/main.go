@@ -1,0 +1,172 @@
+// Command insta-sta is a standalone timing shell over the repository's file
+// formats: it reads a structural Verilog netlist, an SDC constraint file and
+// SPEF-style parasitics, runs the reference signoff engine and INSTA, and
+// reports correlation plus the worst timing paths.
+//
+// With -gen it first materializes one of the built-in design presets to the
+// three files, so a complete session is:
+//
+//	insta-sta -gen block-5 -dir /tmp/b5
+//	insta-sta -dir /tmp/b5 -paths 3 -hold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/exp"
+	"insta/internal/liberty"
+	"insta/internal/libertyio"
+	"insta/internal/refsta"
+	"insta/internal/sdcio"
+	"insta/internal/spef"
+	"insta/internal/vlog"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	gen := flag.String("gen", "", "generate a preset (block-*/IWLS/superblue name) into -dir and exit")
+	dir := flag.String("dir", ".", "directory holding design.lib, design.v, design.sdc, design.spef")
+	tech := flag.String("tech", "", "fallback library when design.lib is absent: n3 or asap7")
+	topK := flag.Int("topk", 32, "INSTA Top-K")
+	paths := flag.Int("paths", 3, "worst paths to report")
+	hold := flag.Bool("hold", false, "also run hold analysis")
+	workers := flag.Int("workers", runtime.NumCPU(), "kernel goroutines")
+	flag.Parse()
+
+	vPath := filepath.Join(*dir, "design.v")
+	sdcPath := filepath.Join(*dir, "design.sdc")
+	spefPath := filepath.Join(*dir, "design.spef")
+	libPath := filepath.Join(*dir, "design.lib")
+
+	if *gen != "" {
+		spec, err := bench.BlockSpec(*gen)
+		if err != nil {
+			if spec, err = bench.IWLSSpec(*gen); err != nil {
+				if spec, err = bench.SuperblueSpec(*gen); err != nil {
+					fatalf("unknown preset %q", *gen)
+				}
+			}
+		}
+		b, err := bench.Generate(spec)
+		if err != nil {
+			fatalf("generate: %v", err)
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		writeFile(libPath, func(f *os.File) error { return libertyio.Write(f, b.Lib) })
+		writeFile(vPath, func(f *os.File) error { return vlog.Write(f, b.D, b.Lib) })
+		writeFile(sdcPath, func(f *os.File) error { return sdcio.Write(f, b.Con, b.D) })
+		writeFile(spefPath, func(f *os.File) error { return spef.Write(f, b.Par, b.D) })
+		fmt.Printf("wrote %s, %s, %s, %s (%d cells, %d pins; tech %s)\n",
+			libPath, vPath, sdcPath, spefPath, b.D.NumCells(), b.D.NumPins(), spec.Tech.Name)
+		return
+	}
+
+	// Library: prefer design.lib, fall back to a synthetic tech.
+	var lib *liberty.Library
+	if fl, err := os.Open(libPath); err == nil {
+		lib, err = libertyio.Read(fl)
+		fl.Close()
+		if err != nil {
+			fatalf("read %s: %v", libPath, err)
+		}
+	} else {
+		switch *tech {
+		case "asap7":
+			lib = liberty.NewSynthetic(liberty.TechASAP7())
+		case "n3", "":
+			lib = liberty.NewSynthetic(liberty.TechN3())
+		default:
+			fatalf("unknown -tech %q", *tech)
+		}
+	}
+
+	// Load the three files.
+	fv, err := os.Open(vPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	d, err := vlog.Read(fv, lib)
+	fv.Close()
+	if err != nil {
+		fatalf("read %s: %v", vPath, err)
+	}
+	fs, err := os.Open(sdcPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	con, err := sdcio.Read(fs, d)
+	fs.Close()
+	if err != nil {
+		fatalf("read %s: %v", sdcPath, err)
+	}
+	fp, err := os.Open(spefPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	par, err := spef.Read(fp, d)
+	fp.Close()
+	if err != nil {
+		fatalf("read %s: %v", spefPath, err)
+	}
+
+	// Reference signoff.
+	ref, err := refsta.New(d, lib, con, par, refsta.DefaultConfig())
+	if err != nil {
+		fatalf("refsta: %v", err)
+	}
+	if *hold {
+		ref.EnableHoldAnalysis()
+	}
+	fmt.Printf("%s: %d cells, %d pins, %d arcs, %d endpoints\n",
+		d.Name, d.NumCells(), d.NumPins(), ref.NumArcs(), len(ref.Endpoints()))
+	fmt.Printf("reference: WNS %.2f ps, TNS %.2f ps, %d violations\n",
+		ref.WNS(), ref.TNS(), ref.NumViolations())
+
+	// INSTA.
+	tab := circuitops.Extract(ref)
+	e, err := core.NewEngine(tab, core.Options{TopK: *topK, Hold: *hold, Workers: *workers})
+	if err != nil {
+		fatalf("insta: %v", err)
+	}
+	slacks := e.Run()
+	r, ms, n, dis, err := exp.Correlate(ref.EndpointSlacks(), slacks)
+	if err != nil {
+		fatalf("correlate: %v", err)
+	}
+	fmt.Printf("INSTA(K=%d): WNS %.2f ps, TNS %.2f ps | corr %.6f over %d eps (mismatch avg %.2e, wst %.2f ps, %d disagree)\n",
+		*topK, e.WNS(), e.TNS(), r, n, ms.Avg, ms.Worst, dis)
+	if *hold {
+		e.EvalHoldSlacks()
+		fmt.Printf("hold: reference WNS %.2f / TNS %.2f ps | INSTA WNS %.2f / TNS %.2f ps\n",
+			ref.HoldWNS(), ref.HoldTNS(), e.HoldWNS(), e.HoldTNS())
+	}
+
+	fmt.Println()
+	ref.SlackHistogram(os.Stdout, 16)
+	fmt.Println()
+	ref.ReportTiming(os.Stdout, *paths)
+}
+
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: build a small design, run the reference signoff engine,
+// initialize INSTA from its extraction, and compare endpoint timing — the
+// whole Fig. 1 pipeline in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/exp"
+	"insta/internal/liberty"
+	"insta/internal/refsta"
+)
+
+func main() {
+	// 1. A deterministic synthetic design: 3 clock groups, 6-deep datapath
+	//    cones, a few timing exceptions — standing in for a real netlist.
+	spec := bench.Spec{
+		Name: "quickstart", Seed: 42, Tech: liberty.TechN3(),
+		Groups: 3, FFsPerGroup: 16, Layers: 6, Width: 16,
+		CrossFrac: 0.1, NumPIs: 8, NumPOs: 8,
+		Period: 1000, Uncertainty: 10,
+		FalsePaths: 4, Multicycles: 2, Die: 120,
+		VioFrac: 0.08, // calibrate the clock so ~8% of endpoints violate
+	}
+	b, err := bench.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %q: %d cells, %d pins, %d nets\n",
+		b.D.Name, b.D.NumCells(), b.D.NumPins(), len(b.D.Nets))
+
+	// 2. The reference signoff engine (the PrimeTime role): full delay
+	//    calculation, statistical propagation, exact CPPR.
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference:  WNS=%8.2f ps  TNS=%10.2f ps  violations=%d/%d\n",
+		ref.WNS(), ref.TNS(), ref.NumViolations(), len(ref.Endpoints()))
+
+	// 3. One-time initialization: extract arc delay distributions, SP/EP
+	//    attributes, the clock network table and exceptions...
+	tab := circuitops.Extract(ref)
+	fmt.Printf("extraction: %d arcs, %d startpoints, %d endpoints, %d clock nodes\n",
+		len(tab.Arcs), len(tab.SPs), len(tab.EPs), len(tab.ClockNodes))
+
+	// ...and build INSTA on the tables.
+	e, err := core.NewEngine(tab, core.Options{TopK: 32, Workers: runtime.NumCPU()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Full-graph Top-K statistical propagation + slack evaluation.
+	t0 := time.Now()
+	slacks := e.Run()
+	fmt.Printf("INSTA:      WNS=%8.2f ps  TNS=%10.2f ps  (%d levels, %v)\n",
+		e.WNS(), e.TNS(), e.NumLevels(), time.Since(t0).Round(time.Microsecond))
+
+	// 5. Correlate against the reference, Table I style.
+	r, ms, n, _, err := exp.Correlate(ref.EndpointSlacks(), slacks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correlation over %d endpoints: %.6f (mismatch avg %.2e ps, worst %.2f ps)\n",
+		n, r, ms.Avg, ms.Worst)
+
+	// 6. The differentiable part: backpropagate TNS and show the five most
+	//    timing-critical stages by |timing gradient|.
+	e.Backward()
+	stages := e.StageGradients()
+	fmt.Printf("\ntiming gradients flow through %d stages; most critical:\n", len(stages))
+	worst := topStages(stages, 5)
+	for _, st := range worst {
+		fmt.Printf("  cell %-14s dTNS/d(stage delay) = %8.3f\n",
+			b.D.Cells[st.Cell].Name, st.Grad)
+	}
+}
+
+func topStages(stages []core.StageGradient, n int) []core.StageGradient {
+	for i := 0; i < n && i < len(stages); i++ {
+		min := i
+		for j := i + 1; j < len(stages); j++ {
+			if stages[j].Grad < stages[min].Grad {
+				min = j
+			}
+		}
+		stages[i], stages[min] = stages[min], stages[i]
+	}
+	if n > len(stages) {
+		n = len(stages)
+	}
+	return stages[:n]
+}

@@ -1,0 +1,3 @@
+module insta
+
+go 1.22

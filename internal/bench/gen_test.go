@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"testing"
+
+	"insta/internal/liberty"
+)
+
+// tinySpec is a fast spec for unit tests.
+func tinySpec(seed int64) Spec {
+	return Spec{
+		Name: "tiny", Seed: seed, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 6, Layers: 4, Width: 6,
+		CrossFrac: 0.1, NumPIs: 3, NumPOs: 3,
+		Period: 900, Uncertainty: 10, FalsePaths: 2, Multicycles: 1,
+		Die: 100,
+	}
+}
+
+func TestGenerateValidDesign(t *testing.T) {
+	b, err := Generate(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.D.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Par.Validate(b.D); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.D.NumCells() < 2*6+2*4*6 {
+		t.Errorf("too few cells: %d", b.D.NumCells())
+	}
+	if b.D.Clock == nil {
+		t.Fatal("no clock tree")
+	}
+	if len(b.Con.Exceptions) != 3 {
+		t.Errorf("exceptions = %d, want 3", len(b.Con.Exceptions))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(tinySpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinySpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.D.NumPins() != b.D.NumPins() || a.D.NumCells() != b.D.NumCells() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.D.Cells {
+		if a.D.Cells[i].LibCell != b.D.Cells[i].LibCell || a.D.Cells[i].X != b.D.Cells[i].X {
+			t.Fatalf("cell %d differs across identical seeds", i)
+		}
+	}
+	c, err := Generate(tinySpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := c.D.NumPins() == a.D.NumPins()
+	if same {
+		diff := false
+		for i := range a.D.Cells {
+			if a.D.Cells[i].LibCell != c.D.Cells[i].LibCell {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical designs (suspicious)")
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	s := tinySpec(1)
+	s.Groups = 0
+	if _, err := Generate(s); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestBlockSpecs(t *testing.T) {
+	for _, name := range BlockNames() {
+		spec, err := BlockSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != name || spec.Period <= 0 {
+			t.Errorf("%s: bad spec %+v", name, spec)
+		}
+	}
+	if _, err := BlockSpec("block-99"); err == nil {
+		t.Error("unknown block accepted")
+	}
+}
+
+func TestIWLSSpecs(t *testing.T) {
+	for _, name := range IWLSNames() {
+		spec, err := IWLSSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Tech.Name != "asap7-synthetic" {
+			t.Errorf("%s: tech = %s, want asap7-synthetic", name, spec.Tech.Name)
+		}
+	}
+	if _, err := IWLSSpec("nope"); err == nil {
+		t.Error("unknown IWLS design accepted")
+	}
+}
+
+func TestChangelist(t *testing.T) {
+	b, err := Generate(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Changelist(b, 42, 25)
+	if len(cl) != 25 {
+		t.Fatalf("changelist length = %d, want 25", len(cl))
+	}
+	for i, r := range cl {
+		if b.D.Cells[r.Cell].Seq {
+			t.Errorf("entry %d resizes a flop", i)
+		}
+		oldFP := b.Lib.Cell(b.D.Cells[r.Cell].LibCell).Footprint
+		newFP := b.Lib.Cell(r.NewLib).Footprint
+		if oldFP != newFP {
+			t.Errorf("entry %d crosses footprints %s -> %s", i, oldFP, newFP)
+		}
+	}
+	cl2 := Changelist(b, 42, 25)
+	for i := range cl {
+		if cl[i] != cl2[i] {
+			t.Fatal("changelist not deterministic")
+		}
+	}
+}

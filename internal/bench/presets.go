@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/rc"
+)
+
+// BlockSpec returns the generator spec for one of the five Table I blocks.
+// The paper's blocks hold 2-4M cells and 6-15M pins; these presets scale
+// them ~100x down to fit a single-core CI machine while varying exactly the
+// structural knobs the experiments probe: logic depth (block-3 deepest,
+// block-5 shallowest), group count, and cross-group wiring.
+func BlockSpec(name string) (Spec, error) {
+	base := Spec{
+		Tech:        liberty.TechN3(),
+		CrossFrac:   0.025,
+		NumPIs:      64,
+		NumPOs:      64,
+		Uncertainty: 10,
+		FalsePaths:  140,
+		Multicycles: 90,
+		Die:         250,
+		VioFrac:     0.05,
+	}
+	switch name {
+	case "block-1":
+		base.Name, base.Seed = "block-1", 101
+		base.Groups, base.FFsPerGroup = 16, 96
+		base.Layers, base.Width = 25, 90
+		base.Period = 3000
+	case "block-2":
+		base.Name, base.Seed = "block-2", 102
+		base.Groups, base.FFsPerGroup = 8, 120
+		base.Layers, base.Width = 18, 62
+		base.Period = 2200
+	case "block-3":
+		base.Name, base.Seed = "block-3", 103
+		base.Groups, base.FFsPerGroup = 10, 96
+		base.Layers, base.Width = 30, 55
+		base.Period = 3400
+	case "block-4":
+		base.Name, base.Seed = "block-4", 104
+		base.Groups, base.FFsPerGroup = 9, 100
+		base.Layers, base.Width = 22, 58
+		base.Period = 2400
+	case "block-5":
+		base.Name, base.Seed = "block-5", 105
+		base.Groups, base.FFsPerGroup = 8, 120
+		base.Layers, base.Width = 15, 75
+		base.Period = 1800
+	default:
+		return Spec{}, fmt.Errorf("bench: unknown block %q", name)
+	}
+	return base, nil
+}
+
+// BlockNames lists the Table I correlation blocks.
+func BlockNames() []string {
+	return []string{"block-1", "block-2", "block-3", "block-4", "block-5"}
+}
+
+// IWLSSpec returns the generator spec for one of the Table II IWLS-like
+// designs in the ASAP7-like technology, with pin counts tracking the paper's
+// (aes_core 24k, cipher_top 50k, des 11k, mc_top 35k).
+func IWLSSpec(name string) (Spec, error) {
+	base := Spec{
+		Tech:        liberty.TechASAP7(),
+		CrossFrac:   0.08,
+		NumPIs:      32,
+		NumPOs:      32,
+		Uncertainty: 12,
+		FalsePaths:  8,
+		Multicycles: 4,
+		Die:         300,
+		VioFrac:     0.1,
+		ExtraTight:  380,
+	}
+	switch name {
+	case "aes_core":
+		base.Name, base.Seed = "aes_core", 201
+		base.Groups, base.FFsPerGroup = 6, 90
+		base.Layers, base.Width = 14, 56
+		base.Period = 4000
+	case "cipher_top":
+		base.Name, base.Seed = "cipher_top", 202
+		base.Groups, base.FFsPerGroup = 8, 110
+		base.Layers, base.Width = 18, 78
+		base.Period = 5200
+	case "des":
+		base.Name, base.Seed = "des", 203
+		base.Groups, base.FFsPerGroup = 4, 70
+		base.Layers, base.Width = 11, 32
+		base.Period = 3000
+	case "mc_top":
+		base.Name, base.Seed = "mc_top", 204
+		base.Groups, base.FFsPerGroup = 7, 100
+		base.Layers, base.Width = 15, 62
+		base.Period = 4100
+	default:
+		return Spec{}, fmt.Errorf("bench: unknown IWLS design %q", name)
+	}
+	return base, nil
+}
+
+// IWLSNames lists the Table II designs.
+func IWLSNames() []string {
+	return []string{"aes_core", "cipher_top", "des", "mc_top"}
+}
+
+// Resize is one changelist entry: swap cell Cell to library cell NewLib.
+type Resize struct {
+	Cell   netlist.CellID
+	NewLib int32
+}
+
+// Batch is one sizing iteration's worth of committed gate-size changes.
+type Batch []Resize
+
+// BatchedChangelist builds a deterministic sequence of sizing iterations,
+// each committing batch gate-size changes across the design — the workload
+// of the Fig. 7 incremental-evaluation comparison (a commercial
+// power-recovery pass touches many cells per iteration).
+func BatchedChangelist(b *Design, seed int64, iterations, batch int) []Batch {
+	flat := Changelist(b, seed, iterations*batch)
+	var out []Batch
+	for len(flat) >= batch {
+		out = append(out, Batch(flat[:batch]))
+		flat = flat[batch:]
+	}
+	return out
+}
+
+// Changelist builds a deterministic sequence of n gate-size changes over the
+// design's combinational cells (one drive step up or down, clamped), the
+// workload of the Fig. 7 incremental-evaluation comparison.
+func Changelist(b *Design, seed int64, n int) []Resize {
+	rng := rand.New(rand.NewSource(seed))
+	var comb []netlist.CellID
+	for i := range b.D.Cells {
+		if !b.D.Cells[i].Seq {
+			comb = append(comb, netlist.CellID(i))
+		}
+	}
+	var out []Resize
+	for len(out) < n && len(comb) > 0 {
+		c := comb[rng.Intn(len(comb))]
+		delta := 1
+		if rng.Float64() < 0.4 {
+			delta = -1
+		}
+		nl, ok := b.Lib.Resize(b.D.Cells[c].LibCell, delta)
+		if !ok {
+			nl, ok = b.Lib.Resize(b.D.Cells[c].LibCell, -delta)
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Resize{Cell: c, NewLib: nl})
+	}
+	return out
+}
+
+// placementWire returns wire constants heavy enough that cell positions
+// dominate path delay — the regime timing-driven placement operates in.
+func placementWire() *rc.Params {
+	return &rc.Params{
+		RPerUnit:      0.3,
+		CPerUnit:      0.3,
+		MinLen:        2,
+		WireSigmaFrac: 0.04,
+		SlewDegrade:   2.2,
+	}
+}
+
+// SuperblueSpec returns the generator spec for one of the Table III
+// placement benchmarks. The ICCAD'15 Superblue designs (up to 5.6M pins)
+// scale here to 2-9k cells; relative size ordering follows the suite
+// (superblue10 largest, superblue18 smallest).
+func SuperblueSpec(name string) (Spec, error) {
+	base := Spec{
+		Tech:        liberty.TechN3(),
+		CrossFrac:   0.05,
+		NumPIs:      48,
+		NumPOs:      48,
+		Uncertainty: 10,
+		FalsePaths:  6,
+		Multicycles: 4,
+		Wire:        placementWire(),
+		VioFrac:     0.12,
+		PeriodScale: 0.42,
+	}
+	type shape struct {
+		seed                       int64
+		groups, ffs, layers, width int
+		period                     float64
+	}
+	shapes := map[string]shape{
+		"superblue1":  {301, 6, 60, 10, 45, 2600},
+		"superblue3":  {303, 6, 55, 11, 42, 2700},
+		"superblue4":  {304, 5, 50, 9, 40, 2300},
+		"superblue5":  {305, 6, 60, 12, 40, 2900},
+		"superblue7":  {307, 7, 65, 11, 48, 2800},
+		"superblue10": {310, 8, 70, 13, 55, 3200},
+		"superblue16": {316, 5, 55, 10, 44, 2500},
+		"superblue18": {318, 4, 45, 9, 36, 2200},
+	}
+	sh, ok := shapes[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("bench: unknown placement benchmark %q", name)
+	}
+	base.Name, base.Seed = name, sh.seed
+	base.Groups, base.FFsPerGroup = sh.groups, sh.ffs
+	base.Layers, base.Width = sh.layers, sh.width
+	base.Period = sh.period
+	// Spread the initial random placement over roughly the placement
+	// region the placer will compute (total area / 0.9 target density), so
+	// the period calibration happens at representative wire spans.
+	cells := float64(sh.groups * (sh.ffs + sh.layers*sh.width))
+	base.Die = math.Sqrt(cells * 6.0 / 0.65)
+	return base, nil
+}
+
+// SuperblueNames lists the Table III placement benchmarks in the paper's
+// order.
+func SuperblueNames() []string {
+	return []string{
+		"superblue1", "superblue3", "superblue4", "superblue5",
+		"superblue7", "superblue10", "superblue16", "superblue18",
+	}
+}

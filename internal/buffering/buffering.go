@@ -1,0 +1,171 @@
+// Package buffering prototypes INSTA-Buffer, the buffering direction the
+// paper names as future work (§V): INSTA's timing gradients rank the
+// interconnect arcs whose delay most hurts TNS; long high-gradient branches
+// are split with a buffer at the wire midpoint, which cuts the quadratic
+// Elmore term and isolates the driver from downstream capacitance. After a
+// round of insertions the reference engine rebuilds (buffering changes the
+// timing graph topology) and the round is kept only if signoff TNS improved.
+package buffering
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/rc"
+	"insta/internal/refsta"
+	"insta/internal/sdc"
+)
+
+// Config tunes INSTA-Buffer.
+type Config struct {
+	// MinLen is the minimum branch wirelength (sites) worth buffering.
+	MinLen float64
+	// MaxPerRound bounds insertions per gradient round.
+	MaxPerRound int
+	// MaxRounds bounds rebuild rounds.
+	MaxRounds int
+	// BufferCell names the library cell to insert (footprint BUF).
+	BufferCell string
+	// TopK/Tau configure the INSTA engine rebuilt each round.
+	TopK int
+	Tau  float64
+}
+
+// DefaultConfig returns settings suitable for the generated designs.
+func DefaultConfig() Config {
+	return Config{
+		MinLen:      25,
+		MaxPerRound: 24,
+		MaxRounds:   4,
+		BufferCell:  "BUF_X4",
+		TopK:        4,
+		Tau:         0.01,
+	}
+}
+
+// Result summarizes a buffering run.
+type Result struct {
+	WNSBefore, WNSAfter float64
+	TNSBefore, TNSAfter float64
+	BuffersInserted     int
+	Rounds              int
+	Runtime             time.Duration
+}
+
+// Run executes the gradient-guided buffering loop on the design behind con
+// and par. It returns the rebuilt reference engine for the final netlist
+// together with the result summary.
+func Run(d *netlist.Design, lib *liberty.Library, con *sdc.Constraints, par *rc.Parasitics, cfg Config) (*refsta.Engine, Result, error) {
+	start := time.Now()
+	bufID, ok := lib.CellByName(cfg.BufferCell)
+	if !ok {
+		return nil, Result{}, fmt.Errorf("buffering: library cell %q not found", cfg.BufferCell)
+	}
+	bufCell := lib.Cell(bufID)
+	if len(bufCell.Inputs) != 1 || len(bufCell.Outputs) != 1 {
+		return nil, Result{}, fmt.Errorf("buffering: %q is not a single-input buffer", cfg.BufferCell)
+	}
+
+	ref, err := refsta.New(d, lib, con, par, refsta.DefaultConfig())
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res := Result{WNSBefore: ref.WNS(), TNSBefore: ref.TNS()}
+	prevTNS := res.TNSBefore
+	total := 0
+
+	for round := 0; round < cfg.MaxRounds; round++ {
+		e, err := core.NewEngine(circuitops.Extract(ref), core.Options{TopK: cfg.TopK, Tau: cfg.Tau, Workers: 1})
+		if err != nil {
+			return nil, Result{}, err
+		}
+		e.Run()
+		if e.TNS() >= 0 {
+			break
+		}
+		e.Backward()
+		grads := e.NetArcGradients()
+		sort.Slice(grads, func(a, b int) bool { return grads[a].Grad < grads[b].Grad })
+
+		inserted := 0
+		for _, g := range grads {
+			if inserted >= cfg.MaxPerRound {
+				break
+			}
+			net := netlist.NetID(g.Net)
+			sinkIdx := sinkIndexOf(d, net, netlist.PinID(g.To))
+			if sinkIdx < 0 {
+				continue
+			}
+			if par.Nets[net].Branch[sinkIdx].Len < cfg.MinLen {
+				continue
+			}
+			insertBuffer(d, lib, par, bufID, net, sinkIdx, total)
+			inserted++
+			total++
+		}
+		if inserted == 0 {
+			break
+		}
+		res.Rounds = round + 1
+
+		// Rebuild the reference engine on the new topology.
+		ref, err = refsta.New(d, lib, con, par, refsta.DefaultConfig())
+		if err != nil {
+			return nil, Result{}, err
+		}
+		if ref.TNS() <= prevTNS {
+			// The round did not help; stop here (the paper's rollback would
+			// undo it — we keep netlist surgery monotone and simply halt).
+			break
+		}
+		prevTNS = ref.TNS()
+	}
+
+	res.WNSAfter = ref.WNS()
+	res.TNSAfter = ref.TNS()
+	res.BuffersInserted = total
+	res.Runtime = time.Since(start)
+	return ref, res, nil
+}
+
+func sinkIndexOf(d *netlist.Design, n netlist.NetID, sink netlist.PinID) int {
+	for i, s := range d.Nets[n].Sinks {
+		if s == sink {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertBuffer splits net n's branch to sink index si with a buffer placed
+// at the wire midpoint and rebuilds both nets' parasitics.
+func insertBuffer(d *netlist.Design, lib *liberty.Library, par *rc.Parasitics, bufID int32, n netlist.NetID, si int, serial int) {
+	sink := d.Nets[n].Sinks[si]
+	bufCell := lib.Cell(bufID)
+
+	dx, dy := d.PinPos(d.Nets[n].Driver)
+	sx, sy := d.PinPos(sink)
+
+	c := d.AddCell(fmt.Sprintf("insta_buf%d", serial), bufID, false)
+	d.Cells[c].X = (dx + sx) / 2
+	d.Cells[c].Y = (dy + sy) / 2
+	d.Cells[c].Width = bufCell.Area
+	in := d.AddPin(c, bufCell.Inputs[0], netlist.Input, false)
+	out := d.AddPin(c, bufCell.Outputs[0], netlist.Output, false)
+
+	d.DisconnectSink(n, sink)
+	d.Connect(n, in)
+	n2 := d.AddNet(fmt.Sprintf("insta_bufnet%d", serial), out)
+	d.Connect(n2, sink)
+
+	// Parasitics: grow the table for the new net, refresh both.
+	par.Nets = append(par.Nets, rc.Net{})
+	par.RebuildNet(d, n)
+	par.RebuildNet(d, n2)
+}

@@ -1,0 +1,113 @@
+package buffering
+
+import (
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/rc"
+)
+
+// genLongWireDesign builds a design whose timing is dominated by long
+// unbuffered wires, the regime buffering pays off in.
+func genLongWireDesign(t testing.TB, seed int64) *bench.Design {
+	t.Helper()
+	wire := rc.DefaultParams()
+	wire.RPerUnit, wire.CPerUnit = 0.15, 0.15
+	b, err := bench.Generate(bench.Spec{
+		Name: "buftest", Seed: seed, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 10, Layers: 4, Width: 10,
+		CrossFrac: 0.15, NumPIs: 4, NumPOs: 4,
+		Period: 1, Uncertainty: 10, Die: 200, Wire: &wire,
+		VioFrac: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestInstaBufferImprovesTNS(t *testing.T) {
+	b := genLongWireDesign(t, 1)
+	ref, res, err := Run(b.D, b.Lib, b.Con, b.Par, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BuffersInserted == 0 {
+		t.Fatal("no buffers inserted on a long-wire design")
+	}
+	if res.TNSAfter < res.TNSBefore {
+		t.Errorf("buffering degraded TNS: %v -> %v", res.TNSBefore, res.TNSAfter)
+	}
+	if res.TNSAfter == res.TNSBefore {
+		t.Errorf("buffering had no effect: TNS %v with %d buffers", res.TNSAfter, res.BuffersInserted)
+	}
+	t.Logf("TNS %v -> %v with %d buffers in %d rounds",
+		res.TNSBefore, res.TNSAfter, res.BuffersInserted, res.Rounds)
+
+	// The final netlist must still validate and time cleanly.
+	if err := b.D.Validate(); err != nil {
+		t.Fatalf("post-buffering netlist invalid: %v", err)
+	}
+	if err := b.Par.Validate(b.D); err != nil {
+		t.Fatalf("post-buffering parasitics invalid: %v", err)
+	}
+	if got := ref.TNS(); got != res.TNSAfter {
+		t.Errorf("returned engine TNS %v != result %v", got, res.TNSAfter)
+	}
+}
+
+func TestRunRejectsBadBufferCell(t *testing.T) {
+	b := genLongWireDesign(t, 2)
+	cfg := DefaultConfig()
+	cfg.BufferCell = "NOPE_X1"
+	if _, _, err := Run(b.D, b.Lib, b.Con, b.Par, cfg); err == nil {
+		t.Error("unknown buffer cell accepted")
+	}
+	cfg.BufferCell = "NAND2_X1"
+	if _, _, err := Run(b.D, b.Lib, b.Con, b.Par, cfg); err == nil {
+		t.Error("multi-input cell accepted as buffer")
+	}
+}
+
+func TestBufferInsertionSurgery(t *testing.T) {
+	b := genLongWireDesign(t, 3)
+	d := b.D
+	// Find a multi-sink net and split its first sink.
+	var net int32 = -1
+	for i := range d.Nets {
+		if len(d.Nets[i].Sinks) >= 2 && d.Pins[d.Nets[i].Driver].Cell >= 0 {
+			net = int32(i)
+			break
+		}
+	}
+	if net < 0 {
+		t.Skip("no multi-sink net")
+	}
+	bufID, _ := b.Lib.CellByName("BUF_X4")
+	sink := d.Nets[net].Sinks[0]
+	nSinksBefore := len(d.Nets[net].Sinks)
+	nNetsBefore := len(d.Nets)
+
+	insertBuffer(d, b.Lib, b.Par, bufID, netlist.NetID(net), 0, 999)
+
+	if len(d.Nets[net].Sinks) != nSinksBefore {
+		t.Errorf("sink count changed: %d -> %d (split sink replaced by buffer input)",
+			nSinksBefore, len(d.Nets[net].Sinks))
+	}
+	if len(d.Nets) != nNetsBefore+1 {
+		t.Errorf("net count %d, want %d", len(d.Nets), nNetsBefore+1)
+	}
+	// The detached sink now hangs off the new net.
+	newNet := d.Pins[sink].Net
+	if int(newNet) != nNetsBefore {
+		t.Errorf("sink moved to net %d, want %d", newNet, nNetsBefore)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Par.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"insta/internal/liberty"
+)
+
+// Backward runs the gradient backpropagation kernel (paper §III-F/G). It
+// computes the "timing gradient" of every arc — ∂TNS/∂(arc delay mean) and
+// ∂TNS/∂(arc delay sigma) — by walking the level schedule in reverse from
+// the endpoints.
+//
+// The forward max-merge is non-differentiable, so merge points distribute
+// gradient over their fan-in contributions with the Log-Sum-Exp softmax
+// weights of Eq. 6 at temperature tau (the engine option). The contribution
+// corners are recomputed from the most-critical (k=0) statistical state of
+// the last Propagate, so Backward must follow a forward evaluation.
+//
+// Because arrivals are distributions, two gradient planes propagate in
+// lockstep: ∂Loss/∂(pin arrival mean) and ∂Loss/∂(pin arrival sigma). Means
+// compose additively (chain factor 1) while sigmas compose by RSS (chain
+// factor s_parent/s_child < 1), which is why a single-plane corner gradient
+// would overestimate sigma sensitivities downstream.
+//
+// TNS here is Σ_ep min(0, slack_ep) with slack taken from the k=0 entry per
+// transition; each violating endpoint seeds ∂/∂mean = -1 and ∂/∂sigma =
+// -nSigma into its critical transition. Mean gradients are therefore ≤ 0:
+// making an arc faster raises TNS toward 0 in proportion to |gradient|.
+func (e *Engine) Backward() { e.BackwardWeighted(nil) }
+
+// BackwardWeighted runs the backward kernel with explicit per-endpoint loss
+// gradients: endpoint i's critical transition is seeded with -w[i] on the
+// mean plane (and -nSigma*w[i] on the sigma plane). A nil w reproduces the
+// TNS subgradient (weight 1 on violating endpoints). Combined with
+// WNSWeights this yields ∂(soft-WNS)/∂(arc delay) — the paper's "gradients
+// of WNS and TNS with respect to leaf variables".
+func (e *Engine) BackwardWeighted(w []float64) {
+	n := e.numPins
+	if e.gradArr[0] == nil {
+		for rf := 0; rf < 2; rf++ {
+			e.gradArr[rf] = make([]float64, n)
+			e.gradMean[rf] = make([]float64, len(e.arcFrom))
+			e.gradStd[rf] = make([]float64, len(e.arcFrom))
+		}
+		e.gradBitsMean = [2][]uint64{make([]uint64, n), make([]uint64, n)}
+		e.gradBitsStd = [2][]uint64{make([]uint64, n), make([]uint64, n)}
+	}
+	for rf := 0; rf < 2; rf++ {
+		clearBits(e.gradBitsMean[rf])
+		clearBits(e.gradBitsStd[rf])
+		clearFloats(e.gradMean[rf])
+		clearFloats(e.gradStd[rf])
+	}
+
+	e.seedEndpointGradients(w)
+
+	// Reverse level sweep: each pin distributes its accumulated gradient to
+	// its fan-in arcs and parents.
+	for l := e.lv.NumLevels - 1; l >= 0; l-- {
+		pins := e.lv.Nodes(l)
+		e.parallelOver(len(pins), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.backpropPin(pins[i])
+			}
+		})
+	}
+	for rf := 0; rf < 2; rf++ {
+		for i := range e.gradArr[rf] {
+			e.gradArr[rf][i] = math.Float64frombits(atomic.LoadUint64(&e.gradBitsMean[rf][i]))
+		}
+	}
+}
+
+// seedEndpointGradients injects the TNS subgradient at each violating
+// endpoint's critical transition, evaluated on the k=0 (most critical)
+// entries — the K=1 view the differentiable mode operates on. The endpoint
+// corner is mean + nSigma*sigma, so the sigma plane is seeded with
+// -nSigma per unit of slack.
+func (e *Engine) seedEndpointGradients(w []float64) {
+	for i, p := range e.epPin {
+		best, bestRF := e.k0Slack(i)
+		if bestRF < 0 {
+			continue
+		}
+		weight := 0.0
+		switch {
+		case w != nil:
+			weight = w[i]
+		case best < 0:
+			weight = 1
+		}
+		if weight != 0 {
+			atomicAdd(e.gradBitsMean[bestRF], p, -weight)
+			atomicAdd(e.gradBitsStd[bestRF], p, -e.nSigma*weight)
+		}
+	}
+}
+
+// k0Slack evaluates endpoint i's slack on the most-critical (k=0) entries —
+// the K=1 view the differentiable mode operates on — returning the slack and
+// its transition, or rf -1 when the endpoint is untimed.
+func (e *Engine) k0Slack(i int) (slack float64, rfOut int) {
+	p := e.epPin[i]
+	best := math.Inf(1)
+	bestRF := -1
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		sp := e.topSP[b]
+		if sp == noSP {
+			continue
+		}
+		adj := e.excLookup(e.spPin[sp], p)
+		if adj.False {
+			continue
+		}
+		req := e.epBase[rf][i] +
+			float64(adj.CycleCount()-1)*e.period +
+			e.credit(e.spNode[sp], e.epNode[i])
+		if s := req - e.topArr[b]; s < best {
+			best, bestRF = s, rf
+		}
+	}
+	return best, bestRF
+}
+
+// WNSWeights returns soft-min weights over the current endpoint slacks at
+// temperature tau: passing them to BackwardWeighted backpropagates the
+// smooth worst-negative-slack objective
+// WNS_soft = -tau*log Σ exp(-slack_i/tau), whose gradient concentrates on
+// the worst endpoints as tau → 0. Requires a prior Propagate.
+func (e *Engine) WNSWeights(tau float64) []float64 {
+	if tau <= 0 {
+		tau = 1
+	}
+	n := len(e.epPin)
+	slacks := make([]float64, n)
+	minSlack := math.Inf(1)
+	for i := range e.epPin {
+		s, rf := e.k0Slack(i)
+		if rf < 0 {
+			slacks[i] = math.Inf(1)
+			continue
+		}
+		slacks[i] = s
+		if s < minSlack {
+			minSlack = s
+		}
+	}
+	w := make([]float64, n)
+	if math.IsInf(minSlack, 1) || minSlack >= 0 {
+		return w // nothing violating: zero gradient
+	}
+	var sum float64
+	for i, s := range slacks {
+		if math.IsInf(s, 1) {
+			continue
+		}
+		v := math.Exp((minSlack - s) / tau)
+		w[i] = v
+		sum += v
+	}
+	inv := 1 / sum
+	for i := range w {
+		w[i] *= inv
+	}
+	return w
+}
+
+// backpropPin distributes pin p's gradients across its fan-in contributions
+// using the Eq. 6 softmax over contribution corner values.
+func (e *Engine) backpropPin(p int32) {
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	if lo == hi {
+		return
+	}
+	tau := e.opt.Tau
+	var contribs [16]contrib
+	for rf := 0; rf < 2; rf++ {
+		gm := math.Float64frombits(atomic.LoadUint64(&e.gradBitsMean[rf][p]))
+		gs := math.Float64frombits(atomic.LoadUint64(&e.gradBitsStd[rf][p]))
+		if gm == 0 && gs == 0 {
+			continue
+		}
+		cs := contribs[:0]
+		maxCorner := math.Inf(-1)
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			am := e.arcMean[rf][arc]
+			as := e.arcStd[rf][arc]
+			inRFs, nrf := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < nrf; ri++ {
+				prf := inRFs[ri]
+				pb := e.base(prf, parent)
+				if e.topSP[pb] == noSP {
+					continue
+				}
+				pstd := e.topStd[pb]
+				rss := math.Sqrt(pstd*pstd + as*as)
+				corner := e.topMean[pb] + am + e.nSigma*rss
+				// Chain factors through s_child = RSS(s_parent, arc sigma).
+				dsParent, dsArc := 1.0, 0.0
+				if rss > 0 {
+					dsParent = pstd / rss
+					dsArc = as / rss
+				}
+				cs = append(cs, contrib{
+					arc: arc, parent: parent, prf: int8(prf),
+					corner: corner, dsParent: dsParent, dsArc: dsArc,
+				})
+				if corner > maxCorner {
+					maxCorner = corner
+				}
+			}
+		}
+		if len(cs) == 0 {
+			continue
+		}
+		// Softmax weights, Eq. 6.
+		var sum float64
+		for i := range cs {
+			w := math.Exp((cs[i].corner - maxCorner) / tau)
+			cs[i].w = w
+			sum += w
+		}
+		inv := 1 / sum
+		for i := range cs {
+			c := &cs[i]
+			w := c.w * inv
+			e.gradMean[rf][c.arc] += w * gm
+			e.gradStd[rf][c.arc] += w * gs * c.dsArc
+			atomicAdd(e.gradBitsMean[int(c.prf)], c.parent, w*gm)
+			atomicAdd(e.gradBitsStd[int(c.prf)], c.parent, w*gs*c.dsParent)
+		}
+	}
+}
+
+type contrib struct {
+	arc      int32
+	parent   int32
+	prf      int8
+	corner   float64
+	dsParent float64
+	dsArc    float64
+	w        float64
+}
+
+// atomicAdd accumulates into a shared gradient plane. Parents are shared
+// between same-level pins, so this is the CPU analogue of the CUDA atomicAdd
+// the backward kernel would use.
+func atomicAdd(bits []uint64, pin int32, v float64) {
+	addr := &bits[pin]
+	for {
+		old := atomic.LoadUint64(addr)
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(addr, old, nw) {
+			return
+		}
+	}
+}
+
+func clearFloats(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func clearBits(xs []uint64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// ArcGradMean returns ∂TNS/∂(mean delay of arc) for output transition rf
+// from the last Backward call.
+func (e *Engine) ArcGradMean(arc int32, rf int) float64 { return e.gradMean[rf][arc] }
+
+// ArcGradStd returns ∂TNS/∂(sigma of arc) for output transition rf.
+func (e *Engine) ArcGradStd(arc int32, rf int) float64 { return e.gradStd[rf][arc] }
+
+// TimingGradient returns the arc's combined timing gradient
+// ∂TNS/∂(mean delay), summed over both output transitions. It is ≤ 0; its
+// magnitude ranks the arc's leverage on TNS (paper §III-G).
+func (e *Engine) TimingGradient(arc int32) float64 {
+	return e.gradMean[0][arc] + e.gradMean[1][arc]
+}
+
+// ArrivalGradient returns ∂TNS/∂(arrival mean at pin) for transition rf.
+func (e *Engine) ArrivalGradient(rf int, pin int32) float64 { return e.gradArr[rf][pin] }

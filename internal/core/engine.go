@@ -1,0 +1,361 @@
+// Package core implements INSTA: the ultra-fast, differentiable, statistical
+// timing propagation engine of the paper. It is initialized once from a
+// reference signoff engine through the circuitops tables (arc delay
+// distributions, SP/EP attributes, clock network, exceptions) and then
+// performs:
+//
+//   - a forward pass: level-parallel Top-K statistical arrival propagation
+//     with unique startpoints (Algorithms 1 and 2) handling rise/fall,
+//     unateness and CPPR;
+//   - endpoint slack / WNS / TNS evaluation with per-startpoint required
+//     times and timing exceptions;
+//   - a backward pass: Log-Sum-Exp-softened gradient backpropagation
+//     (Eqs. 4-6) that yields the "timing gradient" of every arc.
+//
+// The paper's CUDA kernels map here to level-synchronous loops executed by a
+// goroutine worker pool over structure-of-arrays CSR data: one "virtual
+// thread" per output pin per level. Input pins (single fan-in) take the
+// vectorized fast path, as in the paper (§III-D).
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"insta/internal/circuitops"
+	"insta/internal/levelize"
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/num"
+	"insta/internal/sdc"
+)
+
+// Options configures an INSTA engine.
+type Options struct {
+	// TopK is the number of unique-startpoint arrival distributions kept per
+	// pin per transition. 1 disables CPPR resolution (fastest, least
+	// accurate); the paper uses 32 for signoff correlation and shows 128.
+	TopK int
+	// Hold additionally propagates early (minimum) arrivals and enables
+	// EvalHoldSlacks — the hold-analysis extension beyond the paper's
+	// setup-only scope. Off by default.
+	Hold bool
+	// Tau is the Log-Sum-Exp temperature of the differentiable backward pass
+	// (paper Eq. 4; the sizing experiments use 0.01).
+	Tau float64
+	// Workers is the number of goroutines per kernel launch; 0 means
+	// runtime.NumCPU().
+	Workers int
+}
+
+// DefaultOptions mirrors the paper's Table I configuration.
+func DefaultOptions() Options {
+	return Options{TopK: 32, Tau: 0.01}
+}
+
+// noSP marks an empty Top-K queue slot.
+const noSP = int32(-1)
+
+// Engine is an initialized INSTA session. All heavy state lives in flat
+// structure-of-arrays buffers, the CPU analogue of the paper's GPU tensors.
+type Engine struct {
+	opt     Options
+	numPins int
+	period  float64
+	nSigma  float64
+
+	// Fan-in CSR over pins: entries faninStart[p]..faninStart[p+1] index the
+	// incoming arcs of pin p (the paper's outPin_parent_start array, Fig. 3).
+	faninStart []int32
+	faninArc   []int32
+	faninFrom  []int32
+	faninSense []uint8
+
+	// Arc annotations, indexed by the extraction arc id, per output rf.
+	arcMean [2][]float64
+	arcStd  [2][]float64
+	arcKind []uint8
+	arcCell []int32 // owning cell for cell arcs, -1 otherwise
+	arcNet  []int32 // net id for net arcs, -1 otherwise
+	arcFrom []int32
+	arcTo   []int32
+
+	lv *levelize.Result
+
+	// Startpoints / endpoints.
+	spPin   []int32
+	spNode  []int32
+	spMean  []float64
+	spStd   []float64
+	spOfPin []int32 // per pin: SP index or -1
+	epPin   []int32
+	epNode  []int32
+	epBase  [2][]float64 // base required time per data transition
+
+	// Clock network (for CPPR credit).
+	clkParent []int32
+	clkCumVar []float64
+	clkDepth  []int32
+
+	exc *sdc.ExceptionTable
+
+	// Top-K state, flattened: index ((rf*numPins)+pin)*K + k.
+	topArr  []float64
+	topMean []float64
+	topStd  []float64
+	topSP   []int32
+
+	// Differentiable state (allocated on first Backward call).
+	gradArr      [2][]float64 // dLoss/d(corner arrival), k=0 plane
+	gradBitsMean [2][]uint64  // atomic accumulation buffers behind gradArr
+	gradBitsStd  [2][]uint64
+	gradMean     [2][]float64 // dLoss/d(arc delay mean) — the paper's timing gradient
+	gradStd      [2][]float64 // dLoss/d(arc delay sigma)
+
+	epSlack []float64
+	epSP    []int32 // critical startpoint per endpoint (last evaluation)
+	epRF    []int8  // critical transition per endpoint
+
+	hold *holdState // early-arrival state (Options.Hold)
+
+	pinOwner []int32 // lazily built pin→cell mapping (see grads.go)
+
+	// Lazily built fan-out CSR for incremental propagation.
+	foStart, foAdj []int32
+}
+
+// NewEngine initializes INSTA from extracted circuitops tables — the
+// one-time initialization of Fig. 1/Fig. 2.
+func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.TopK < 1 {
+		return nil, fmt.Errorf("core: TopK must be >= 1, got %d", opt.TopK)
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
+	}
+	if opt.Tau <= 0 {
+		opt.Tau = 0.01
+	}
+	e := &Engine{
+		opt:     opt,
+		numPins: t.NumPins,
+		period:  t.Period,
+		nSigma:  t.NSigma,
+	}
+
+	// Arc annotations and fan-in CSR.
+	nArcs := len(t.Arcs)
+	for rf := 0; rf < 2; rf++ {
+		e.arcMean[rf] = make([]float64, nArcs)
+		e.arcStd[rf] = make([]float64, nArcs)
+	}
+	e.arcKind = make([]uint8, nArcs)
+	e.arcCell = make([]int32, nArcs)
+	e.arcNet = make([]int32, nArcs)
+	e.arcFrom = make([]int32, nArcs)
+	e.arcTo = make([]int32, nArcs)
+	counts := make([]int32, t.NumPins+1)
+	for i := range t.Arcs {
+		a := &t.Arcs[i]
+		e.arcMean[liberty.Rise][i] = a.MeanRise
+		e.arcStd[liberty.Rise][i] = a.StdRise
+		e.arcMean[liberty.Fall][i] = a.MeanFall
+		e.arcStd[liberty.Fall][i] = a.StdFall
+		e.arcKind[i] = a.Kind
+		e.arcCell[i] = a.Cell
+		e.arcNet[i] = a.Net
+		e.arcFrom[i] = a.From
+		e.arcTo[i] = a.To
+		counts[a.To+1]++
+	}
+	e.faninStart = make([]int32, t.NumPins+1)
+	for i := 0; i < t.NumPins; i++ {
+		e.faninStart[i+1] = e.faninStart[i] + counts[i+1]
+	}
+	e.faninArc = make([]int32, nArcs)
+	e.faninFrom = make([]int32, nArcs)
+	e.faninSense = make([]uint8, nArcs)
+	cursor := make([]int32, t.NumPins)
+	for i := range t.Arcs {
+		a := &t.Arcs[i]
+		pos := e.faninStart[a.To] + cursor[a.To]
+		cursor[a.To]++
+		e.faninArc[pos] = int32(i)
+		e.faninFrom[pos] = a.From
+		e.faninSense[pos] = a.Sense
+	}
+
+	// Levelize — INSTA's own topological sort (paper §III-A).
+	lvArcs := make([]levelize.Arc, nArcs)
+	for i := range t.Arcs {
+		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
+	}
+	lv, err := levelize.Levelize(t.NumPins, lvArcs)
+	if err != nil {
+		return nil, err
+	}
+	e.lv = lv
+
+	// Startpoints / endpoints.
+	e.spOfPin = make([]int32, t.NumPins)
+	for i := range e.spOfPin {
+		e.spOfPin[i] = -1
+	}
+	for i, s := range t.SPs {
+		e.spPin = append(e.spPin, s.Pin)
+		e.spNode = append(e.spNode, s.ClockNode)
+		e.spMean = append(e.spMean, s.Mean)
+		e.spStd = append(e.spStd, s.Std)
+		e.spOfPin[s.Pin] = int32(i)
+	}
+	e.epBase[0] = make([]float64, len(t.EPs))
+	e.epBase[1] = make([]float64, len(t.EPs))
+	for i, ep := range t.EPs {
+		e.epPin = append(e.epPin, ep.Pin)
+		e.epNode = append(e.epNode, ep.CaptureNode)
+		e.epBase[0][i] = ep.BaseReqRise
+		e.epBase[1][i] = ep.BaseReqFall
+	}
+
+	// Clock network.
+	nClk := len(t.ClockNodes)
+	e.clkParent = make([]int32, nClk)
+	e.clkCumVar = make([]float64, nClk)
+	e.clkDepth = make([]int32, nClk)
+	for i, c := range t.ClockNodes {
+		e.clkParent[i] = c.Parent
+		e.clkCumVar[i] = c.CumVar
+		if c.Parent >= 0 {
+			e.clkDepth[i] = e.clkDepth[c.Parent] + 1
+		}
+	}
+
+	if e.exc, err = t.CompileExceptions(); err != nil {
+		return nil, err
+	}
+
+	k := opt.TopK
+	sz := 2 * t.NumPins * k
+	e.topArr = make([]float64, sz)
+	e.topMean = make([]float64, sz)
+	e.topStd = make([]float64, sz)
+	e.topSP = make([]int32, sz)
+	e.epSlack = make([]float64, len(t.EPs))
+	e.epSP = make([]int32, len(t.EPs))
+	e.epRF = make([]int8, len(t.EPs))
+	if opt.Hold {
+		holdRise := make([]float64, len(t.EPs))
+		holdFall := make([]float64, len(t.EPs))
+		for i, ep := range t.EPs {
+			holdRise[i] = ep.HoldReqRise
+			holdFall[i] = ep.HoldReqFall
+		}
+		e.initHold(holdRise, holdFall)
+	}
+	return e, nil
+}
+
+// base returns the flat offset of (rf, pin)'s Top-K block.
+func (e *Engine) base(rf int, pin int32) int {
+	return ((rf * e.numPins) + int(pin)) * e.opt.TopK
+}
+
+// NumLevels returns the timing level count; INSTA's runtime scales with this
+// rather than with pin count (paper §IV-A).
+func (e *Engine) NumLevels() int { return e.lv.NumLevels }
+
+// Level returns the timing level of pin p.
+func (e *Engine) Level(p int32) int32 { return e.lv.Level[p] }
+
+// MemoryBytes returns the engine's resident state footprint: the Top-K
+// tensors, arc annotations, CSR topology and SP/EP tables — the analogue of
+// Table I's GPU memory column. Gradient buffers are counted once allocated.
+func (e *Engine) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(e.topArr)+len(e.topMean)+len(e.topStd)) * 8
+	b += int64(len(e.topSP)) * 4
+	b += int64(len(e.arcFrom)) * (8*4 + 4*4 + 1) // mean/std both rf + ids + kind
+	b += int64(len(e.faninArc)+len(e.faninFrom)) * 4
+	b += int64(len(e.faninSense))
+	b += int64(len(e.faninStart)+len(e.spOfPin)) * 4
+	b += int64(len(e.lv.Order)+len(e.lv.Level)+len(e.lv.LevelStart)) * 4
+	b += int64(len(e.spPin)) * (4 + 4 + 8 + 8)
+	b += int64(len(e.epPin)) * (4 + 4 + 8 + 8 + 8 + 4 + 1)
+	if e.gradArr[0] != nil {
+		b += int64(len(e.gradArr[0])) * 2 * (8 + 8 + 8) // arr + two bit planes, both rf
+		b += int64(len(e.gradMean[0])) * 2 * 16
+	}
+	return b
+}
+
+// NumPins returns the pin count of the initialized graph.
+func (e *Engine) NumPins() int { return e.numPins }
+
+// NumArcs returns the arc count.
+func (e *Engine) NumArcs() int { return len(e.arcFrom) }
+
+// TopK returns the configured K.
+func (e *Engine) TopK() int { return e.opt.TopK }
+
+// SetArcDelay re-annotates one arc's delay distribution for output
+// transition rf, the estimate_eco re-annotation entry point (Fig. 2's
+// "update delays" path).
+func (e *Engine) SetArcDelay(arc int32, rf int, d num.Dist) {
+	e.arcMean[rf][arc] = d.Mean
+	e.arcStd[rf][arc] = d.Std
+}
+
+// ArcDelay returns the current annotation of arc for transition rf.
+func (e *Engine) ArcDelay(arc int32, rf int) num.Dist {
+	return num.Dist{Mean: e.arcMean[rf][arc], Std: e.arcStd[rf][arc]}
+}
+
+// ArcEndpoints returns the (from, to) pins of arc.
+func (e *Engine) ArcEndpoints(arc int32) (from, to int32) {
+	return e.arcFrom[arc], e.arcTo[arc]
+}
+
+// ArcIsNet reports whether arc is an interconnect arc.
+func (e *Engine) ArcIsNet(arc int32) bool { return e.arcKind[arc] == 1 }
+
+// ArcCell returns the owning cell of a cell arc, or -1.
+func (e *Engine) ArcCell(arc int32) int32 { return e.arcCell[arc] }
+
+// ArcNet returns the net of a net arc, or -1.
+func (e *Engine) ArcNet(arc int32) int32 { return e.arcNet[arc] }
+
+// Endpoints returns the endpoint pin ids in extraction order.
+func (e *Engine) Endpoints() []int32 { return e.epPin }
+
+// Startpoints returns the startpoint pin ids in extraction order.
+func (e *Engine) Startpoints() []int32 { return e.spPin }
+
+// lca returns the lowest common ancestor of two clock nodes.
+func (e *Engine) lca(a, b int32) int32 {
+	for e.clkDepth[a] > e.clkDepth[b] {
+		a = e.clkParent[a]
+	}
+	for e.clkDepth[b] > e.clkDepth[a] {
+		b = e.clkParent[b]
+	}
+	for a != b {
+		a = e.clkParent[a]
+		b = e.clkParent[b]
+	}
+	return a
+}
+
+// credit returns the CPPR common-path credit for launch node l and capture
+// node c: 2*nSigma*sqrt(shared variance), identical to the reference model.
+func (e *Engine) credit(l, c int32) float64 {
+	return 2 * e.nSigma * math.Sqrt(e.clkCumVar[e.lca(l, c)])
+}
+
+// excLookup adapts the pin-keyed sdc exception table.
+func (e *Engine) excLookup(spPin, epPin int32) sdc.Adjust {
+	return e.exc.Lookup(netlist.PinID(spPin), netlist.PinID(epPin))
+}

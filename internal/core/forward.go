@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"insta/internal/liberty"
+)
+
+// Propagate runs the forward kernel: level-synchronous Top-K statistical
+// arrival propagation with unique startpoints (Algorithms 1 and 2). Pins
+// within a level are independent and are distributed over the worker pool —
+// the goroutine analogue of one CUDA thread per output pin (Fig. 3).
+func (e *Engine) Propagate() {
+	for l := 0; l < e.lv.NumLevels; l++ {
+		pins := e.lv.Nodes(l)
+		e.parallelOver(len(pins), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.propagatePin(pins[i])
+			}
+		})
+	}
+	if e.hold != nil {
+		e.propagateHold()
+	}
+}
+
+// parallelOver splits [0, n) into chunks across the worker pool and waits.
+func (e *Engine) parallelOver(n int, fn func(lo, hi int)) {
+	w := e.opt.Workers
+	if w <= 1 || n < 256 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// propagatePin recomputes pin p's Top-K queues for both transitions.
+func (e *Engine) propagatePin(p int32) {
+	if sp := e.spOfPin[p]; sp >= 0 {
+		e.initStartpoint(p, sp)
+		return
+	}
+	k := e.opt.TopK
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		arr := e.topArr[b : b+k]
+		mean := e.topMean[b : b+k]
+		std := e.topStd[b : b+k]
+		sps := e.topSP[b : b+k]
+		clearQueue(arr, sps)
+
+		// Vectorized fast path for single-fan-in pins (the paper handles
+		// "input pins" on the CPU without a kernel: one parent each).
+		if hi-lo == 1 && liberty.Unate(e.faninSense[lo]) != liberty.NonUnate {
+			e.shiftCopy(rf, lo, arr, mean, std, sps)
+			continue
+		}
+
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			am := e.arcMean[rf][arc]
+			as := e.arcStd[rf][arc]
+			inRFs, n := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < n; ri++ {
+				pb := e.base(inRFs[ri], parent)
+				for kk := 0; kk < k; kk++ {
+					psp := e.topSP[pb+kk]
+					if psp == noSP {
+						break // queues are packed: empties trail
+					}
+					m := e.topMean[pb+kk] + am
+					pstd := e.topStd[pb+kk]
+					// sigma <= pstd+as bounds the arrival from above;
+					// rejecting against the queue minimum here skips the
+					// sqrt for the bulk of contributions.
+					if m+e.nSigma*(pstd+as) <= arr[k-1] {
+						continue
+					}
+					s := math.Sqrt(pstd*pstd + as*as)
+					a := m + e.nSigma*s
+					insertTopK(arr, mean, std, sps, a, m, s, psp)
+				}
+			}
+		}
+	}
+}
+
+// initStartpoint seeds a startpoint pin's queues with its launch arrival
+// distribution (clock network arrival or input delay).
+func (e *Engine) initStartpoint(p, sp int32) {
+	k := e.opt.TopK
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		clearQueue(e.topArr[b:b+k], e.topSP[b:b+k])
+		e.topMean[b] = e.spMean[sp]
+		e.topStd[b] = e.spStd[sp]
+		e.topArr[b] = e.spMean[sp] + e.nSigma*e.spStd[sp]
+		e.topSP[b] = sp
+	}
+}
+
+// shiftCopy implements the single-parent fast path: shift the parent's whole
+// queue by the arc delay. RSS composition can reorder entries with different
+// mean/sigma trade-offs, so a near-sorted insertion sort restores descending
+// order.
+func (e *Engine) shiftCopy(rf int, pos int32, arr, mean, std []float64, sps []int32) {
+	arc := e.faninArc[pos]
+	parent := e.faninFrom[pos]
+	inRFs, _ := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+	prf := inRFs[0]
+	am := e.arcMean[rf][arc]
+	as := e.arcStd[rf][arc]
+	pb := e.base(prf, parent)
+	k := len(arr)
+	n := 0
+	for kk := 0; kk < k; kk++ {
+		psp := e.topSP[pb+kk]
+		if psp == noSP {
+			break
+		}
+		m := e.topMean[pb+kk] + am
+		s := math.Sqrt(e.topStd[pb+kk]*e.topStd[pb+kk] + as*as)
+		arr[n] = m + e.nSigma*s
+		mean[n] = m
+		std[n] = s
+		sps[n] = psp
+		n++
+	}
+	// Insertion sort (descending by arrival); input is nearly sorted.
+	for i := 1; i < n; i++ {
+		a, m, s, sp := arr[i], mean[i], std[i], sps[i]
+		j := i - 1
+		for j >= 0 && arr[j] < a {
+			arr[j+1], mean[j+1], std[j+1], sps[j+1] = arr[j], mean[j], std[j], sps[j]
+			j--
+		}
+		arr[j+1], mean[j+1], std[j+1], sps[j+1] = a, m, s, sp
+	}
+}
+
+func clearQueue(arr []float64, sps []int32) {
+	for i := range arr {
+		arr[i] = math.Inf(-1)
+		sps[i] = noSP
+	}
+}
+
+// insertTopK is Algorithm 2: maintain a descending fixed-size list of
+// arrival distributions keyed by unique startpoints. Step 1 updates an
+// existing startpoint in place (bubbling it up to restore order); Step 2
+// inserts a new startpoint by shifting if it beats the current minimum.
+func insertTopK(arr, mean, std []float64, sps []int32, a, m, s float64, sp int32) {
+	k := len(arr)
+	// Fast reject: a contribution at or below the current minimum can change
+	// nothing — if its startpoint is already queued that entry is at least
+	// arr[k-1] >= a, and if it is not queued it cannot displace anything.
+	if a <= arr[k-1] {
+		return
+	}
+	// Step 1: startpoint uniqueness check.
+	for j := 0; j < k; j++ {
+		if sps[j] == noSP {
+			break
+		}
+		if sps[j] != sp {
+			continue
+		}
+		if a <= arr[j] {
+			return // existing entry dominates
+		}
+		arr[j], mean[j], std[j] = a, m, s
+		// Bubble up: the increased value may beat entries above it.
+		for j > 0 && arr[j-1] < arr[j] {
+			arr[j-1], arr[j] = arr[j], arr[j-1]
+			mean[j-1], mean[j] = mean[j], mean[j-1]
+			std[j-1], std[j] = std[j], std[j-1]
+			sps[j-1], sps[j] = sps[j], sps[j-1]
+			j--
+		}
+		return
+	}
+	// Step 2: new startpoint; insert if it beats the smallest entry.
+	if a <= arr[k-1] {
+		return
+	}
+	j := k - 1
+	for j > 0 && arr[j-1] < a {
+		arr[j], mean[j], std[j], sps[j] = arr[j-1], mean[j-1], std[j-1], sps[j-1]
+		j--
+	}
+	arr[j], mean[j], std[j], sps[j] = a, m, s, sp
+}
+
+// TopEntries returns pin p's Top-K arrival entries for transition rf as
+// (arrival, mean, std, sp) quadruples, for inspection and testing.
+func (e *Engine) TopEntries(rf int, p int32) (arr, mean, std []float64, sps []int32) {
+	k := e.opt.TopK
+	b := e.base(rf, p)
+	return e.topArr[b : b+k], e.topMean[b : b+k], e.topStd[b : b+k], e.topSP[b : b+k]
+}

@@ -1,0 +1,171 @@
+package core
+
+// Hold (early/min-delay) analysis in INSTA, mirroring the late Top-K kernel:
+// per pin and transition a fixed-size queue of the K *smallest* early-corner
+// arrival distributions with unique startpoints. Enabled with Options.Hold;
+// the default setup-only configuration pays nothing for it.
+//
+// The queues reuse Algorithm 2's linear insert by negating the ordering key
+// (early corner), so all of its invariants — packed slots, unique
+// startpoints, strict ordering — carry over, as do the unit properties
+// tested on insertTopK.
+
+import (
+	"math"
+
+	"insta/internal/liberty"
+)
+
+// holdState holds the early-arrival buffers (allocated when Options.Hold).
+type holdState struct {
+	// Flattened like the late queues: index ((rf*numPins)+pin)*K + k.
+	// negArr stores the negated early corner so larger = earlier.
+	negArr []float64
+	mean   []float64
+	std    []float64
+	sp     []int32
+
+	epHold  [2][]float64 // hold requirement (+Inf = unchecked)
+	epSlack []float64
+}
+
+// initHold allocates the hold buffers from the extraction tables.
+func (e *Engine) initHold(holdRise, holdFall []float64) {
+	k := e.opt.TopK
+	sz := 2 * e.numPins * k
+	e.hold = &holdState{
+		negArr:  make([]float64, sz),
+		mean:    make([]float64, sz),
+		std:     make([]float64, sz),
+		sp:      make([]int32, sz),
+		epSlack: make([]float64, len(e.epPin)),
+	}
+	e.hold.epHold[0] = holdRise
+	e.hold.epHold[1] = holdFall
+}
+
+// HoldEnabled reports whether the engine propagates early arrivals.
+func (e *Engine) HoldEnabled() bool { return e.hold != nil }
+
+// propagateHold runs the early-arrival forward pass. Propagate calls it
+// automatically when hold is enabled.
+func (e *Engine) propagateHold() {
+	for l := 0; l < e.lv.NumLevels; l++ {
+		pins := e.lv.Nodes(l)
+		e.parallelOver(len(pins), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.propagatePinMin(pins[i])
+			}
+		})
+	}
+}
+
+func (e *Engine) propagatePinMin(p int32) {
+	h := e.hold
+	k := e.opt.TopK
+	if sp := e.spOfPin[p]; sp >= 0 {
+		for rf := 0; rf < 2; rf++ {
+			b := e.base(rf, p)
+			clearQueue(h.negArr[b:b+k], h.sp[b:b+k])
+			h.mean[b] = e.spMean[sp]
+			h.std[b] = e.spStd[sp]
+			h.negArr[b] = -(e.spMean[sp] - e.nSigma*e.spStd[sp])
+			h.sp[b] = sp
+		}
+		return
+	}
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		negArr := h.negArr[b : b+k]
+		mean := h.mean[b : b+k]
+		std := h.std[b : b+k]
+		sps := h.sp[b : b+k]
+		clearQueue(negArr, sps)
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			am := e.arcMean[rf][arc]
+			as := e.arcStd[rf][arc]
+			inRFs, n := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < n; ri++ {
+				pb := e.base(inRFs[ri], parent)
+				for kk := 0; kk < k; kk++ {
+					psp := h.sp[pb+kk]
+					if psp == noSP {
+						break
+					}
+					m := h.mean[pb+kk] + am
+					pstd := h.std[pb+kk]
+					s := math.Sqrt(pstd*pstd + as*as)
+					// Negated early corner: -(m - nSigma*s).
+					insertTopK(negArr, mean, std, sps, -(m - e.nSigma*s), m, s, psp)
+				}
+			}
+		}
+	}
+}
+
+// EvalHoldSlacks evaluates hold slacks from the propagated early arrivals:
+//
+//	slack = earlyArrival - holdReq + credit(sp, ep)
+//
+// minimized over startpoints and transitions. Unchecked endpoints (primary
+// outputs) carry +Inf. Requires Options.Hold and a prior Propagate.
+func (e *Engine) EvalHoldSlacks() []float64 {
+	h := e.hold
+	k := e.opt.TopK
+	e.parallelOver(len(e.epPin), func(lo, hiI int) {
+		for i := lo; i < hiI; i++ {
+			p := e.epPin[i]
+			best := math.Inf(1)
+			for rf := 0; rf < 2; rf++ {
+				req := h.epHold[rf][i]
+				if math.IsInf(req, 1) {
+					continue
+				}
+				b := e.base(rf, p)
+				for kk := 0; kk < k; kk++ {
+					sp := h.sp[b+kk]
+					if sp == noSP {
+						break
+					}
+					adj := e.excLookup(e.spPin[sp], p)
+					if adj.False {
+						continue
+					}
+					early := -h.negArr[b+kk]
+					if s := early - req + e.credit(e.spNode[sp], e.epNode[i]); s < best {
+						best = s
+					}
+				}
+			}
+			h.epSlack[i] = best
+		}
+	})
+	out := make([]float64, len(h.epSlack))
+	copy(out, h.epSlack)
+	return out
+}
+
+// HoldWNS returns the worst negative hold slack of the last evaluation.
+func (e *Engine) HoldWNS() float64 {
+	w := 0.0
+	for _, s := range e.hold.epSlack {
+		if s < w {
+			w = s
+		}
+	}
+	return w
+}
+
+// HoldTNS returns the total negative hold slack of the last evaluation.
+func (e *Engine) HoldTNS() float64 {
+	t := 0.0
+	for _, s := range e.hold.epSlack {
+		if s < 0 {
+			t += s
+		}
+	}
+	return t
+}

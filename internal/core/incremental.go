@@ -1,0 +1,139 @@
+package core
+
+// Incremental propagation. The paper's INSTA always re-propagates the full
+// graph — GPU parallelism makes each level O(1), so the total cost is just
+// the level count. On a CPU the trade-off differs: after a local
+// re-annotation (one estimate_eco batch touches a few dozen arcs) only the
+// fan-out cone of the touched arcs can change, so re-processing that cone
+// level by level and stopping wavefronts whose queues converge is much
+// cheaper. This file adds that CPU-oriented mode as an ablation against the
+// paper's full-propagation design (BenchmarkAblation_IncrementalPropagate).
+
+// fanoutCSR lazily builds the pin fan-out adjacency (the forward kernel only
+// needs fan-in).
+func (e *Engine) fanoutCSR() (start, adj []int32) {
+	if e.foStart != nil {
+		return e.foStart, e.foAdj
+	}
+	n := e.numPins
+	counts := make([]int32, n+1)
+	for i := range e.arcFrom {
+		counts[e.arcFrom[i]+1]++
+	}
+	start = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + counts[i+1]
+	}
+	adj = make([]int32, len(e.arcFrom))
+	cursor := make([]int32, n)
+	for i := range e.arcFrom {
+		f := e.arcFrom[i]
+		adj[start[f]+cursor[f]] = e.arcTo[i]
+		cursor[f]++
+	}
+	e.foStart, e.foAdj = start, adj
+	return start, adj
+}
+
+// PropagateIncremental re-propagates only the fan-out cone of the given
+// arcs, assuming every other annotation is unchanged since the last
+// Propagate. A wavefront stops at pins whose Top-K queues come out
+// identical. Hold queues, when enabled, are updated over the same cone.
+//
+// Callers batching SetArcDelay updates pass the touched arc ids here instead
+// of calling Propagate; results are bit-identical to a full pass.
+func (e *Engine) PropagateIncremental(arcs []int32) {
+	if len(arcs) == 0 {
+		return
+	}
+	foStart, foAdj := e.fanoutCSR()
+
+	buckets := make([][]int32, e.lv.NumLevels)
+	queued := make(map[int32]bool, len(arcs)*4)
+	push := func(p int32) {
+		if !queued[p] {
+			queued[p] = true
+			l := e.lv.Level[p]
+			buckets[l] = append(buckets[l], p)
+		}
+	}
+	for _, a := range arcs {
+		push(e.arcTo[a])
+	}
+
+	k := e.opt.TopK
+	snap := snapshotBuf{
+		arr:  make([]float64, 2*k),
+		mean: make([]float64, 2*k),
+		std:  make([]float64, 2*k),
+		sp:   make([]int32, 2*k),
+	}
+	for l := 0; l < len(buckets); l++ {
+		for _, p := range buckets[l] {
+			changed := false
+			// Late queues.
+			e.snapshotPin(p, &snap, false)
+			e.propagatePin(p)
+			if !e.snapshotEqual(p, &snap, false) {
+				changed = true
+			}
+			// Early queues.
+			if e.hold != nil {
+				e.snapshotPin(p, &snap, true)
+				e.propagatePinMin(p)
+				if !e.snapshotEqual(p, &snap, true) {
+					changed = true
+				}
+			}
+			if changed {
+				for _, to := range foAdj[foStart[p]:foStart[p+1]] {
+					push(to)
+				}
+			}
+		}
+	}
+}
+
+// snapshotBuf holds one pin's queues across a recompute.
+type snapshotBuf struct {
+	arr, mean, std []float64
+	sp             []int32
+}
+
+func (e *Engine) snapshotPin(p int32, s *snapshotBuf, early bool) {
+	k := e.opt.TopK
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		dst := rf * k
+		if early {
+			copy(s.arr[dst:dst+k], e.hold.negArr[b:b+k])
+			copy(s.sp[dst:dst+k], e.hold.sp[b:b+k])
+			continue
+		}
+		copy(s.arr[dst:dst+k], e.topArr[b:b+k])
+		copy(s.mean[dst:dst+k], e.topMean[b:b+k])
+		copy(s.std[dst:dst+k], e.topStd[b:b+k])
+		copy(s.sp[dst:dst+k], e.topSP[b:b+k])
+	}
+}
+
+func (e *Engine) snapshotEqual(p int32, s *snapshotBuf, early bool) bool {
+	k := e.opt.TopK
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		src := rf * k
+		for i := 0; i < k; i++ {
+			if early {
+				if e.hold.sp[b+i] != s.sp[src+i] || e.hold.negArr[b+i] != s.arr[src+i] {
+					return false
+				}
+				continue
+			}
+			if e.topSP[b+i] != s.sp[src+i] || e.topArr[b+i] != s.arr[src+i] ||
+				e.topMean[b+i] != s.mean[src+i] || e.topStd[b+i] != s.std[src+i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package core
+
+// The paper argues (§III-E) that heap-based priority queues are a poor fit
+// for the per-thread Top-K structure: maintaining heap order costs more than
+// O(K^2) scans over a tiny fixed array. This file carries a test-only
+// heap-based implementation of the unique-startpoint Top-K queue and the
+// ablation benchmarks comparing it against Algorithm 2's linear queue.
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// heapEntry is one queue element of the heap-based variant.
+type heapEntry struct {
+	arr, mean, std float64
+	sp             int32
+}
+
+// minHeap orders entries by ascending arrival so the root is the eviction
+// candidate.
+type minHeap []heapEntry
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].arr < h[j].arr }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// heapTopK is the heap-based unique-startpoint Top-K queue.
+type heapTopK struct {
+	k    int
+	h    minHeap
+	bySP map[int32]int // sp -> heap index (maintained on the side)
+}
+
+func newHeapTopK(k int) *heapTopK {
+	return &heapTopK{k: k, bySP: make(map[int32]int, k)}
+}
+
+func (q *heapTopK) insert(a, m, s float64, sp int32) {
+	if idx, ok := q.bySP[sp]; ok {
+		if a <= q.h[idx].arr {
+			return
+		}
+		q.h[idx] = heapEntry{a, m, s, sp}
+		heap.Fix(&q.h, idx)
+		q.reindex()
+		return
+	}
+	if len(q.h) < q.k {
+		heap.Push(&q.h, heapEntry{a, m, s, sp})
+		q.reindex()
+		return
+	}
+	if a <= q.h[0].arr {
+		return
+	}
+	delete(q.bySP, q.h[0].sp)
+	q.h[0] = heapEntry{a, m, s, sp}
+	heap.Fix(&q.h, 0)
+	q.reindex()
+}
+
+// reindex rebuilds the sp index after heap movement — the bookkeeping cost
+// the paper's complexity argument is about.
+func (q *heapTopK) reindex() {
+	for i := range q.h {
+		q.bySP[q.h[i].sp] = i
+	}
+}
+
+// sorted returns the entries in descending arrival order.
+func (q *heapTopK) sorted() []heapEntry {
+	out := append([]heapEntry(nil), q.h...)
+	sort.Slice(out, func(i, j int) bool { return out[i].arr > out[j].arr })
+	return out
+}
+
+// stream builds a deterministic contribution stream shaped like real merge
+// traffic: nStream contributions drawn from nSPs startpoints.
+func stream(seed int64, nStream, nSPs int) []heapEntry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]heapEntry, nStream)
+	for i := range out {
+		m := 100 + 400*rng.Float64()
+		s := 1 + 5*rng.Float64()
+		out[i] = heapEntry{arr: m + 3*s, mean: m, std: s, sp: int32(rng.Intn(nSPs))}
+	}
+	return out
+}
+
+func TestHeapAndLinearQueuesAgree(t *testing.T) {
+	for _, k := range []int{1, 4, 16} {
+		in := stream(7, 500, 40)
+
+		arr := make([]float64, k)
+		mean := make([]float64, k)
+		std := make([]float64, k)
+		sps := make([]int32, k)
+		clearQueue(arr, sps)
+		hq := newHeapTopK(k)
+		for _, e := range in {
+			insertTopK(arr, mean, std, sps, e.arr, e.mean, e.std, e.sp)
+			hq.insert(e.arr, e.mean, e.std, e.sp)
+		}
+		want := hq.sorted()
+		for i := range want {
+			if sps[i] == noSP {
+				t.Fatalf("k=%d: linear queue shorter than heap at %d", k, i)
+			}
+			if math.Abs(arr[i]-want[i].arr) > 1e-12 {
+				t.Fatalf("k=%d slot %d: linear %v heap %v", k, i, arr[i], want[i].arr)
+			}
+		}
+	}
+}
+
+func benchQueue(b *testing.B, k int, heapBased bool) {
+	in := stream(11, 256, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if heapBased {
+			q := newHeapTopK(k)
+			for _, e := range in {
+				q.insert(e.arr, e.mean, e.std, e.sp)
+			}
+		} else {
+			arr := make([]float64, k)
+			mean := make([]float64, k)
+			std := make([]float64, k)
+			sps := make([]int32, k)
+			clearQueue(arr, sps)
+			for _, e := range in {
+				insertTopK(arr, mean, std, sps, e.arr, e.mean, e.std, e.sp)
+			}
+		}
+	}
+}
+
+// The paper's §III-E ablation: linear fixed-size lists vs heap-based queues.
+func BenchmarkAblation_QueueLinear_K8(b *testing.B)   { benchQueue(b, 8, false) }
+func BenchmarkAblation_QueueHeap_K8(b *testing.B)     { benchQueue(b, 8, true) }
+func BenchmarkAblation_QueueLinear_K32(b *testing.B)  { benchQueue(b, 32, false) }
+func BenchmarkAblation_QueueHeap_K32(b *testing.B)    { benchQueue(b, 32, true) }
+func BenchmarkAblation_QueueLinear_K128(b *testing.B) { benchQueue(b, 128, false) }
+func BenchmarkAblation_QueueHeap_K128(b *testing.B)   { benchQueue(b, 128, true) }

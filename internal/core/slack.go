@@ -1,0 +1,93 @@
+package core
+
+import "math"
+
+// EvalSlacks computes every endpoint's setup slack from the propagated Top-K
+// arrivals: each retained startpoint is paired with its own required time
+// (base requirement + multicycle periods + CPPR credit), and the minimum
+// wins. False-path pairs are skipped. The result is cached and returned;
+// untimed endpoints carry +Inf.
+func (e *Engine) EvalSlacks() []float64 {
+	k := e.opt.TopK
+	e.parallelOver(len(e.epPin), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := e.epPin[i]
+			best := math.Inf(1)
+			bestSP, bestRF := noSP, int8(0)
+			for rf := 0; rf < 2; rf++ {
+				b := e.base(rf, p)
+				for kk := 0; kk < k; kk++ {
+					sp := e.topSP[b+kk]
+					if sp == noSP {
+						break
+					}
+					adj := e.excLookup(e.spPin[sp], p)
+					if adj.False {
+						continue
+					}
+					req := e.epBase[rf][i] +
+						float64(adj.CycleCount()-1)*e.period +
+						e.credit(e.spNode[sp], e.epNode[i])
+					if s := req - e.topArr[b+kk]; s < best {
+						best, bestSP, bestRF = s, sp, int8(rf)
+					}
+				}
+			}
+			e.epSlack[i] = best
+			e.epSP[i] = bestSP
+			e.epRF[i] = bestRF
+		}
+	})
+	out := make([]float64, len(e.epSlack))
+	copy(out, e.epSlack)
+	return out
+}
+
+// Slacks returns the cached endpoint slacks from the last EvalSlacks call.
+func (e *Engine) Slacks() []float64 { return e.epSlack }
+
+// WNS returns the worst negative slack of the last evaluation (0 when
+// nothing violates).
+func (e *Engine) WNS() float64 {
+	w := 0.0
+	for _, s := range e.epSlack {
+		if s < w {
+			w = s
+		}
+	}
+	return w
+}
+
+// TNS returns the total negative slack of the last evaluation.
+func (e *Engine) TNS() float64 {
+	t := 0.0
+	for _, s := range e.epSlack {
+		if s < 0 {
+			t += s
+		}
+	}
+	return t
+}
+
+// NumViolations counts endpoints with negative slack.
+func (e *Engine) NumViolations() int {
+	n := 0
+	for _, s := range e.epSlack {
+		if s < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CriticalStartpoint returns the startpoint index and data transition behind
+// endpoint i's last-evaluated slack (-1 when untimed).
+func (e *Engine) CriticalStartpoint(i int) (sp int32, rf int) {
+	return e.epSP[i], int(e.epRF[i])
+}
+
+// Run performs a full forward evaluation: Propagate followed by EvalSlacks.
+func (e *Engine) Run() []float64 {
+	e.Propagate()
+	return e.EvalSlacks()
+}

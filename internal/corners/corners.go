@@ -1,0 +1,200 @@
+// Package corners adds multi-corner analysis on top of the single-corner
+// engines: each process corner scales the library's delay/sigma surfaces and
+// the wire RC, gets its own reference engine and INSTA instance, and the
+// merged view takes the worst slack per endpoint across corners — the
+// standard multi-corner signoff setup the paper's single-corner experiments
+// sit inside.
+package corners
+
+import (
+	"fmt"
+	"math"
+
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/rc"
+	"insta/internal/refsta"
+	"insta/internal/sdc"
+)
+
+// Corner is one PVT corner expressed as scale factors over the nominal
+// characterization.
+type Corner struct {
+	Name       string
+	DelayScale float64 // cell delay and output-slew scaling
+	SigmaScale float64 // POCV sigma scaling
+	RCScale    float64 // interconnect R and C scaling
+}
+
+// DefaultCorners returns the usual slow/typical/fast trio.
+func DefaultCorners() []Corner {
+	return []Corner{
+		{Name: "ss", DelayScale: 1.18, SigmaScale: 1.25, RCScale: 1.10},
+		{Name: "tt", DelayScale: 1.00, SigmaScale: 1.00, RCScale: 1.00},
+		{Name: "ff", DelayScale: 0.86, SigmaScale: 0.90, RCScale: 0.92},
+	}
+}
+
+// ScaleLibrary returns a deep copy of lib with every delay, transition and
+// sigma table scaled for the corner. Pin caps, areas and footprints are
+// unchanged (loading does not move with PVT in this model).
+func ScaleLibrary(lib *liberty.Library, c Corner) *liberty.Library {
+	cells := make([]*liberty.Cell, len(lib.Cells))
+	for i, src := range lib.Cells {
+		cp := *src
+		cp.PinCap = make(map[string]float64, len(src.PinCap))
+		for k, v := range src.PinCap {
+			cp.PinCap[k] = v
+		}
+		cp.Inputs = append([]string(nil), src.Inputs...)
+		cp.Outputs = append([]string(nil), src.Outputs...)
+		cp.Setup = [2]float64{src.Setup[0] * c.DelayScale, src.Setup[1] * c.DelayScale}
+		cp.Hold = [2]float64{src.Hold[0] * c.DelayScale, src.Hold[1] * c.DelayScale}
+		cp.Arcs = make([]liberty.Arc, len(src.Arcs))
+		for ai := range src.Arcs {
+			sa := &src.Arcs[ai]
+			da := &cp.Arcs[ai]
+			da.From, da.To, da.Sense = sa.From, sa.To, sa.Sense
+			for rf := 0; rf < 2; rf++ {
+				da.Delay[rf] = scaleTable(&sa.Delay[rf], c.DelayScale)
+				da.OutSlew[rf] = scaleTable(&sa.OutSlew[rf], c.DelayScale)
+				da.Sigma[rf] = scaleTable(&sa.Sigma[rf], c.SigmaScale)
+			}
+		}
+		cells[i] = &cp
+	}
+	return liberty.Rebuild(lib.Name+"@"+c.Name, cells)
+}
+
+func scaleTable(t *liberty.Table, f float64) liberty.Table {
+	out := liberty.Table{
+		Slew: append([]float64(nil), t.Slew...),
+		Load: append([]float64(nil), t.Load...),
+		Val:  make([][]float64, len(t.Val)),
+	}
+	for i, row := range t.Val {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v * f
+		}
+		out.Val[i] = r
+	}
+	return out
+}
+
+// ScaleParasitics returns a copy of par with branch R and C scaled.
+func ScaleParasitics(par *rc.Parasitics, f float64) *rc.Parasitics {
+	out := &rc.Parasitics{Params: par.Params, Nets: make([]rc.Net, len(par.Nets))}
+	out.Params.RPerUnit *= f
+	out.Params.CPerUnit *= f
+	for i := range par.Nets {
+		if len(par.Nets[i].Branch) == 0 {
+			continue
+		}
+		bs := make([]rc.Branch, len(par.Nets[i].Branch))
+		for j, b := range par.Nets[i].Branch {
+			bs[j] = rc.Branch{Len: b.Len, R: b.R * f, C: b.C * f}
+		}
+		out.Nets[i].Branch = bs
+	}
+	return out
+}
+
+// View is one corner's engine pair.
+type View struct {
+	Corner Corner
+	Ref    *refsta.Engine
+	Insta  *core.Engine
+}
+
+// Analysis holds the per-corner views over one design.
+type Analysis struct {
+	Views []View
+}
+
+// New builds a reference engine and an INSTA instance per corner. The views
+// share the netlist; libraries and parasitics are scaled copies.
+func New(d *netlist.Design, lib *liberty.Library, con *sdc.Constraints, par *rc.Parasitics, crns []Corner, opt core.Options) (*Analysis, error) {
+	if len(crns) == 0 {
+		return nil, fmt.Errorf("corners: no corners given")
+	}
+	a := &Analysis{}
+	for _, c := range crns {
+		scaledLib := ScaleLibrary(lib, c)
+		scaledPar := ScaleParasitics(par, c.RCScale)
+		ref, err := refsta.New(d, scaledLib, con, scaledPar, refsta.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("corners: %s: %w", c.Name, err)
+		}
+		e, err := core.NewEngine(circuitops.Extract(ref), opt)
+		if err != nil {
+			return nil, fmt.Errorf("corners: %s: %w", c.Name, err)
+		}
+		e.Run()
+		a.Views = append(a.Views, View{Corner: c, Ref: ref, Insta: e})
+	}
+	return a, nil
+}
+
+// MergedSlacks returns the per-endpoint worst slack across corners from the
+// INSTA views (endpoint order is shared: same netlist, same extraction
+// order).
+func (a *Analysis) MergedSlacks() []float64 {
+	n := len(a.Views[0].Insta.Slacks())
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	for _, v := range a.Views {
+		for i, s := range v.Insta.Slacks() {
+			if s < out[i] {
+				out[i] = s
+			}
+		}
+	}
+	return out
+}
+
+// WorstCornerPerEndpoint reports which corner sets each endpoint's merged
+// slack.
+func (a *Analysis) WorstCornerPerEndpoint() []string {
+	n := len(a.Views[0].Insta.Slacks())
+	out := make([]string, n)
+	worst := make([]float64, n)
+	for i := range worst {
+		worst[i] = math.Inf(1)
+	}
+	for _, v := range a.Views {
+		for i, s := range v.Insta.Slacks() {
+			if s < worst[i] {
+				worst[i] = s
+				out[i] = v.Corner.Name
+			}
+		}
+	}
+	return out
+}
+
+// WNS returns the merged worst negative slack.
+func (a *Analysis) WNS() float64 {
+	w := 0.0
+	for _, s := range a.MergedSlacks() {
+		if s < w {
+			w = s
+		}
+	}
+	return w
+}
+
+// TNS returns the merged total negative slack (per-endpoint worst corner).
+func (a *Analysis) TNS() float64 {
+	t := 0.0
+	for _, s := range a.MergedSlacks() {
+		if s < 0 {
+			t += s
+		}
+	}
+	return t
+}

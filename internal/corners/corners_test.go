@@ -1,0 +1,149 @@
+package corners
+
+import (
+	"math"
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/exp"
+	"insta/internal/liberty"
+)
+
+func genDesign(t testing.TB) *bench.Design {
+	t.Helper()
+	b, err := bench.Generate(bench.Spec{
+		Name: "cornertest", Seed: 9, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 8, Layers: 4, Width: 8,
+		CrossFrac: 0.1, NumPIs: 3, NumPOs: 3,
+		Period: 1, Uncertainty: 10, Die: 80, VioFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func buildAnalysis(t testing.TB) *Analysis {
+	t.Helper()
+	b := genDesign(t)
+	a, err := New(b.D, b.Lib, b.Con, b.Par, DefaultCorners(), core.Options{TopK: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestScaleLibraryScalesEverything(t *testing.T) {
+	lib := liberty.NewSynthetic(liberty.TechN3())
+	c := Corner{Name: "ss", DelayScale: 1.2, SigmaScale: 1.5, RCScale: 1}
+	scaled := ScaleLibrary(lib, c)
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := lib.CellByName("INV_X1")
+	sid, ok := scaled.CellByName("INV_X1")
+	if !ok || sid != id {
+		t.Fatal("cell ids not stable across scaling")
+	}
+	orig := lib.Cell(id).FindArc("A", "Y")
+	got := scaled.Cell(sid).FindArc("A", "Y")
+	d0 := orig.Delay[0].Lookup(10, 4)
+	d1 := got.Delay[0].Lookup(10, 4)
+	if math.Abs(d1-1.2*d0) > 1e-9 {
+		t.Errorf("delay scale: %v, want %v", d1, 1.2*d0)
+	}
+	s0 := orig.Sigma[0].Lookup(10, 4)
+	s1 := got.Sigma[0].Lookup(10, 4)
+	if math.Abs(s1-1.5*s0) > 1e-9 {
+		t.Errorf("sigma scale: %v, want %v", s1, 1.5*s0)
+	}
+	// Original untouched.
+	if orig.Delay[0].Lookup(10, 4) != d0 {
+		t.Error("scaling mutated the source library")
+	}
+}
+
+func TestSlowCornerIsWorse(t *testing.T) {
+	a := buildAnalysis(t)
+	var ss, tt, ff *View
+	for i := range a.Views {
+		switch a.Views[i].Corner.Name {
+		case "ss":
+			ss = &a.Views[i]
+		case "tt":
+			tt = &a.Views[i]
+		case "ff":
+			ff = &a.Views[i]
+		}
+	}
+	if ss == nil || tt == nil || ff == nil {
+		t.Fatal("missing corner views")
+	}
+	// Every timed endpoint: ss slack <= tt slack <= ff slack.
+	sSS, sTT, sFF := ss.Insta.Slacks(), tt.Insta.Slacks(), ff.Insta.Slacks()
+	for i := range sTT {
+		if math.IsInf(sTT[i], 0) {
+			continue
+		}
+		if sSS[i] > sTT[i]+1e-9 || sTT[i] > sFF[i]+1e-9 {
+			t.Fatalf("ep %d: corner ordering broken ss=%v tt=%v ff=%v", i, sSS[i], sTT[i], sFF[i])
+		}
+	}
+	if ss.Ref.TNS() > tt.Ref.TNS() {
+		t.Errorf("reference ss TNS %v better than tt %v", ss.Ref.TNS(), tt.Ref.TNS())
+	}
+}
+
+func TestMergedIsWorstPerEndpoint(t *testing.T) {
+	a := buildAnalysis(t)
+	merged := a.MergedSlacks()
+	worstOf := a.WorstCornerPerEndpoint()
+	for i := range merged {
+		min := math.Inf(1)
+		for _, v := range a.Views {
+			if s := v.Insta.Slacks()[i]; s < min {
+				min = s
+			}
+		}
+		if merged[i] != min {
+			t.Fatalf("ep %d merged %v != min %v", i, merged[i], min)
+		}
+		if !math.IsInf(merged[i], 1) && worstOf[i] == "" {
+			t.Fatalf("ep %d has no worst corner label", i)
+		}
+	}
+	// Merged metrics are at least as bad as any single corner's.
+	for _, v := range a.Views {
+		if a.TNS() > v.Insta.TNS() {
+			t.Errorf("merged TNS %v better than corner %s TNS %v", a.TNS(), v.Corner.Name, v.Insta.TNS())
+		}
+		if a.WNS() > v.Insta.WNS() {
+			t.Errorf("merged WNS %v better than corner %s WNS %v", a.WNS(), v.Corner.Name, v.Insta.WNS())
+		}
+	}
+}
+
+func TestPerCornerInstaMatchesReference(t *testing.T) {
+	b := genDesign(t)
+	a, err := New(b.D, b.Lib, b.Con, b.Par, DefaultCorners(), core.Options{TopK: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range a.Views {
+		r, ms, _, _, err := exp.Correlate(v.Ref.EndpointSlacks(), v.Insta.Slacks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0.999999 || ms.Worst > 1e-6 {
+			t.Errorf("corner %s: corr %v worst %v", v.Corner.Name, r, ms.Worst)
+		}
+	}
+}
+
+func TestNewRejectsEmptyCorners(t *testing.T) {
+	b := genDesign(t)
+	if _, err := New(b.D, b.Lib, b.Con, b.Par, nil, core.Options{TopK: 2}); err == nil {
+		t.Error("empty corner list accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/num"
+)
+
+// Fig6Result is the Top-K trade-off on one design at one K.
+type Fig6Result struct {
+	TopK     int
+	Corr     float64
+	Mismatch num.MismatchStats
+	MemoryGB float64
+	Disagree int // endpoints untimed by INSTA but timed by the reference
+}
+
+// Fig6 reproduces the Fig. 6 study: endpoint slack correlation on the named
+// block without CPPR resolution (Top-K=1) and with it (Top-K=128). When
+// scatter is non-nil, a CSV of (refSlack, instaSlack, endpointLevel) rows is
+// written per K for plotting the paper's scatter panels.
+func Fig6(w io.Writer, blockName string, ks []int, workers int, scatter io.Writer) ([]Fig6Result, error) {
+	spec, err := bench.BlockSpec(blockName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	refSlacks := s.Ref.EndpointSlacks()
+	fprintf(w, "FIGURE 6: Top-K trade-off on %s (%d endpoints)\n", blockName, len(refSlacks))
+	fprintf(w, "%6s %12s %22s %12s %10s\n", "TopK", "ep corr.", "mismatch(avg,wst) ps", "memory(GB)", "disagree")
+
+	var out []Fig6Result
+	for _, k := range ks {
+		e, err := core.NewEngine(s.Tab, core.Options{TopK: k, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		got := e.Run()
+		r, ms, _, dis, err := Correlate(refSlacks, got)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig6Result{TopK: k, Corr: r, Mismatch: ms, MemoryGB: float64(e.MemoryBytes()) / (1 << 30), Disagree: dis}
+		out = append(out, res)
+		fprintf(w, "%6d %12.6f       (%.2e, %6.2f) %12.3f %10d\n", k, r, ms.Avg, ms.Worst, res.MemoryGB, dis)
+		if scatter != nil {
+			fmt.Fprintf(scatter, "# topk=%d columns: ref_slack insta_slack ep_level\n", k)
+			eps := e.Endpoints()
+			for i, rs := range refSlacks {
+				if isInfOrNaN(rs) || isInfOrNaN(got[i]) {
+					continue
+				}
+				fmt.Fprintf(scatter, "%.6f,%.6f,%d\n", rs, got[i], e.Level(eps[i]))
+			}
+		}
+	}
+	return out, nil
+}
+
+func isInfOrNaN(x float64) bool {
+	return x != x || x > 1e300 || x < -1e300
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/num"
+	"insta/internal/refsta"
+)
+
+// Fig7Row is one sizing iteration's incremental STA runtime across the three
+// engines of the paper's Fig. 7 comparison.
+type Fig7Row struct {
+	Iter           int
+	Inhouse        time.Duration // in-house CPU engine: full re-propagation
+	PT             time.Duration // reference engine: incremental update_timing
+	InstaEstimate  time.Duration // estimate_eco re-annotation
+	InstaPropagate time.Duration // INSTA full-graph propagation + slacks
+}
+
+// Insta returns the complete INSTA evaluation time for the iteration (the
+// paper counts estimate_eco plus propagation).
+func (r Fig7Row) Insta() time.Duration { return r.InstaEstimate + r.InstaPropagate }
+
+// Fig7Result is the aggregated incremental-evaluation comparison.
+type Fig7Result struct {
+	Rows                          []Fig7Row
+	AvgInhouse, AvgPT, AvgInsta   time.Duration
+	SpeedupVsInhouse, SpeedupVsPT float64
+}
+
+// CorrSnapshot is one side of the Fig. 8 before/after correlation.
+type CorrSnapshot struct {
+	Corr     float64
+	Mismatch num.MismatchStats
+}
+
+// Fig8Result is the correlation impact of driving INSTA with estimate_eco
+// re-annotation only (no re-synchronization) through a whole sizing flow.
+type Fig8Result struct {
+	Before, After CorrSnapshot
+}
+
+// Incremental runs the Fig. 7 / Fig. 8 experiment: the same batched
+// changelist of gate resizes (each batch is one power-recovery sizing
+// iteration touching many cells) is evaluated by (a) an in-house CPU engine
+// doing full re-propagation, (b) the reference engine in incremental mode,
+// and (c) INSTA re-annotated via estimate_eco. INSTA is never
+// re-synchronized, so the final correlation shows the accumulated
+// estimate_eco drift (Fig. 8).
+func Incremental(spec bench.Spec, iterations, batch, topK, workers int) (*Fig7Result, *Fig8Result, error) {
+	// Two independent reference instances: the "in-house" full engine and
+	// the incremental signoff engine INSTA piggybacks on.
+	inhouse, err := Build(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt, err := Build(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := core.NewEngine(pt.Tab, core.Options{TopK: topK, Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	f8 := &Fig8Result{}
+	got := e.Run()
+	r, ms, _, _, err := Correlate(pt.Ref.EndpointSlacks(), got)
+	if err != nil {
+		return nil, nil, err
+	}
+	f8.Before = CorrSnapshot{Corr: r, Mismatch: ms}
+
+	cl := bench.BatchedChangelist(pt.B, spec.Seed+77, iterations, batch)
+	f7 := &Fig7Result{}
+	for i, bt := range cl {
+		var row Fig7Row
+		row.Iter = i
+
+		// (c) INSTA: estimate_eco for every change in the batch against the
+		// signoff engine's pre-commit state, re-annotate, one full-graph
+		// propagation.
+		var deltas []refsta.ArcDelta
+		row.InstaEstimate = timeIt(func() {
+			for _, rz := range bt {
+				ds, eErr := pt.Ref.EstimateECO(rz.Cell, rz.NewLib)
+				if eErr != nil {
+					err = eErr
+					return
+				}
+				deltas = append(deltas, ds...)
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		row.InstaPropagate = timeIt(func() {
+			for _, dl := range deltas {
+				e.SetArcDelay(dl.ArcID, 0, dl.Delay[0])
+				e.SetArcDelay(dl.ArcID, 1, dl.Delay[1])
+			}
+			e.Run()
+		})
+
+		// (b) reference engine: commit the batch, one incremental update.
+		for _, rz := range bt {
+			if _, err = pt.Ref.ResizeCell(rz.Cell, rz.NewLib); err != nil {
+				return nil, nil, err
+			}
+		}
+		row.PT = timeIt(pt.Ref.UpdateTimingIncremental)
+
+		// (a) in-house engine: full re-propagation each iteration.
+		for _, rz := range bt {
+			if _, err = inhouse.Ref.ResizeCell(rz.Cell, rz.NewLib); err != nil {
+				return nil, nil, err
+			}
+		}
+		row.Inhouse = timeIt(inhouse.Ref.UpdateTimingFull)
+
+		f7.Rows = append(f7.Rows, row)
+		f7.AvgInhouse += row.Inhouse
+		f7.AvgPT += row.PT
+		f7.AvgInsta += row.Insta()
+	}
+	n := time.Duration(len(f7.Rows))
+	if n > 0 {
+		f7.AvgInhouse /= n
+		f7.AvgPT /= n
+		f7.AvgInsta /= n
+		if f7.AvgInsta > 0 {
+			f7.SpeedupVsInhouse = float64(f7.AvgInhouse) / float64(f7.AvgInsta)
+			f7.SpeedupVsPT = float64(f7.AvgPT) / float64(f7.AvgInsta)
+		}
+	}
+
+	got = e.Run()
+	r, ms, _, _, err = Correlate(pt.Ref.EndpointSlacks(), got)
+	if err != nil {
+		return nil, nil, err
+	}
+	f8.After = CorrSnapshot{Corr: r, Mismatch: ms}
+	return f7, f8, nil
+}
+
+// PrintFig7 renders the per-iteration runtimes and the paper's speedup
+// summary.
+func PrintFig7(w io.Writer, res *Fig7Result) {
+	fprintf(w, "FIGURE 7: incremental STA runtime per sizing iteration\n")
+	fprintf(w, "%5s %14s %14s %14s %14s\n", "iter", "in-house", "reference-incr", "INSTA(est)", "INSTA(prop)")
+	for _, r := range res.Rows {
+		fprintf(w, "%5d %14s %14s %14s %14s\n", r.Iter,
+			r.Inhouse.Round(time.Microsecond), r.PT.Round(time.Microsecond),
+			r.InstaEstimate.Round(time.Microsecond), r.InstaPropagate.Round(time.Microsecond))
+	}
+	fprintf(w, "avg: in-house %s, reference-incr %s, INSTA %s  =>  %.1fx vs in-house, %.1fx vs reference\n",
+		res.AvgInhouse.Round(time.Microsecond), res.AvgPT.Round(time.Microsecond),
+		res.AvgInsta.Round(time.Microsecond), res.SpeedupVsInhouse, res.SpeedupVsPT)
+}
+
+// PrintFig8 renders the before/after correlation impact.
+func PrintFig8(w io.Writer, res *Fig8Result) {
+	fprintf(w, "FIGURE 8: INSTA correlation with estimate_eco-only re-annotation\n")
+	fprintf(w, "before sizing flow: corr=%.6f mismatch(avg,wst)=(%.2e, %.2f) ps\n",
+		res.Before.Corr, res.Before.Mismatch.Avg, res.Before.Mismatch.Worst)
+	fprintf(w, "after  sizing flow: corr=%.6f mismatch(avg,wst)=(%.2e, %.2f) ps\n",
+		res.After.Corr, res.After.Mismatch.Avg, res.After.Mismatch.Worst)
+}

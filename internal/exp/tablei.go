@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/num"
+)
+
+// TableIRow is one line of the Table I correlation study.
+type TableIRow struct {
+	Design    string
+	Cells     int
+	Pins      int
+	Levels    int
+	Endpoints int
+
+	UT       time.Duration // reference-engine full update_timing
+	Corr     float64       // endpoint slack Pearson correlation
+	InstaRun time.Duration // INSTA full propagation + slack evaluation
+	MemoryGB float64       // INSTA state footprint
+	Mismatch num.MismatchStats
+	TimedEPs int
+	Disagree int // endpoints untimed on one side only (Top-K truncation)
+}
+
+// TableI runs the correlation study over the named block presets at the
+// given Top-K (the paper uses 32).
+func TableI(w io.Writer, names []string, topK, workers int) ([]TableIRow, error) {
+	fprintf(w, "TABLE I: INSTA vs reference signoff engine (TopK=%d)\n", topK)
+	fprintf(w, "%-10s %10s %10s %8s %10s %14s %12s %9s %18s\n",
+		"design", "#cells", "#pins", "UT", "ep corr.", "INSTA runtime", "memory(GB)", "levels", "ep mismatch(avg,wst)ps")
+	var rows []TableIRow
+	for _, name := range names {
+		spec, err := bench.BlockSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := tableIRow(spec, topK, workers)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", name, err)
+		}
+		rows = append(rows, row)
+		fprintf(w, "%-10s %10d %10d %8s %10.5f %14s %12.3f %9d      (%.1e, %.1f)\n",
+			row.Design, row.Cells, row.Pins, row.UT.Round(time.Millisecond),
+			row.Corr, row.InstaRun.Round(time.Microsecond), row.MemoryGB, row.Levels,
+			row.Mismatch.Avg, row.Mismatch.Worst)
+	}
+	return rows, nil
+}
+
+func tableIRow(spec bench.Spec, topK, workers int) (TableIRow, error) {
+	s, err := Build(spec)
+	if err != nil {
+		return TableIRow{}, err
+	}
+	// Reference full update_timing runtime (the UT column).
+	ut := timeIt(s.Ref.UpdateTimingFull)
+	refSlacks := s.Ref.EndpointSlacks()
+
+	e, err := core.NewEngine(s.Tab, core.Options{TopK: topK, Workers: workers})
+	if err != nil {
+		return TableIRow{}, err
+	}
+	var got []float64
+	instaRun := timeIt(func() { got = e.Run() })
+
+	r, ms, n, dis, err := Correlate(refSlacks, got)
+	if err != nil {
+		return TableIRow{}, err
+	}
+	return TableIRow{
+		Disagree:  dis,
+		Design:    spec.Name,
+		Cells:     s.B.D.NumCells(),
+		Pins:      s.B.D.NumPins(),
+		Levels:    e.NumLevels(),
+		Endpoints: len(refSlacks),
+		UT:        ut,
+		Corr:      r,
+		InstaRun:  instaRun,
+		MemoryGB:  float64(e.MemoryBytes()) / (1 << 30),
+		Mismatch:  ms,
+		TimedEPs:  n,
+	}, nil
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/sizing"
+)
+
+// TableIIRow is one design's sizing comparison.
+type TableIIRow struct {
+	Design string
+	Pins   int
+
+	Initial  sizing.Result // WNS/TNS/#vio of the untouched design
+	Baseline sizing.Result // reference-tool-style slack-driven sizer
+	Insta    sizing.Result // INSTA-Size
+
+	BRT          time.Duration // INSTA backward runtime (bRT column)
+	SizedReduced float64       // fraction fewer cells sized vs baseline
+}
+
+// TableII runs the sizing study over the named IWLS-like presets. Each flow
+// starts from an identical freshly generated design.
+func TableII(w io.Writer, names []string, topK, workers int) ([]TableIIRow, error) {
+	fprintf(w, "TABLE II: gate sizing for timing optimization (INSTA-Size vs baseline)\n")
+	fprintf(w, "%-12s %8s  %-10s %10s %14s %7s %12s\n",
+		"design", "#pins", "method", "WNS(ps)", "TNS(ps)", "#vio", "#cells sized")
+	var rows []TableIIRow
+	for _, name := range names {
+		spec, err := bench.IWLSSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := tableIIRow(spec, topK, workers)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", name, err)
+		}
+		rows = append(rows, row)
+		printTIILine(w, row.Design, row.Pins, "initial", row.Initial, "")
+		printTIILine(w, "", 0, "baseline", row.Baseline, "")
+		printTIILine(w, "", 0, "INSTA-Size", row.Insta,
+			fmt.Sprintf("(%+.0f%%)  bRT=%s", -100*row.SizedReduced, row.BRT.Round(time.Microsecond)))
+	}
+	return rows, nil
+}
+
+func printTIILine(w io.Writer, design string, pins int, method string, r sizing.Result, extra string) {
+	pinsStr := ""
+	if pins > 0 {
+		pinsStr = fmt.Sprintf("%d", pins)
+	}
+	sized := ""
+	if method != "initial" {
+		sized = fmt.Sprintf("%d", r.CellsSized)
+	} else {
+		sized = "-"
+	}
+	fprintf(w, "%-12s %8s  %-10s %10.2f %14.2f %7d %12s %s\n",
+		design, pinsStr, method, r.WNS, r.TNS, r.NumViolations, sized, extra)
+}
+
+func tableIIRow(spec bench.Spec, topK, workers int) (TableIIRow, error) {
+	// Initial state.
+	s0, err := Build(spec)
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	row := TableIIRow{
+		Design: spec.Name,
+		Pins:   s0.B.D.NumPins(),
+		Initial: sizing.Result{
+			WNS: s0.Ref.WNS(), TNS: s0.Ref.TNS(), NumViolations: s0.Ref.NumViolations(),
+		},
+	}
+
+	// Baseline on a fresh copy.
+	sb, err := Build(spec)
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	row.Baseline = sizing.BaselineSize(sb.Ref, sizing.DefaultBaselineConfig())
+
+	// INSTA-Size on another fresh copy.
+	si, err := Build(spec)
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	e, err := core.NewEngine(si.Tab, core.Options{TopK: topK, Tau: 0.01, Workers: workers})
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	row.Insta = sizing.InstaSize(si.Ref, e, sizing.DefaultConfig())
+	row.BRT = row.Insta.BackwardTime
+	if row.Baseline.CellsSized > 0 {
+		row.SizedReduced = 1 - float64(row.Insta.CellsSized)/float64(row.Baseline.CellsSized)
+	}
+	return row, nil
+}

@@ -1,0 +1,162 @@
+// Package levelize assigns timing levels to the pins of a timing graph by
+// topological (Kahn) sorting, the role Graph-Tool plays in the paper's
+// initialization (§III-A). Pins within a level have no arcs between them, so
+// a level can be processed by one parallel kernel launch.
+package levelize
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Arc is a directed timing dependency From → To between node ids.
+type Arc struct {
+	From, To int32
+}
+
+// Result is the level schedule of a graph.
+type Result struct {
+	Level      []int32 // level of each node; sources are level 0
+	NumLevels  int
+	Order      []int32 // nodes sorted by (level, id): the kernel launch order
+	LevelStart []int32 // len NumLevels+1; Order[LevelStart[l]:LevelStart[l+1]] is level l
+}
+
+// Nodes returns the node ids of level l.
+func (r *Result) Nodes(l int) []int32 {
+	return r.Order[r.LevelStart[l]:r.LevelStart[l+1]]
+}
+
+// Levelize computes the level schedule of a graph with n nodes. A node's
+// level is the length of the longest arc path reaching it; nodes with no
+// fan-in are level 0. It returns an error naming a sample cycle if the graph
+// is not a DAG, or if an arc references an out-of-range node.
+func Levelize(n int, arcs []Arc) (*Result, error) {
+	indeg := make([]int32, n)
+	// CSR of fanout adjacency.
+	outCount := make([]int32, n)
+	for _, a := range arcs {
+		if a.From < 0 || int(a.From) >= n || a.To < 0 || int(a.To) >= n {
+			return nil, fmt.Errorf("levelize: arc %d->%d out of range [0,%d)", a.From, a.To, n)
+		}
+		if a.From == a.To {
+			return nil, fmt.Errorf("levelize: self-loop on node %d", a.From)
+		}
+		outCount[a.From]++
+		indeg[a.To]++
+	}
+	outStart := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		outStart[i+1] = outStart[i] + outCount[i]
+	}
+	outAdj := make([]int32, len(arcs))
+	fill := make([]int32, n)
+	for _, a := range arcs {
+		outAdj[outStart[a.From]+fill[a.From]] = a.To
+		fill[a.From]++
+	}
+
+	level := make([]int32, n)
+	frontier := make([]int32, 0, n)
+	for i := int32(0); int(i) < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	processed := len(frontier)
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range outAdj[outStart[u]:outStart[u+1]] {
+				indeg[v]--
+				if lv := level[u] + 1; lv > level[v] {
+					level[v] = lv
+				}
+				if indeg[v] == 0 {
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+		processed += len(next)
+	}
+	if processed != n {
+		return nil, fmt.Errorf("levelize: graph has a cycle: %s", sampleCycle(n, indeg, outStart, outAdj))
+	}
+
+	numLevels := 0
+	for _, l := range level {
+		if int(l)+1 > numLevels {
+			numLevels = int(l) + 1
+		}
+	}
+	if n == 0 {
+		numLevels = 0
+	}
+	counts := make([]int32, numLevels+1)
+	for _, l := range level {
+		counts[l]++
+	}
+	starts := make([]int32, numLevels+1)
+	for i := 0; i < numLevels; i++ {
+		starts[i+1] = starts[i] + counts[i]
+	}
+	ordered := make([]int32, n)
+	cursor := append([]int32(nil), starts[:numLevels]...)
+	for i := int32(0); int(i) < n; i++ {
+		l := level[i]
+		ordered[cursor[l]] = i
+		cursor[l]++
+	}
+	return &Result{
+		Level:      level,
+		NumLevels:  numLevels,
+		Order:      ordered,
+		LevelStart: starts,
+	}, nil
+}
+
+// sampleCycle walks the unprocessed subgraph to print one cycle for
+// diagnostics.
+func sampleCycle(n int, indeg []int32, outStart, outAdj []int32) string {
+	inCycleRegion := make([]bool, n)
+	var start int32 = -1
+	for i := 0; i < n; i++ {
+		if indeg[i] > 0 {
+			inCycleRegion[i] = true
+			if start < 0 {
+				start = int32(i)
+			}
+		}
+	}
+	if start < 0 {
+		return "(unlocatable)"
+	}
+	// Follow successors inside the cyclic region until a repeat.
+	seenAt := make(map[int32]int)
+	var path []int32
+	u := start
+	for {
+		if at, ok := seenAt[u]; ok {
+			var b strings.Builder
+			for _, v := range path[at:] {
+				fmt.Fprintf(&b, "%d -> ", v)
+			}
+			fmt.Fprintf(&b, "%d", u)
+			return b.String()
+		}
+		seenAt[u] = len(path)
+		path = append(path, u)
+		advanced := false
+		for _, v := range outAdj[outStart[u]:outStart[u+1]] {
+			if inCycleRegion[v] {
+				u = v
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return "(unlocatable)"
+		}
+	}
+}

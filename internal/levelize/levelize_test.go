@@ -1,0 +1,157 @@
+package levelize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChain(t *testing.T) {
+	r, err := Levelize(4, []Arc{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 2, 3}
+	for i, l := range want {
+		if r.Level[i] != l {
+			t.Errorf("level[%d] = %d, want %d", i, r.Level[i], l)
+		}
+	}
+	if r.NumLevels != 4 {
+		t.Errorf("NumLevels = %d, want 4", r.NumLevels)
+	}
+	for l := 0; l < 4; l++ {
+		nodes := r.Nodes(l)
+		if len(nodes) != 1 || nodes[0] != int32(l) {
+			t.Errorf("Nodes(%d) = %v", l, nodes)
+		}
+	}
+}
+
+func TestDiamondLongestPath(t *testing.T) {
+	// 0 -> 1 -> 3, 0 -> 3: node 3 must be level 2 (longest path), not 1.
+	r, err := Levelize(4, []Arc{{0, 1}, {1, 3}, {0, 3}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Level[3] != 2 {
+		t.Errorf("level[3] = %d, want 2", r.Level[3])
+	}
+	if r.Level[2] != 1 {
+		t.Errorf("level[2] = %d, want 1", r.Level[2])
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	r, err := Levelize(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLevels != 1 || len(r.Nodes(0)) != 3 {
+		t.Errorf("isolated nodes: NumLevels=%d Nodes(0)=%v", r.NumLevels, r.Nodes(0))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	r, err := Levelize(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLevels != 0 || len(r.Order) != 0 {
+		t.Errorf("empty graph: %+v", r)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	_, err := Levelize(3, []Arc{{0, 1}, {1, 2}, {2, 1}})
+	if err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error %q does not mention cycle", err)
+	}
+	// The reported cycle should contain the actual cyclic nodes 1 and 2.
+	if !strings.Contains(err.Error(), "1") || !strings.Contains(err.Error(), "2") {
+		t.Errorf("cycle message %q does not name cycle nodes", err)
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	if _, err := Levelize(2, []Arc{{1, 1}}); err == nil {
+		t.Error("self-loop not rejected")
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	if _, err := Levelize(2, []Arc{{0, 5}}); err == nil {
+		t.Error("out-of-range arc not rejected")
+	}
+	if _, err := Levelize(2, []Arc{{-1, 0}}); err == nil {
+		t.Error("negative arc not rejected")
+	}
+}
+
+func TestOrderRespectsLevelsProperty(t *testing.T) {
+	// Property: for random DAGs (arcs only from lower id to higher id),
+	// every arc satisfies Level[from] < Level[to], Order is a permutation,
+	// and LevelStart partitions Order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		var arcs []Arc
+		for i := 0; i < n*2; i++ {
+			a := int32(rng.Intn(n - 1))
+			b := a + 1 + int32(rng.Intn(n-int(a)-1))
+			arcs = append(arcs, Arc{a, b})
+		}
+		r, err := Levelize(n, arcs)
+		if err != nil {
+			return false
+		}
+		for _, a := range arcs {
+			if r.Level[a.From] >= r.Level[a.To] {
+				return false
+			}
+		}
+		seen := make([]bool, n)
+		for _, v := range r.Order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for l := 0; l < r.NumLevels; l++ {
+			for _, v := range r.Nodes(l) {
+				if r.Level[v] != int32(l) {
+					return false
+				}
+			}
+		}
+		return int(r.LevelStart[r.NumLevels]) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicOrderWithinLevel(t *testing.T) {
+	arcs := []Arc{{2, 5}, {0, 5}, {1, 4}, {3, 4}}
+	a, err := Levelize(6, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Levelize(6, arcs)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("non-deterministic order")
+		}
+	}
+	// Within level 0, ids ascend.
+	l0 := a.Nodes(0)
+	for i := 1; i < len(l0); i++ {
+		if l0[i] <= l0[i-1] {
+			t.Fatalf("level 0 not ascending: %v", l0)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package liberty
+
+import (
+	"math"
+	"strconv"
+)
+
+// Tech parameterizes a synthetic technology from which NLDM tables are
+// generated. The tables are sampled from a smooth analytic delay law, which
+// gives the library the properties the POCV flow depends on (monotone in
+// load, mildly nonlinear in slew, sigma roughly proportional to delay)
+// without shipping proprietary data. This substitutes for the paper's
+// commercial 3nm and ASAP7 libraries (see DESIGN.md §2).
+type Tech struct {
+	Name       string
+	SlewAxis   []float64 // ps
+	LoadAxis   []float64 // fF
+	UnitR      float64   // effective drive resistance of an X1 stage, ps/fF
+	Intrinsic  float64   // parasitic (unloaded) stage delay, ps
+	SlewFactor float64   // delay sensitivity to input slew, ps/ps
+	SigmaFrac  float64   // POCV sigma as fraction of nominal delay
+	SigmaBase  float64   // POCV sigma floor, ps
+	InputCap   float64   // X1 input pin capacitance, fF
+	Drives     []float64 // drive multipliers of the sizing ladder, e.g. 1,2,4,8
+	Setup      float64   // flip-flop setup requirement, ps
+	Hold       float64   // flip-flop hold requirement, ps
+}
+
+// TechN3 approximates the commercial 3nm node used in the paper's
+// correlation study (Table I) and sizing-flow evaluation (Figs. 7-8).
+func TechN3() Tech {
+	return Tech{
+		Name:       "n3-synthetic",
+		SlewAxis:   []float64{2, 5, 10, 20, 40, 80, 160},
+		LoadAxis:   []float64{0.5, 1, 2, 4, 8, 16, 32},
+		UnitR:      4.0,
+		Intrinsic:  6.0,
+		SlewFactor: 0.08,
+		SigmaFrac:  0.05,
+		SigmaBase:  0.3,
+		InputCap:   0.8,
+		Drives:     []float64{1, 2, 4, 8},
+		Setup:      12,
+		Hold:       4,
+	}
+}
+
+// TechASAP7 approximates the ASAP7 predictive 7nm PDK used for Table II.
+func TechASAP7() Tech {
+	return Tech{
+		Name:       "asap7-synthetic",
+		SlewAxis:   []float64{4, 8, 16, 32, 64, 128, 256},
+		LoadAxis:   []float64{1, 2, 4, 8, 16, 32, 64},
+		UnitR:      9.0,
+		Intrinsic:  10.0,
+		SlewFactor: 0.10,
+		SigmaFrac:  0.06,
+		SigmaBase:  0.5,
+		InputCap:   1.0,
+		Drives:     []float64{1, 2, 4, 8},
+		Setup:      18,
+		Hold:       6,
+	}
+}
+
+// footprintSpec describes one logical function in the synthetic library.
+type footprintSpec struct {
+	name   string
+	inputs []string
+	sense  Unate
+	// rFactor scales drive resistance (stack effect), dFactor intrinsic delay,
+	// cFactor input capacitance.
+	rFactor, dFactor, cFactor float64
+}
+
+var combFootprints = []footprintSpec{
+	{"INV", []string{"A"}, NegativeUnate, 1.0, 1.0, 1.0},
+	{"BUF", []string{"A"}, PositiveUnate, 1.0, 1.9, 0.9},
+	{"NAND2", []string{"A", "B"}, NegativeUnate, 1.35, 1.2, 1.1},
+	{"NOR2", []string{"A", "B"}, NegativeUnate, 1.6, 1.3, 1.1},
+	{"AOI21", []string{"A", "B", "C"}, NegativeUnate, 1.8, 1.5, 1.2},
+	{"XOR2", []string{"A", "B"}, NonUnate, 2.0, 1.8, 1.5},
+}
+
+// NewSynthetic builds a complete synthetic library for tech: every
+// combinational footprint plus a DFF, each at every drive strength in
+// tech.Drives.
+func NewSynthetic(tech Tech) *Library {
+	lib := &Library{
+		Name:       tech.Name,
+		Footprints: make(map[string][]int32),
+		byName:     make(map[string]int32),
+	}
+	for _, fp := range combFootprints {
+		for di, mul := range tech.Drives {
+			lib.add(makeCombCell(tech, fp, di, mul))
+		}
+	}
+	for di, mul := range tech.Drives {
+		lib.add(makeDFFCell(tech, di, mul))
+	}
+	return lib
+}
+
+// delayLaw is the analytic nominal delay of a stage: intrinsic + R*C with a
+// linear slew term and a mild square-root cross term that bends the table the
+// way real NLDM data bends.
+func delayLaw(tech Tech, rEff, dFactor, rfScale, slew, load float64) float64 {
+	return rfScale * (tech.Intrinsic*dFactor + rEff*load + tech.SlewFactor*slew + 0.35*math.Sqrt(rEff*load*slew*0.1))
+}
+
+func slewLaw(tech Tech, rEff, rfScale, slew, load float64) float64 {
+	return rfScale * (1.2*rEff*load + 0.15*slew + 2.0)
+}
+
+func rfScale(rf int) float64 {
+	if rf == Rise {
+		return 1.0
+	}
+	return 0.92
+}
+
+// fillTables samples the laws over the tech grid for output transition rf.
+func fillTables(tech Tech, rEff, dFactor float64, rf int) (delay, outSlew, sigma Table) {
+	ns, nl := len(tech.SlewAxis), len(tech.LoadAxis)
+	mk := func() Table {
+		v := make([][]float64, ns)
+		for i := range v {
+			v[i] = make([]float64, nl)
+		}
+		return Table{Slew: append([]float64(nil), tech.SlewAxis...), Load: append([]float64(nil), tech.LoadAxis...), Val: v}
+	}
+	delay, outSlew, sigma = mk(), mk(), mk()
+	for i, s := range tech.SlewAxis {
+		for j, l := range tech.LoadAxis {
+			d := delayLaw(tech, rEff, dFactor, rfScale(rf), s, l)
+			delay.Val[i][j] = d
+			outSlew.Val[i][j] = slewLaw(tech, rEff, rfScale(rf), s, l)
+			sigma.Val[i][j] = tech.SigmaFrac*d + tech.SigmaBase
+		}
+	}
+	return delay, outSlew, sigma
+}
+
+func makeCombCell(tech Tech, fp footprintSpec, di int, mul float64) *Cell {
+	rEff := tech.UnitR * fp.rFactor / mul
+	c := &Cell{
+		Name:      fp.name + driveLabel(mul),
+		Footprint: fp.name,
+		Drive:     di,
+		Area:      (1 + 0.6*float64(len(fp.inputs))) * mul,
+		Leakage:   0.1 * mul * fp.dFactor,
+		PinCap:    make(map[string]float64, len(fp.inputs)),
+		Inputs:    append([]string(nil), fp.inputs...),
+		Outputs:   []string{"Y"},
+	}
+	for _, in := range fp.inputs {
+		c.PinCap[in] = tech.InputCap * fp.cFactor * mul
+	}
+	for _, in := range fp.inputs {
+		a := Arc{From: in, To: "Y", Sense: fp.sense}
+		for rf := 0; rf < 2; rf++ {
+			a.Delay[rf], a.OutSlew[rf], a.Sigma[rf] = fillTables(tech, rEff, fp.dFactor, rf)
+		}
+		c.Arcs = append(c.Arcs, a)
+	}
+	return c
+}
+
+func makeDFFCell(tech Tech, di int, mul float64) *Cell {
+	rEff := tech.UnitR * 1.5 / mul
+	c := &Cell{
+		Name:      "DFF" + driveLabel(mul),
+		Footprint: "DFF",
+		Drive:     di,
+		Area:      6 * mul,
+		Leakage:   0.5 * mul,
+		PinCap: map[string]float64{
+			"D":  tech.InputCap * 1.1 * mul,
+			"CP": tech.InputCap * 0.9 * mul,
+		},
+		Inputs:   []string{"D", "CP"},
+		Outputs:  []string{"Q"},
+		Seq:      true,
+		ClockPin: "CP",
+		DataPin:  "D",
+		OutPin:   "Q",
+		Setup:    [2]float64{tech.Setup, tech.Setup * 1.1},
+		Hold:     [2]float64{tech.Hold, tech.Hold * 1.15},
+	}
+	a := Arc{From: "CP", To: "Q", Sense: PositiveUnate}
+	for rf := 0; rf < 2; rf++ {
+		a.Delay[rf], a.OutSlew[rf], a.Sigma[rf] = fillTables(tech, rEff, 2.2, rf)
+	}
+	c.Arcs = append(c.Arcs, a)
+	return c
+}
+
+func driveLabel(mul float64) string {
+	return "_X" + strconv.Itoa(int(mul))
+}

@@ -1,0 +1,112 @@
+// Package libertyio reads and writes the Liberty (.lib) subset this
+// reproduction uses: NLDM cell_rise/cell_fall delay and transition tables
+// with inline indices, POCV sigma tables via the ocv_sigma_cell_* extension
+// groups PrimeTime's POCV flow uses, pin capacitances, unateness, flip-flop
+// groups with setup/hold constraint tables, leakage, area and
+// cell_footprint attributes (which carry the sizing ladders).
+package libertyio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"insta/internal/liberty"
+)
+
+// Write emits lib as Liberty text.
+func Write(w io.Writer, lib *liberty.Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", lib.Name)
+	fmt.Fprintf(bw, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(bw, "  delay_model : table_lookup;\n")
+
+	for _, c := range lib.Cells {
+		writeCell(bw, c)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func writeCell(bw *bufio.Writer, c *liberty.Cell) {
+	fmt.Fprintf(bw, "  cell (%s) {\n", c.Name)
+	fmt.Fprintf(bw, "    cell_footprint : \"%s\";\n", c.Footprint)
+	fmt.Fprintf(bw, "    area : %.17g;\n", c.Area)
+	fmt.Fprintf(bw, "    cell_leakage_power : %.17g;\n", c.Leakage)
+	if c.Seq {
+		fmt.Fprintf(bw, "    ff (IQ, IQN) {\n")
+		fmt.Fprintf(bw, "      clocked_on : \"%s\";\n", c.ClockPin)
+		fmt.Fprintf(bw, "      next_state : \"%s\";\n", c.DataPin)
+		fmt.Fprintf(bw, "    }\n")
+	}
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "    pin (%s) {\n", in)
+		fmt.Fprintf(bw, "      direction : input;\n")
+		fmt.Fprintf(bw, "      capacitance : %.17g;\n", c.PinCap[in])
+		if c.Seq && in == c.ClockPin {
+			fmt.Fprintf(bw, "      clock : true;\n")
+		}
+		if c.Seq && in == c.DataPin {
+			writeConstraint(bw, "setup_rising", c.ClockPin, c.Setup)
+			writeConstraint(bw, "hold_rising", c.ClockPin, c.Hold)
+		}
+		fmt.Fprintf(bw, "    }\n")
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "    pin (%s) {\n", out)
+		fmt.Fprintf(bw, "      direction : output;\n")
+		for i := range c.Arcs {
+			a := &c.Arcs[i]
+			if a.To != out {
+				continue
+			}
+			fmt.Fprintf(bw, "      timing () {\n")
+			fmt.Fprintf(bw, "        related_pin : \"%s\";\n", a.From)
+			fmt.Fprintf(bw, "        timing_sense : %s;\n", a.Sense)
+			writeTable(bw, "cell_rise", &a.Delay[liberty.Rise])
+			writeTable(bw, "rise_transition", &a.OutSlew[liberty.Rise])
+			writeTable(bw, "ocv_sigma_cell_rise", &a.Sigma[liberty.Rise])
+			writeTable(bw, "cell_fall", &a.Delay[liberty.Fall])
+			writeTable(bw, "fall_transition", &a.OutSlew[liberty.Fall])
+			writeTable(bw, "ocv_sigma_cell_fall", &a.Sigma[liberty.Fall])
+			fmt.Fprintf(bw, "      }\n")
+		}
+		fmt.Fprintf(bw, "    }\n")
+	}
+	fmt.Fprintf(bw, "  }\n")
+}
+
+func writeConstraint(bw *bufio.Writer, timingType, clockPin string, vals [2]float64) {
+	fmt.Fprintf(bw, "      timing () {\n")
+	fmt.Fprintf(bw, "        related_pin : \"%s\";\n", clockPin)
+	fmt.Fprintf(bw, "        timing_type : %s;\n", timingType)
+	fmt.Fprintf(bw, "        rise_constraint (scalar) { values (\"%.17g\"); }\n", vals[liberty.Rise])
+	fmt.Fprintf(bw, "        fall_constraint (scalar) { values (\"%.17g\"); }\n", vals[liberty.Fall])
+	fmt.Fprintf(bw, "      }\n")
+}
+
+func writeTable(bw *bufio.Writer, group string, t *liberty.Table) {
+	fmt.Fprintf(bw, "        %s (delay_template) {\n", group)
+	fmt.Fprintf(bw, "          index_1 (\"%s\");\n", joinFloats(t.Slew))
+	fmt.Fprintf(bw, "          index_2 (\"%s\");\n", joinFloats(t.Load))
+	fmt.Fprintf(bw, "          values ( \\\n")
+	for i, row := range t.Val {
+		sep := ", \\"
+		if i == len(t.Val)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(bw, "            \"%s\"%s\n", joinFloats(row), sep)
+	}
+	fmt.Fprintf(bw, "          );\n")
+	fmt.Fprintf(bw, "        }\n")
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.17g", x)
+	}
+	return strings.Join(parts, ", ")
+}

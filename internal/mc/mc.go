@@ -1,0 +1,210 @@
+// Package mc validates the POCV statistical model by brute force: it draws
+// per-arc delay samples from the extracted Gaussian distributions, runs a
+// plain deterministic max-propagation per sample, and compares the empirical
+// 3-sigma quantile of each endpoint's arrival against the corner INSTA's
+// analytic propagation reports (mean + 3*sigma of the merged distribution).
+//
+// The two cannot agree exactly — POCV propagates the single
+// corner-maximizing path's Gaussian through each merge, while the true
+// maximum of several near-critical Gaussians is slightly larger and
+// non-Gaussian — so the residual this package measures is precisely the
+// POCV approximation error that commercial signoff accepts. Keeping it
+// small on the generated designs is a correctness check on the whole
+// statistical pipeline.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"insta/internal/circuitops"
+	"insta/internal/levelize"
+	"insta/internal/liberty"
+	"insta/internal/num"
+)
+
+// Result summarizes one validation run.
+type Result struct {
+	Samples   int
+	Endpoints int
+	// Corr is the Pearson correlation between empirical quantiles and POCV
+	// corner arrivals over all timed (endpoint, transition) pairs.
+	Corr float64
+	// RelErr is |empirical - pocv| / empirical, aggregated.
+	RelErr num.MismatchStats
+	// Bias is the mean signed error (pocv - empirical): negative means POCV
+	// is optimistic (underestimates the true quantile), the expected
+	// direction at balanced merge points.
+	Bias float64
+}
+
+// quantile3Sigma is the Gaussian CDF at +3 sigma.
+const quantile3Sigma = 0.9986501019683699
+
+// ValidatePOCV runs `samples` Monte Carlo trials on the extracted tables and
+// compares empirical endpoint arrival quantiles against POCV corner
+// arrivals computed by analytic (K=1) propagation.
+func ValidatePOCV(t *circuitops.Tables, samples int, seed int64) (*Result, error) {
+	if samples < 10 {
+		return nil, fmt.Errorf("mc: need at least 10 samples, got %d", samples)
+	}
+	lvArcs := make([]levelize.Arc, len(t.Arcs))
+	for i := range t.Arcs {
+		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
+	}
+	lv, err := levelize.Levelize(t.NumPins, lvArcs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan-in CSR.
+	n := t.NumPins
+	counts := make([]int32, n+1)
+	for i := range t.Arcs {
+		counts[t.Arcs[i].To+1]++
+	}
+	start := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + counts[i+1]
+	}
+	adjArc := make([]int32, len(t.Arcs))
+	cursor := make([]int32, n)
+	for i := range t.Arcs {
+		to := t.Arcs[i].To
+		adjArc[start[to]+cursor[to]] = int32(i)
+		cursor[to]++
+	}
+
+	spOfPin := make([]int32, n)
+	for i := range spOfPin {
+		spOfPin[i] = -1
+	}
+	for i, s := range t.SPs {
+		spOfPin[s.Pin] = int32(i)
+	}
+
+	// Analytic POCV corner arrivals (K=1 max-merge of distributions).
+	pocvMean := make([][2]float64, n)
+	pocvStd := make([][2]float64, n)
+	pocvCorner := make([][2]float64, n)
+	for _, p := range lv.Order {
+		for rf := 0; rf < 2; rf++ {
+			if sp := spOfPin[p]; sp >= 0 {
+				pocvMean[p][rf] = t.SPs[sp].Mean
+				pocvStd[p][rf] = t.SPs[sp].Std
+				pocvCorner[p][rf] = t.SPs[sp].Mean + t.NSigma*t.SPs[sp].Std
+				continue
+			}
+			best := math.Inf(-1)
+			for _, ai := range adjArc[start[p]:start[p+1]] {
+				a := &t.Arcs[ai]
+				mean, std := arcDist(a, rf)
+				inRFs, nn := liberty.Unate(a.Sense).InRFs(rf)
+				for k := 0; k < nn; k++ {
+					prf := inRFs[k]
+					if math.IsInf(pocvCorner[a.From][prf], -1) {
+						continue
+					}
+					m := pocvMean[a.From][prf] + mean
+					s := num.RSS(pocvStd[a.From][prf], std)
+					if c := m + t.NSigma*s; c > best {
+						best = c
+						pocvMean[p][rf] = m
+						pocvStd[p][rf] = s
+					}
+				}
+			}
+			pocvCorner[p][rf] = best
+		}
+	}
+
+	// Monte Carlo trials: one z per arc (device variation is shared between
+	// the arc's transitions), one z per startpoint.
+	rng := rand.New(rand.NewSource(seed))
+	epSamples := make([][]float64, 2*len(t.EPs))
+	for i := range epSamples {
+		epSamples[i] = make([]float64, 0, samples)
+	}
+	arr := make([][2]float64, n)
+	zArc := make([]float64, len(t.Arcs))
+	for trial := 0; trial < samples; trial++ {
+		for i := range zArc {
+			zArc[i] = rng.NormFloat64()
+		}
+		for _, p := range lv.Order {
+			for rf := 0; rf < 2; rf++ {
+				if sp := spOfPin[p]; sp >= 0 {
+					// Startpoint variation shares the trial's first arc z
+					// stream deterministically via its own draw.
+					arr[p][rf] = t.SPs[sp].Mean + t.SPs[sp].Std*zArc[int(sp)%len(zArc)]
+					continue
+				}
+				best := math.Inf(-1)
+				for _, ai := range adjArc[start[p]:start[p+1]] {
+					a := &t.Arcs[ai]
+					mean, std := arcDist(a, rf)
+					d := mean + std*zArc[ai]
+					inRFs, nn := liberty.Unate(a.Sense).InRFs(rf)
+					for k := 0; k < nn; k++ {
+						if v := arr[a.From][inRFs[k]] + d; v > best {
+							best = v
+						}
+					}
+				}
+				arr[p][rf] = best
+			}
+		}
+		for i, ep := range t.EPs {
+			for rf := 0; rf < 2; rf++ {
+				if !math.IsInf(arr[ep.Pin][rf], -1) {
+					epSamples[2*i+rf] = append(epSamples[2*i+rf], arr[ep.Pin][rf])
+				}
+			}
+		}
+	}
+
+	// Compare quantiles.
+	var emp, pocv []float64
+	for i, ep := range t.EPs {
+		for rf := 0; rf < 2; rf++ {
+			ss := epSamples[2*i+rf]
+			if len(ss) < samples || math.IsInf(pocvCorner[ep.Pin][rf], -1) {
+				continue
+			}
+			sort.Float64s(ss)
+			q := ss[int(float64(len(ss)-1)*quantile3Sigma)]
+			emp = append(emp, q)
+			pocv = append(pocv, pocvCorner[ep.Pin][rf])
+		}
+	}
+	res := &Result{Samples: samples, Endpoints: len(t.EPs)}
+	if res.Corr, err = num.Pearson(emp, pocv); err != nil {
+		return nil, err
+	}
+	var relSum, relWorst, bias float64
+	for i := range emp {
+		if emp[i] == 0 {
+			continue
+		}
+		rel := math.Abs(emp[i]-pocv[i]) / math.Abs(emp[i])
+		relSum += rel
+		if rel > relWorst {
+			relWorst = rel
+		}
+		bias += pocv[i] - emp[i]
+	}
+	if len(emp) > 0 {
+		res.RelErr = num.MismatchStats{Avg: relSum / float64(len(emp)), Worst: relWorst}
+		res.Bias = bias / float64(len(emp))
+	}
+	return res, nil
+}
+
+func arcDist(a *circuitops.ArcRow, rf int) (mean, std float64) {
+	if rf == liberty.Rise {
+		return a.MeanRise, a.StdRise
+	}
+	return a.MeanFall, a.StdFall
+}

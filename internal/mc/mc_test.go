@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/liberty"
+	"insta/internal/refsta"
+)
+
+func extractTables(t testing.TB, seed int64) *circuitops.Tables {
+	t.Helper()
+	b, err := bench.Generate(bench.Spec{
+		Name: "mctest", Seed: seed, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 8, Layers: 4, Width: 8,
+		CrossFrac: 0.12, NumPIs: 3, NumPOs: 3,
+		Period: 900, Uncertainty: 10, Die: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return circuitops.Extract(ref)
+}
+
+func TestValidatePOCV(t *testing.T) {
+	tab := extractTables(t, 1)
+	res, err := ValidatePOCV(tab, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corr < 0.999 {
+		t.Errorf("MC vs POCV correlation %v below 0.999", res.Corr)
+	}
+	// The POCV approximation error on these graphs should be small relative
+	// to arrival magnitudes.
+	if res.RelErr.Avg > 0.03 {
+		t.Errorf("average relative error %v above 3%%", res.RelErr.Avg)
+	}
+	if res.RelErr.Worst > 0.10 {
+		t.Errorf("worst relative error %v above 10%%", res.RelErr.Worst)
+	}
+	t.Logf("MC(%d): corr=%.6f relErr(avg=%.4f, wst=%.4f) bias=%.2f ps",
+		res.Samples, res.Corr, res.RelErr.Avg, res.RelErr.Worst, res.Bias)
+}
+
+func TestValidatePOCVDeterministic(t *testing.T) {
+	tab := extractTables(t, 2)
+	a, err := ValidatePOCV(tab, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ValidatePOCV(tab, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Corr != b.Corr || a.RelErr != b.RelErr || a.Bias != b.Bias {
+		t.Error("same seed produced different results")
+	}
+	c, err := ValidatePOCV(tab, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bias == c.Bias {
+		t.Error("different seeds produced identical bias (suspicious)")
+	}
+}
+
+func TestValidatePOCVRejectsTinySampleCount(t *testing.T) {
+	tab := extractTables(t, 3)
+	if _, err := ValidatePOCV(tab, 5, 1); err == nil {
+		t.Error("sample count 5 accepted")
+	}
+}

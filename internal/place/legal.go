@@ -1,0 +1,122 @@
+package place
+
+import (
+	"math"
+	"sort"
+
+	"insta/internal/netlist"
+)
+
+// Legalize snaps movable cells onto non-overlapping row sites with a greedy
+// Tetris-style sweep: cells are processed in x order and assigned to the row
+// slot minimizing their displacement. This plays ABCDPlace's role of
+// producing the post-legalization numbers Table III reports.
+func (p *Placer) Legalize() {
+	rows := int(p.H) // one site tall rows
+	if rows < 1 {
+		rows = 1
+	}
+	cursor := make([]float64, rows) // next free x per row
+
+	order := append([]netlist.CellID(nil), p.movable...)
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := &p.d.Cells[order[a]], &p.d.Cells[order[b]]
+		if ca.X != cb.X {
+			return ca.X < cb.X
+		}
+		return order[a] < order[b]
+	})
+
+	for _, c := range order {
+		cell := &p.d.Cells[c]
+		bestRow := -1
+		bestCost := math.Inf(1)
+		bestX := 0.0
+		homeRow := int(cell.Y)
+		// Scan rows outward from the cell's current row.
+		for dr := 0; dr < rows; dr++ {
+			candidates := []int{homeRow - dr, homeRow + dr}
+			if dr == 0 {
+				candidates = candidates[:1]
+			}
+			for _, r := range candidates {
+				if r < 0 || r >= rows {
+					continue
+				}
+				x := math.Max(cursor[r], 0)
+				if x+cell.Width > p.W {
+					continue
+				}
+				if cx := cell.X; cx > x {
+					x = math.Min(cx, p.W-cell.Width)
+				}
+				cost := math.Abs(x-cell.X) + math.Abs(float64(r)-cell.Y)
+				if cost < bestCost {
+					bestCost, bestRow, bestX = cost, r, x
+				}
+			}
+			if bestRow >= 0 && float64(dr) > bestCost {
+				break // no farther row can beat the current best
+			}
+		}
+		if bestRow < 0 {
+			// Fall back: squeeze into the least-full row.
+			bestRow = 0
+			for r := 1; r < rows; r++ {
+				if cursor[r] < cursor[bestRow] {
+					bestRow = r
+				}
+			}
+			bestX = cursor[bestRow]
+		}
+		cell.X = bestX
+		cell.Y = float64(bestRow)
+		cursor[bestRow] = bestX + cell.Width
+	}
+}
+
+// HPWL returns the design's half-perimeter wirelength over all nets with at
+// least one sink.
+func (p *Placer) HPWL() float64 {
+	var total float64
+	for ni := range p.d.Nets {
+		net := &p.d.Nets[ni]
+		if len(net.Sinks) == 0 {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, pin := range p.netPins(net) {
+			x, y := p.d.PinPos(pin)
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+		total += (maxX - minX) + (maxY - minY)
+	}
+	return total
+}
+
+// OverlapCount returns the number of overlapping same-row cell pairs — zero
+// after a successful legalization (within-row abutment allowed).
+func (p *Placer) OverlapCount() int {
+	type item struct {
+		x, w float64
+	}
+	byRow := map[int][]item{}
+	for _, c := range p.movable {
+		cell := &p.d.Cells[c]
+		byRow[int(cell.Y)] = append(byRow[int(cell.Y)], item{cell.X, cell.Width})
+	}
+	count := 0
+	for _, row := range byRow {
+		sort.Slice(row, func(a, b int) bool { return row[a].x < row[b].x })
+		for i := 1; i < len(row); i++ {
+			if row[i-1].x+row[i-1].w > row[i].x+1e-9 {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,284 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/rc"
+	"insta/internal/refsta"
+)
+
+func placeSpec(seed int64) bench.Spec {
+	wire := rc.DefaultParams()
+	wire.RPerUnit, wire.CPerUnit = 0.3, 0.3
+	return bench.Spec{
+		Name: "placetest", Seed: seed, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 12, Layers: 4, Width: 12,
+		CrossFrac: 0.1, NumPIs: 4, NumPOs: 4,
+		Period: 1400, Uncertainty: 10, Die: 60, Wire: &wire,
+	}
+}
+
+func buildPlacer(t testing.TB, seed int64, mode Mode, iters int) (*Placer, *refsta.Engine) {
+	t.Helper()
+	b, err := bench.Generate(placeSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng *core.Engine
+	if mode == ModeInsta {
+		tab := circuitops.Extract(ref)
+		eng, err = core.NewEngine(tab, core.Options{TopK: 2, Tau: 60, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig(mode)
+	cfg.Iterations = iters
+	p, err := New(ref, eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ref
+}
+
+func TestNewRequiresEngineForInsta(t *testing.T) {
+	b, err := bench.Generate(placeSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ref, nil, DefaultConfig(ModeInsta)); err == nil {
+		t.Error("INSTA mode without engine accepted")
+	}
+}
+
+func TestPlainPlacementReducesHPWL(t *testing.T) {
+	p, _ := buildPlacer(t, 2, ModePlain, 120)
+	before := p.HPWL()
+	res := p.Run()
+	if res.HPWL >= before {
+		t.Errorf("HPWL did not improve: %v -> %v", before, res.HPWL)
+	}
+	if res.Runtime <= 0 {
+		t.Error("runtime not recorded")
+	}
+}
+
+func TestLegalizeRemovesOverlaps(t *testing.T) {
+	p, _ := buildPlacer(t, 3, ModePlain, 40)
+	p.Run() // Run legalizes at the end
+	if n := p.OverlapCount(); n != 0 {
+		t.Errorf("%d overlapping pairs after legalization", n)
+	}
+	// All cells inside the region on integer rows.
+	for _, c := range p.movable {
+		cell := &p.d.Cells[c]
+		if cell.X < 0 || cell.X+cell.Width > p.W+1e-9 || cell.Y < 0 || cell.Y >= p.H {
+			t.Fatalf("cell %d out of region: (%v, %v)", c, cell.X, cell.Y)
+		}
+		if cell.Y != math.Trunc(cell.Y) {
+			t.Fatalf("cell %d not on a row: y=%v", c, cell.Y)
+		}
+	}
+}
+
+func TestHPWLMatchesBruteForce(t *testing.T) {
+	p, _ := buildPlacer(t, 4, ModePlain, 0)
+	var want float64
+	d := p.d
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		if len(net.Sinks) == 0 {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		consider := func(pin netlist.PinID) {
+			x, y := d.PinPos(pin)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		consider(net.Driver)
+		for _, s := range net.Sinks {
+			consider(s)
+		}
+		want += maxX - minX + maxY - minY
+	}
+	if got := p.HPWL(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("HPWL = %v, want %v", got, want)
+	}
+}
+
+func TestWAGradientPullsTogether(t *testing.T) {
+	// On a 2-pin net, the WA gradient must pull the two pins toward each
+	// other: positive at the right pin, negative at the left pin.
+	p, _ := buildPlacer(t, 5, ModePlain, 0)
+	d := p.d
+	// Find a 1-sink net between two movable cells.
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		if len(net.Sinks) != 1 {
+			continue
+		}
+		dc := d.Pins[net.Driver].Cell
+		sc := d.Pins[net.Sinks[0]].Cell
+		if dc == netlist.NoCell || sc == netlist.NoCell || dc == sc {
+			continue
+		}
+		d.Cells[dc].X, d.Cells[dc].Y = 10, 10
+		d.Cells[sc].X, d.Cells[sc].Y = 40, 10
+		p.clearGrads()
+		p.waNetGrad(net, 1, p.cfg.Gamma, true)
+		if !(p.gradX[sc] > 0 && p.gradX[dc] < 0) {
+			t.Fatalf("gradient wrong direction: driver %v sink %v", p.gradX[dc], p.gradX[sc])
+		}
+		return
+	}
+	t.Skip("no suitable 2-pin net found")
+}
+
+func TestNetWeightModeRespondsToSlack(t *testing.T) {
+	p, _ := buildPlacer(t, 6, ModeNetWeight, 0)
+	p.RefreshTiming()
+	// After a refresh, weights must be >= 1 everywhere and > 1 somewhere if
+	// there are violations.
+	above := 0
+	for _, w := range p.netW {
+		if w < 1-1e-9 {
+			t.Fatalf("net weight %v below 1", w)
+		}
+		if w > 1+1e-6 {
+			above++
+		}
+	}
+	if p.ref.NumViolations() > 0 && above == 0 {
+		t.Error("violations present but no net weight raised")
+	}
+}
+
+func TestInstaModeProducesBreakdown(t *testing.T) {
+	p, _ := buildPlacer(t, 7, ModeInsta, 31)
+	res := p.Run()
+	bd := res.LastBreakdown
+	if bd.Timer <= 0 || bd.Weights <= 0 {
+		t.Errorf("breakdown missing phases: %+v", bd)
+	}
+	if bd.Transfer <= 0 {
+		t.Errorf("INSTA mode should record transfer time: %+v", bd)
+	}
+	if bd.Total() < bd.Timer {
+		t.Error("total smaller than a component")
+	}
+}
+
+func TestInstaPlaceCompetitiveWithNetWeighting(t *testing.T) {
+	// The Table III comparison needs a design large enough that placement
+	// QoR is not dominated by a handful of nets; the smallest superblue
+	// preset is the smallest stable instance. Skipped under -short.
+	if testing.Short() {
+		t.Skip("placement QoR comparison skipped in -short mode")
+	}
+	spec, err := bench.SuperblueSpec("superblue18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode Mode) Result {
+		b, err := bench.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eng *core.Engine
+		if mode == ModeInsta {
+			eng, err = core.NewEngine(circuitops.Extract(ref), core.Options{TopK: 2, Tau: 60, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := New(ref, eng, DefaultConfig(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Run()
+	}
+	resNW := run(ModeNetWeight)
+	resInsta := run(ModeInsta)
+	t.Logf("nw: HPWL=%.0f TNS=%.1f | insta: HPWL=%.0f TNS=%.1f",
+		resNW.HPWL, resNW.TNS, resInsta.HPWL, resInsta.TNS)
+	// The paper's claim directions, with slack for seed noise.
+	if resInsta.TNS < 1.25*resNW.TNS {
+		t.Errorf("INSTA-Place TNS %v far worse than net weighting %v", resInsta.TNS, resNW.TNS)
+	}
+	if resInsta.HPWL > 1.15*resNW.HPWL {
+		t.Errorf("INSTA-Place HPWL %v far worse than net weighting %v", resInsta.HPWL, resNW.HPWL)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePlain.String() != "DP" || ModeNetWeight.String() != "DP4.0-NW" || ModeInsta.String() != "INSTA-Place" {
+		t.Error("Mode.String misbehaves")
+	}
+}
+
+func TestLegalizePropertyRandom(t *testing.T) {
+	// Property: for random placements, legalization always produces
+	// overlap-free rows inside the region.
+	p, _ := buildPlacer(t, 9, ModePlain, 0)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		for _, c := range p.movable {
+			p.d.Cells[c].X = rng.Float64() * p.W
+			p.d.Cells[c].Y = rng.Float64() * p.H
+		}
+		p.Legalize()
+		if n := p.OverlapCount(); n != 0 {
+			t.Fatalf("trial %d: %d overlaps", trial, n)
+		}
+		for _, c := range p.movable {
+			cell := &p.d.Cells[c]
+			if cell.X < -1e-9 || cell.X+cell.Width > p.W+1e-9 {
+				t.Fatalf("trial %d: cell %d x out of region", trial, c)
+			}
+		}
+	}
+}
+
+func TestDensityGradPushesFromOverfullBin(t *testing.T) {
+	p, _ := buildPlacer(t, 10, ModePlain, 0)
+	// Pile every cell into the bottom-left corner bin.
+	for _, c := range p.movable {
+		p.d.Cells[c].X = 1
+		p.d.Cells[c].Y = 1
+	}
+	p.clearGrads()
+	p.addDensityGrad()
+	// The gradient must push (positive descent direction means moving -grad,
+	// so grad should be negative toward larger coordinates... verify the
+	// force is nonzero and points away from the wall for at least one cell).
+	pushed := 0
+	for _, c := range p.movable {
+		if p.gradX[c] < 0 || p.gradY[c] < 0 {
+			pushed++
+		}
+	}
+	if pushed == 0 {
+		t.Error("no cell pushed out of the overfull corner bin")
+	}
+}

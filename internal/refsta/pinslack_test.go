@@ -1,0 +1,68 @@
+package refsta
+
+import (
+	"math"
+	"testing"
+
+	"insta/internal/liberty"
+)
+
+func TestPinSlacksEndpointsMatchSlack(t *testing.T) {
+	_, e := newMiniEngine(t)
+	ps := e.PinSlacks()
+	slacks := e.EndpointSlacks()
+	for i, ep := range e.Endpoints() {
+		want := slacks[i]
+		got := math.Min(ps[ep][liberty.Rise], ps[ep][liberty.Fall])
+		if math.IsInf(want, 1) {
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("ep %d pin slack %v != endpoint slack %v", i, got, want)
+		}
+	}
+}
+
+func TestPinSlacksBoundedByWNS(t *testing.T) {
+	// No pin's slack can be below the design WNS: the worst path through any
+	// pin ends at some endpoint whose slack is >= WNS.
+	_, e := newMiniEngine(t)
+	ps := e.PinSlacks()
+	wns := e.WNS()
+	for p := range ps {
+		for rf := 0; rf < 2; rf++ {
+			if math.IsInf(ps[p][rf], 0) {
+				continue
+			}
+			if ps[p][rf] < wns-1e-6 {
+				t.Fatalf("pin %d rf %d slack %v below WNS %v", p, rf, ps[p][rf], wns)
+			}
+		}
+	}
+}
+
+func TestPinSlacksSourcesTimed(t *testing.T) {
+	// Startpoints that reach a timed endpoint must have finite slack.
+	m, e := newMiniEngine(t)
+	ps := e.PinSlacks()
+	cp := m.d.CellPin(m.ff1, "CP")
+	if math.IsInf(ps[cp][liberty.Rise], 0) && math.IsInf(ps[cp][liberty.Fall], 0) {
+		t.Error("launching flop clock pin has no propagated slack")
+	}
+}
+
+func TestNetSlack(t *testing.T) {
+	m, e := newMiniEngine(t)
+	ps := e.PinSlacks()
+	ns := NetSlack(e, ps)
+	if len(ns) != len(m.d.Nets) {
+		t.Fatalf("net slack count %d != nets %d", len(ns), len(m.d.Nets))
+	}
+	// The net driven by ff1/Q must carry the min of the driver's two slacks.
+	q := m.d.CellPin(m.ff1, "Q")
+	net := m.d.Pins[q].Net
+	want := math.Min(ps[q][0], ps[q][1])
+	if ns[net] != want {
+		t.Errorf("net slack %v, want %v", ns[net], want)
+	}
+}

@@ -1,0 +1,292 @@
+package refsta
+
+import (
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/num"
+)
+
+// pinCap returns the input capacitance presented by load pin p: the library
+// pin cap for cell pins, the external load for primary outputs.
+func (e *Engine) pinCap(p netlist.PinID) float64 {
+	pin := &e.D.Pins[p]
+	if pin.Cell == netlist.NoCell {
+		return e.Con.OutputLoad[p]
+	}
+	lc := e.Lib.Cell(e.D.Cells[pin.Cell].LibCell)
+	return lc.PinCap[e.D.LocalPinName(p)]
+}
+
+// computeLoads annotates every driver pin with its total capacitive load:
+// wire capacitance plus sink pin capacitances.
+func (e *Engine) computeLoads() {
+	for ni := range e.D.Nets {
+		net := &e.D.Nets[ni]
+		c := e.Par.Nets[ni].WireCap()
+		for _, s := range net.Sinks {
+			c += e.pinCap(s)
+		}
+		e.load[net.Driver] = c
+	}
+}
+
+// computeArcDelay annotates arc a's delay distributions and returns them.
+// Cell arcs use NLDM lookups at the From pin's current worst slew and the To
+// pin's load; net arcs use Elmore branch delay.
+func (e *Engine) computeArcDelay(a *Arc) {
+	if a.Kind == NetArc {
+		d := e.Par.BranchDelay(a.Net, int(a.SinkIdx), e.pinCap(a.To))
+		a.Delay[liberty.Rise] = d
+		a.Delay[liberty.Fall] = d
+		return
+	}
+	lc := e.Lib.Cell(e.D.Cells[a.Cell].LibCell)
+	la := &lc.Arcs[a.LibArc]
+	load := e.load[a.To]
+	for outRF := 0; outRF < 2; outRF++ {
+		inRFs, n := a.Sense.InRFs(outRF)
+		// The annotated arc delay is taken at the worst (largest) input slew
+		// among the transitions that can cause this output transition —
+		// graph-based analysis convention.
+		worstSlew := e.slew[inRFs[0]][a.From]
+		for i := 1; i < n; i++ {
+			if s := e.slew[inRFs[i]][a.From]; s > worstSlew {
+				worstSlew = s
+			}
+		}
+		a.Delay[outRF] = num.Dist{
+			Mean: la.Delay[outRF].Lookup(worstSlew, load),
+			Std:  la.Sigma[outRF].Lookup(worstSlew, load),
+		}
+	}
+}
+
+// outSlewOf returns the slew candidate arc a contributes to its To pin for
+// output transition rf, using already-annotated delay for net arcs.
+func (e *Engine) outSlewOf(a *Arc, rf int) float64 {
+	if a.Kind == NetArc {
+		return e.Par.DegradeSlew(e.slew[rf][a.From], a.Delay[rf].Mean)
+	}
+	lc := e.Lib.Cell(e.D.Cells[a.Cell].LibCell)
+	la := &lc.Arcs[a.LibArc]
+	inRFs, n := a.Sense.InRFs(rf)
+	worstSlew := e.slew[inRFs[0]][a.From]
+	for i := 1; i < n; i++ {
+		if s := e.slew[inRFs[i]][a.From]; s > worstSlew {
+			worstSlew = s
+		}
+	}
+	return la.OutSlew[rf].Lookup(worstSlew, e.load[a.To])
+}
+
+// initSourcePin seeds slew and arrival at a timing source (primary input or
+// flip-flop clock pin). Returns false if p is not a source.
+func (e *Engine) initSourcePin(p netlist.PinID) bool {
+	pin := &e.D.Pins[p]
+	switch {
+	case pin.IsClock:
+		node, _ := e.D.Clock.SinkOf(p)
+		launch := e.D.Clock.Arrival(node)
+		sp := e.spOfPin[p]
+		for rf := 0; rf < 2; rf++ {
+			e.slew[rf][p] = e.Cfg.ClockSlew
+			e.arr[rf][p] = []spArr{{sp: sp, dist: launch}}
+		}
+		return true
+	case pin.Cell == netlist.NoCell && pin.Dir == netlist.Input:
+		d := e.Con.InputDelay[p]
+		s := e.Con.InputSlew[p]
+		if s == 0 {
+			s = e.Cfg.ClockSlew
+		}
+		sp := e.spOfPin[p]
+		for rf := 0; rf < 2; rf++ {
+			e.slew[rf][p] = s
+			e.arr[rf][p] = []spArr{{sp: sp, dist: d}}
+		}
+		return true
+	}
+	return false
+}
+
+// processPin recomputes fan-in arc delays, worst slews and SP-resolved
+// arrivals at pin p. It returns true when any propagated value changed.
+func (e *Engine) processPin(p netlist.PinID) bool {
+	if e.isSP[p] {
+		// Source values are constant after init.
+		return false
+	}
+	changed := false
+	for _, ai := range e.fanin[p] {
+		a := &e.Arcs[ai]
+		old := a.Delay
+		e.computeArcDelay(a)
+		if a.Delay != old {
+			changed = true
+		}
+	}
+	for rf := 0; rf < 2; rf++ {
+		// Worst slew.
+		var worst float64
+		for _, ai := range e.fanin[p] {
+			if s := e.outSlewOf(&e.Arcs[ai], rf); s > worst {
+				worst = s
+			}
+		}
+		if worst != e.slew[rf][p] {
+			e.slew[rf][p] = worst
+			changed = true
+		}
+		// SP-resolved arrival merge.
+		merged := e.mergeArrivals(p, rf)
+		if !spArrEqual(merged, e.arr[rf][p]) {
+			e.arr[rf][p] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeArrivals merges all fan-in arc contributions at (p, rf), keeping per
+// startpoint the maximum-corner arrival distribution — the exact version of
+// the paper's Top-K unique-startpoint merge.
+func (e *Engine) mergeArrivals(p netlist.PinID, rf int) []spArr {
+	var merged []spArr
+	nSigma := e.Cfg.NSigma
+	for _, ai := range e.fanin[p] {
+		a := &e.Arcs[ai]
+		inRFs, n := a.Sense.InRFs(rf)
+		for i := 0; i < n; i++ {
+			parent := e.arr[inRFs[i]][a.From]
+			if len(parent) == 0 {
+				continue
+			}
+			merged = mergeShifted(merged, parent, a.Delay[rf], nSigma)
+		}
+	}
+	return merged
+}
+
+// mergeShifted merges src (shifted by delay) into dst; both are sorted by sp.
+// On equal sp the larger corner value wins. The result is a fresh slice when
+// dst must grow; dst is never aliased with src.
+func mergeShifted(dst, src []spArr, delay num.Dist, nSigma float64) []spArr {
+	if len(dst) == 0 {
+		out := make([]spArr, len(src))
+		for i, s := range src {
+			out[i] = spArr{sp: s.sp, dist: s.dist.Add(delay)}
+		}
+		return out
+	}
+	out := make([]spArr, 0, len(dst)+len(src))
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i].sp < src[j].sp:
+			out = append(out, dst[i])
+			i++
+		case dst[i].sp > src[j].sp:
+			out = append(out, spArr{sp: src[j].sp, dist: src[j].dist.Add(delay)})
+			j++
+		default:
+			cand := src[j].dist.Add(delay)
+			if cand.Corner(nSigma) > dst[i].dist.Corner(nSigma) {
+				out = append(out, spArr{sp: src[j].sp, dist: cand})
+			} else {
+				out = append(out, dst[i])
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, dst[i:]...)
+	for ; j < len(src); j++ {
+		out = append(out, spArr{sp: src[j].sp, dist: src[j].dist.Add(delay)})
+	}
+	return out
+}
+
+func spArrEqual(a, b []spArr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UpdateTimingFull recomputes loads, delays, slews, arrivals and endpoint
+// slacks over the whole design, the equivalent of a from-scratch
+// update_timing in the reference tool.
+func (e *Engine) UpdateTimingFull() {
+	e.computeLoads()
+	hold := e.HoldEnabled()
+	for _, p := range e.Lv.Order {
+		pid := netlist.PinID(p)
+		if e.initSourcePin(pid) {
+			if hold {
+				e.initSourcePinMin(pid)
+			}
+			continue
+		}
+		e.processPin(pid)
+		if hold {
+			e.processPinMin(pid)
+		}
+	}
+	e.computeSlacks()
+	e.computeHoldSlacks()
+	e.dirty = make(map[netlist.PinID]bool)
+	e.LastFullUpdate = true
+}
+
+// MarkDirty flags pin p for re-evaluation on the next incremental update.
+// Resize and parasitic-change operations call this internally.
+func (e *Engine) MarkDirty(p netlist.PinID) { e.dirty[p] = true }
+
+// UpdateTimingIncremental re-propagates only the cone of influence of pins
+// marked dirty since the last update, in level order, stopping wavefronts
+// whose values converge — the selective re-propagation PrimeTime performs on
+// incremental update_timing. Loads are recomputed (cheap) to absorb pin-cap
+// changes. Endpoint slacks are refreshed.
+func (e *Engine) UpdateTimingIncremental() {
+	if len(e.dirty) == 0 {
+		return
+	}
+	e.computeLoads()
+	// Bucket the worklist by level.
+	buckets := make([][]netlist.PinID, e.Lv.NumLevels)
+	inQueue := make(map[netlist.PinID]bool, len(e.dirty)*4)
+	push := func(p netlist.PinID) {
+		if !inQueue[p] {
+			inQueue[p] = true
+			l := e.Lv.Level[p]
+			buckets[l] = append(buckets[l], p)
+		}
+	}
+	for p := range e.dirty {
+		push(p)
+	}
+	hold := e.HoldEnabled()
+	for l := 0; l < len(buckets); l++ {
+		for i := 0; i < len(buckets[l]); i++ { // fanouts are always deeper, so buckets never grow behind the cursor
+			p := buckets[l][i]
+			changed := e.processPin(p)
+			if hold && !e.isSP[p] && e.processPinMin(p) {
+				changed = true
+			}
+			if changed {
+				for _, ai := range e.fanout[p] {
+					push(e.Arcs[ai].To)
+				}
+			}
+		}
+	}
+	e.computeSlacks()
+	e.computeHoldSlacks()
+	e.dirty = make(map[netlist.PinID]bool)
+	e.LastFullUpdate = false
+}

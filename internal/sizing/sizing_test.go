@@ -1,0 +1,190 @@
+package sizing
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/refsta"
+)
+
+func sizingSpec(seed int64) bench.Spec {
+	return bench.Spec{
+		Name: "sizetest", Seed: seed, Tech: liberty.TechASAP7(),
+		Groups: 3, FFsPerGroup: 10, Layers: 6, Width: 10,
+		CrossFrac: 0.12, NumPIs: 4, NumPOs: 4,
+		Period: 1, Uncertainty: 12, FalsePaths: 2, Multicycles: 1, Die: 120,
+	}
+}
+
+// buildSizing generates a design whose period is auto-tuned so that roughly
+// 10% of endpoints violate.
+func buildSizing(t testing.TB, seed int64) (*bench.Design, *refsta.Engine) {
+	t.Helper()
+	spec := sizingSpec(seed)
+	spec.Period = 100000 // loose first pass
+	b, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slacks := ref.EndpointSlacks()
+	finite := make([]float64, 0, len(slacks))
+	for _, s := range slacks {
+		if !math.IsInf(s, 0) {
+			finite = append(finite, s)
+		}
+	}
+	sort.Float64s(finite)
+	shift := finite[len(finite)/10] + 1
+	b.Con.Clock.Period -= shift
+	ref, err = refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumViolations() == 0 {
+		t.Fatal("tuned design has no violations")
+	}
+	return b, ref
+}
+
+func TestNeighborhood(t *testing.T) {
+	b, _ := buildSizing(t, 1)
+	var c netlist.CellID = 5
+	n0 := neighborhood(b.D, c, 0)
+	if len(n0) != 1 || n0[0] != c {
+		t.Errorf("0-hop neighbourhood = %v", n0)
+	}
+	n1 := neighborhood(b.D, c, 1)
+	n3 := neighborhood(b.D, c, 3)
+	if len(n1) <= 1 {
+		t.Error("1-hop neighbourhood empty")
+	}
+	if len(n3) < len(n1) {
+		t.Error("3-hop smaller than 1-hop")
+	}
+	in1 := map[netlist.CellID]bool{}
+	for _, x := range n1 {
+		in1[x] = true
+	}
+	for _, x := range n1 {
+		_ = x
+	}
+	in3 := map[netlist.CellID]bool{}
+	for _, x := range n3 {
+		in3[x] = true
+	}
+	for x := range in1 {
+		if !in3[x] {
+			t.Error("3-hop neighbourhood does not contain 1-hop")
+			break
+		}
+	}
+}
+
+func TestInstaSizeImprovesTNS(t *testing.T) {
+	_, ref := buildSizing(t, 2)
+	initialTNS := ref.TNS()
+	initialVio := ref.NumViolations()
+	tab := circuitops.Extract(ref)
+	e, err := core.NewEngine(tab, core.Options{TopK: 4, Tau: 0.01, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := InstaSize(ref, e, DefaultConfig())
+	if res.TNS <= initialTNS {
+		t.Errorf("INSTA-Size did not improve TNS: %v -> %v", initialTNS, res.TNS)
+	}
+	if res.CellsSized == 0 {
+		t.Error("no cells sized")
+	}
+	if res.BackwardTime <= 0 {
+		t.Error("backward time not recorded")
+	}
+	t.Logf("TNS %v -> %v, vio %d -> %d, sized %d",
+		initialTNS, res.TNS, initialVio, res.NumViolations, res.CellsSized)
+}
+
+func TestBaselineSizeRuns(t *testing.T) {
+	_, ref := buildSizing(t, 3)
+	initialWNS := ref.WNS()
+	cfg := DefaultBaselineConfig()
+	cfg.MaxPasses = 10
+	cfg.MaxCommits = 80
+	res := BaselineSize(ref, cfg)
+	if res.WNS < initialWNS-1e-6 {
+		t.Errorf("baseline regressed WNS: %v -> %v", initialWNS, res.WNS)
+	}
+	if res.CellsSized == 0 {
+		t.Skip("baseline found nothing to size on this seed")
+	}
+}
+
+func TestInstaSizeBeatsBaselineEfficiency(t *testing.T) {
+	// The paper's headline: INSTA-Size reaches better TNS with far fewer
+	// sized cells. Run both flows from identical initial states.
+	bI, refI := buildSizing(t, 4)
+	tab := circuitops.Extract(refI)
+	e, err := core.NewEngine(tab, core.Options{TopK: 4, Tau: 0.01, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI := InstaSize(refI, e, DefaultConfig())
+
+	_, refB := buildSizing(t, 4) // fresh identical design
+	cfg := DefaultBaselineConfig()
+	resB := BaselineSize(refB, cfg)
+
+	t.Logf("INSTA-Size: TNS=%.1f sized=%d | baseline: TNS=%.1f sized=%d",
+		resI.TNS, resI.CellsSized, resB.TNS, resB.CellsSized)
+	if resI.TNS < resB.TNS {
+		t.Errorf("INSTA-Size TNS %v worse than baseline %v", resI.TNS, resB.TNS)
+	}
+	_ = bI
+}
+
+func TestApplyDeltasRoundTrip(t *testing.T) {
+	_, ref := buildSizing(t, 5)
+	tab := circuitops.Extract(ref)
+	e, err := core.NewEngine(tab, core.Options{TopK: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	before := append([]float64(nil), e.Slacks()...)
+
+	var comb netlist.CellID = -1
+	var alt int32
+	for i := range ref.D.Cells {
+		if ref.D.Cells[i].Seq {
+			continue
+		}
+		if a, ok := ref.Lib.Resize(ref.D.Cells[i].LibCell, 1); ok {
+			comb, alt = netlist.CellID(i), a
+			break
+		}
+	}
+	if comb < 0 {
+		t.Fatal("no resizable combinational cell found")
+	}
+	deltas, err := ref.EstimateECO(comb, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undo := applyDeltas(e, deltas)
+	applyDeltas(e, undo)
+	after := e.Run()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("ep %d changed after apply+undo: %v vs %v", i, before[i], after[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package spef reads and writes a SPEF-flavoured exchange format for the
+// star-topology parasitics this reproduction uses: per net, one branch per
+// sink with its routed length, resistance and capacitance, plus the wire
+// technology constants. It plays the role of the extracted-parasitics file
+// a signoff flow would read.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"insta/internal/netlist"
+	"insta/internal/rc"
+)
+
+// Write emits parasitics for design d.
+func Write(w io.Writer, par *rc.Parasitics, d *netlist.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "*SPEF insta v1\n")
+	fmt.Fprintf(bw, "*DESIGN %s\n", d.Name)
+	p := par.Params
+	fmt.Fprintf(bw, "*PARAMS %.17g %.17g %.17g %.17g %.17g\n",
+		p.RPerUnit, p.CPerUnit, p.MinLen, p.WireSigmaFrac, p.SlewDegrade)
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		// Nets are keyed by their driver pin's name, which is stable across
+		// netlist round-trips (net names are not).
+		fmt.Fprintf(bw, "*D_NET %s %d\n", d.Pins[net.Driver].Name, len(par.Nets[ni].Branch))
+		for si, b := range par.Nets[ni].Branch {
+			fmt.Fprintf(bw, "*BRANCH %d %.17g %.17g %.17g\n", si, b.Len, b.R, b.C)
+		}
+	}
+	fmt.Fprintf(bw, "*END\n")
+	return bw.Flush()
+}
+
+// Read parses parasitics written by Write back against design d (nets are
+// matched by name and must cover the whole design).
+func Read(r io.Reader, d *netlist.Design) (*rc.Parasitics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	netByName := make(map[string]netlist.NetID, len(d.Nets))
+	for i := range d.Nets {
+		netByName[d.Pins[d.Nets[i].Driver].Name] = netlist.NetID(i)
+	}
+
+	par := &rc.Parasitics{Nets: make([]rc.Net, len(d.Nets))}
+	seen := make([]bool, len(d.Nets))
+	var cur netlist.NetID = -1
+	expectBranches := 0
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "*END":
+			continue
+		case strings.HasPrefix(line, "*SPEF"):
+			if !strings.Contains(line, "insta v1") {
+				return nil, fmt.Errorf("spef: line %d: unsupported dialect %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "*DESIGN "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "*DESIGN "))
+			if name != d.Name {
+				return nil, fmt.Errorf("spef: design %q does not match netlist %q", name, d.Name)
+			}
+		case strings.HasPrefix(line, "*PARAMS "):
+			f := strings.Fields(strings.TrimPrefix(line, "*PARAMS "))
+			if len(f) != 5 {
+				return nil, fmt.Errorf("spef: line %d: bad PARAMS", lineNo)
+			}
+			vals := make([]float64, 5)
+			for i, s := range f {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return nil, fmt.Errorf("spef: line %d: %w", lineNo, err)
+				}
+				vals[i] = v
+			}
+			par.Params = rc.Params{
+				RPerUnit: vals[0], CPerUnit: vals[1], MinLen: vals[2],
+				WireSigmaFrac: vals[3], SlewDegrade: vals[4],
+			}
+		case strings.HasPrefix(line, "*D_NET "):
+			f := strings.Fields(strings.TrimPrefix(line, "*D_NET "))
+			if len(f) != 2 {
+				return nil, fmt.Errorf("spef: line %d: bad D_NET", lineNo)
+			}
+			id, ok := netByName[f[0]]
+			if !ok {
+				return nil, fmt.Errorf("spef: line %d: unknown net %q", lineNo, f[0])
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("spef: line %d: bad branch count %q", lineNo, f[1])
+			}
+			if n != len(d.Nets[id].Sinks) {
+				return nil, fmt.Errorf("spef: line %d: net of %q has %d branches for %d sinks",
+					lineNo, f[0], n, len(d.Nets[id].Sinks))
+			}
+			cur = id
+			seen[id] = true
+			expectBranches = n
+			if n > 0 {
+				par.Nets[id].Branch = make([]rc.Branch, 0, n)
+			}
+		case strings.HasPrefix(line, "*BRANCH "):
+			if cur < 0 || expectBranches == 0 {
+				return nil, fmt.Errorf("spef: line %d: BRANCH outside D_NET", lineNo)
+			}
+			f := strings.Fields(strings.TrimPrefix(line, "*BRANCH "))
+			if len(f) != 4 {
+				return nil, fmt.Errorf("spef: line %d: bad BRANCH", lineNo)
+			}
+			var b rc.Branch
+			var err error
+			if b.Len, err = strconv.ParseFloat(f[1], 64); err != nil {
+				return nil, fmt.Errorf("spef: line %d: %w", lineNo, err)
+			}
+			if b.R, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, fmt.Errorf("spef: line %d: %w", lineNo, err)
+			}
+			if b.C, err = strconv.ParseFloat(f[3], 64); err != nil {
+				return nil, fmt.Errorf("spef: line %d: %w", lineNo, err)
+			}
+			par.Nets[cur].Branch = append(par.Nets[cur].Branch, b)
+			expectBranches--
+		default:
+			return nil, fmt.Errorf("spef: line %d: unrecognized %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("spef: net of %q missing from file", d.Pins[d.Nets[i].Driver].Name)
+		}
+	}
+	if err := par.Validate(d); err != nil {
+		return nil, err
+	}
+	return par, nil
+}

@@ -1,0 +1,75 @@
+package spef
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/liberty"
+)
+
+func genDesign(t testing.TB) *bench.Design {
+	t.Helper()
+	b, err := bench.Generate(bench.Spec{
+		Name: "speftest", Seed: 3, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 4, Layers: 3, Width: 5,
+		CrossFrac: 0.1, NumPIs: 2, NumPOs: 2,
+		Period: 800, Uncertainty: 10, Die: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := genDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Par, b.D); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), b.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params != b.Par.Params {
+		t.Errorf("params %+v != %+v", got.Params, b.Par.Params)
+	}
+	for i := range b.Par.Nets {
+		if !reflect.DeepEqual(got.Nets[i].Branch, b.Par.Nets[i].Branch) {
+			t.Fatalf("net %d branches differ", i)
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	b := genDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Par, b.D); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"wrong design":  strings.Replace(good, "*DESIGN speftest", "*DESIGN other", 1),
+		"unknown net":   strings.Replace(good, "*D_NET ", "*D_NET ghost_", 1),
+		"orphan branch": "*SPEF insta v1\n*DESIGN speftest\n*PARAMS 1 1 1 1 1\n*BRANCH 0 1 1 1\n",
+		"bad dialect":   strings.Replace(good, "insta v1", "ieee", 1),
+		"truncated":     good[:len(good)/2],
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc), b.D); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadRejectsMissingNets(t *testing.T) {
+	b := genDesign(t)
+	doc := "*SPEF insta v1\n*DESIGN speftest\n*PARAMS 1 1 1 1 1\n*END\n"
+	if _, err := Read(strings.NewReader(doc), b.D); err == nil {
+		t.Error("file without nets accepted")
+	}
+}

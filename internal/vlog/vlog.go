@@ -1,0 +1,389 @@
+// Package vlog reads and writes the gate-level structural Verilog subset
+// used by this reproduction: one flat module with scalar ports, wires, and
+// named-port-connection cell instances. Clock-network structure (which has
+// no netlist representation — flip-flop clock pins are fed by the modelled
+// clock tree, as a signoff tool sees propagated clocks) rides along in
+// structured `//insta:` comments so a written file reads back to an
+// identical design.
+package vlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"insta/internal/liberty"
+	"insta/internal/netlist"
+	"insta/internal/num"
+)
+
+// Write emits design d as structural Verilog. Net, cell and port names are
+// emitted verbatim (the generator produces identifier-safe names).
+func Write(w io.Writer, d *netlist.Design, lib *liberty.Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// insta structural netlist\n")
+	fmt.Fprintf(bw, "module %s (", identify(d.Name))
+
+	var ports []string
+	for _, p := range d.PortIns {
+		ports = append(ports, identify(d.Pins[p].Name))
+	}
+	for _, p := range d.PortOuts {
+		ports = append(ports, identify(d.Pins[p].Name))
+	}
+	fmt.Fprintf(bw, "%s);\n", strings.Join(ports, ", "))
+
+	for _, p := range d.PortIns {
+		fmt.Fprintf(bw, "  input %s;\n", identify(d.Pins[p].Name))
+	}
+	for _, p := range d.PortOuts {
+		fmt.Fprintf(bw, "  output %s;\n", identify(d.Pins[p].Name))
+	}
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		// Nets driven by or sinking into a port reuse the port name; all
+		// others get a wire declaration.
+		if d.Pins[net.Driver].Cell == netlist.NoCell {
+			continue
+		}
+		if len(net.Sinks) == 1 && d.Pins[net.Sinks[0]].Cell == netlist.NoCell {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", identify(net.Name))
+	}
+
+	// Ports that share a multi-sink net with other loads need an explicit
+	// continuous assignment.
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		ref := netRef(d, netlist.NetID(ni))
+		for _, sk := range net.Sinks {
+			pin := &d.Pins[sk]
+			if pin.Cell == netlist.NoCell && identify(pin.Name) != ref {
+				fmt.Fprintf(bw, "  assign %s = %s;\n", identify(pin.Name), ref)
+			}
+		}
+	}
+
+	for ci := range d.Cells {
+		cell := &d.Cells[ci]
+		lc := lib.Cell(cell.LibCell)
+		fmt.Fprintf(bw, "  %s %s (", lc.Name, identify(cell.Name))
+		var conns []string
+		for _, p := range cell.Pins {
+			pin := &d.Pins[p]
+			local := d.LocalPinName(p)
+			if pin.IsClock {
+				continue // fed by the clock tree, carried in the sidecar
+			}
+			if pin.Net == netlist.NoNet {
+				continue
+			}
+			conns = append(conns, fmt.Sprintf(".%s(%s)", local, netRef(d, pin.Net)))
+		}
+		fmt.Fprintf(bw, "%s);\n", strings.Join(conns, ", "))
+	}
+	fmt.Fprintf(bw, "endmodule\n\n")
+
+	// Clock-network sidecar.
+	if ct := d.Clock; ct != nil {
+		fmt.Fprintf(bw, "//insta:clocktree %d\n", ct.NumNodes())
+		for i := 0; i < ct.NumNodes(); i++ {
+			fmt.Fprintf(bw, "//insta:clocknode %d %d %.17g %.17g\n",
+				i, ct.Parent[i], ct.Edge[i].Mean, ct.Edge[i].Std)
+		}
+		type bind struct {
+			pin  string
+			node int32
+		}
+		var binds []bind
+		for p, n := range ct.Sinks() {
+			binds = append(binds, bind{d.Pins[p].Name, n})
+		}
+		sort.Slice(binds, func(a, b int) bool { return binds[a].pin < binds[b].pin })
+		for _, b := range binds {
+			fmt.Fprintf(bw, "//insta:clockpin %s %d\n", b.pin, b.node)
+		}
+	}
+	// Placement sidecar.
+	fmt.Fprintf(bw, "//insta:placement\n")
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		fmt.Fprintf(bw, "//insta:cellpos %s %.17g %.17g %.17g %d\n",
+			identify(c.Name), c.X, c.Y, c.Width, boolInt(c.Fixed))
+	}
+	for _, p := range append(append([]netlist.PinID(nil), d.PortIns...), d.PortOuts...) {
+		fmt.Fprintf(bw, "//insta:portpos %s %.17g %.17g\n",
+			identify(d.Pins[p].Name), d.Pins[p].X, d.Pins[p].Y)
+	}
+	return bw.Flush()
+}
+
+// netRef names the signal attached to a net: the driving input port's name,
+// the output port's name for a single-sink port net, otherwise the wire
+// name.
+func netRef(d *netlist.Design, n netlist.NetID) string {
+	net := &d.Nets[n]
+	if d.Pins[net.Driver].Cell == netlist.NoCell {
+		return identify(d.Pins[net.Driver].Name)
+	}
+	if len(net.Sinks) == 1 && d.Pins[net.Sinks[0]].Cell == netlist.NoCell {
+		return identify(d.Pins[net.Sinks[0]].Name)
+	}
+	return identify(net.Name)
+}
+
+func identify(s string) string { return s }
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Read parses a file produced by Write back into a design bound to lib.
+func Read(r io.Reader, lib *liberty.Library) (*netlist.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var d *netlist.Design
+	var inputs, outputs []string
+	assigns := map[string]string{} // output port -> driving signal
+	type inst struct {
+		libCell int32
+		name    string
+		conns   map[string]string // pin -> signal
+	}
+	var insts []inst
+	wires := map[string]bool{}
+
+	var clockNodes [][4]string
+	var clockPins [][2]string
+	cellPos := map[string][4]string{}
+	portPos := map[string][2]string{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "endmodule":
+			continue
+		case strings.HasPrefix(line, "//insta:clocktree"):
+			continue
+		case strings.HasPrefix(line, "//insta:clocknode "):
+			f := strings.Fields(strings.TrimPrefix(line, "//insta:clocknode "))
+			if len(f) != 4 {
+				return nil, fmt.Errorf("vlog: line %d: bad clocknode", lineNo)
+			}
+			clockNodes = append(clockNodes, [4]string{f[0], f[1], f[2], f[3]})
+		case strings.HasPrefix(line, "//insta:clockpin "):
+			f := strings.Fields(strings.TrimPrefix(line, "//insta:clockpin "))
+			if len(f) != 2 {
+				return nil, fmt.Errorf("vlog: line %d: bad clockpin", lineNo)
+			}
+			clockPins = append(clockPins, [2]string{f[0], f[1]})
+		case strings.HasPrefix(line, "//insta:cellpos "):
+			f := strings.Fields(strings.TrimPrefix(line, "//insta:cellpos "))
+			if len(f) != 5 {
+				return nil, fmt.Errorf("vlog: line %d: bad cellpos", lineNo)
+			}
+			cellPos[f[0]] = [4]string{f[1], f[2], f[3], f[4]}
+		case strings.HasPrefix(line, "//insta:portpos "):
+			f := strings.Fields(strings.TrimPrefix(line, "//insta:portpos "))
+			if len(f) != 3 {
+				return nil, fmt.Errorf("vlog: line %d: bad portpos", lineNo)
+			}
+			portPos[f[0]] = [2]string{f[1], f[2]}
+		case strings.HasPrefix(line, "//insta:placement"), strings.HasPrefix(line, "//"):
+			continue
+		case strings.HasPrefix(line, "module "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "module "))
+			if i := strings.IndexByte(name, '('); i >= 0 {
+				name = strings.TrimSpace(name[:i])
+			}
+			d = netlist.New(name)
+		case strings.HasPrefix(line, "input "):
+			inputs = append(inputs, trimDecl(line, "input "))
+		case strings.HasPrefix(line, "output "):
+			outputs = append(outputs, trimDecl(line, "output "))
+		case strings.HasPrefix(line, "wire "):
+			wires[trimDecl(line, "wire ")] = true
+		case strings.HasPrefix(line, "assign "):
+			body := trimDecl(line, "assign ")
+			parts := strings.SplitN(body, "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("vlog: line %d: bad assign", lineNo)
+			}
+			assigns[strings.TrimSpace(parts[0])] = strings.TrimSpace(parts[1])
+		default:
+			in, err := parseInstance(line, lib)
+			if err != nil {
+				return nil, fmt.Errorf("vlog: line %d: %w", lineNo, err)
+			}
+			insts = append(insts, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("vlog: no module declaration found")
+	}
+
+	// Build: ports, cells + pins, then nets from the signal map.
+	signalDriver := map[string]netlist.PinID{}
+	signalSinks := map[string][]netlist.PinID{}
+
+	for _, name := range inputs {
+		p := d.AddPort(name, netlist.Input)
+		signalDriver[name] = p
+	}
+	for _, name := range outputs {
+		p := d.AddPort(name, netlist.Output)
+		sig := name
+		if alias, ok := assigns[name]; ok {
+			sig = alias
+		}
+		signalSinks[sig] = append(signalSinks[sig], p)
+	}
+	for _, in := range insts {
+		lc := lib.Cell(in.libCell)
+		c := d.AddCell(in.name, in.libCell, lc.Seq)
+		if pos, ok := cellPos[in.name]; ok {
+			d.Cells[c].X, _ = strconv.ParseFloat(pos[0], 64)
+			d.Cells[c].Y, _ = strconv.ParseFloat(pos[1], 64)
+			d.Cells[c].Width, _ = strconv.ParseFloat(pos[2], 64)
+			d.Cells[c].Fixed = pos[3] == "1"
+		} else {
+			d.Cells[c].Width = lc.Area
+		}
+		for _, pn := range lc.Inputs {
+			isClock := lc.Seq && pn == lc.ClockPin
+			pin := d.AddPin(c, pn, netlist.Input, isClock)
+			if sig, ok := in.conns[pn]; ok && !isClock {
+				signalSinks[sig] = append(signalSinks[sig], pin)
+			}
+		}
+		for _, pn := range lc.Outputs {
+			pin := d.AddPin(c, pn, netlist.Output, false)
+			if sig, ok := in.conns[pn]; ok {
+				signalDriver[sig] = pin
+			}
+		}
+	}
+	// Nets. Wires without a declared name (port-named signals) included.
+	var signals []string
+	for sig := range signalDriver {
+		signals = append(signals, sig)
+	}
+	sort.Strings(signals)
+	for _, sig := range signals {
+		drv := signalDriver[sig]
+		name := sig
+		if d.Pins[drv].Cell != netlist.NoCell && !wires[sig] {
+			// Port-named net driven by a cell: keep the signal name.
+			name = sig
+		}
+		n := d.AddNet(name, drv)
+		d.Connect(n, signalSinks[sig]...)
+	}
+
+	// Clock tree.
+	if len(clockNodes) > 0 {
+		var ct *netlist.ClockTree
+		for _, cn := range clockNodes {
+			parent, _ := strconv.ParseInt(cn[1], 10, 32)
+			mean, _ := strconv.ParseFloat(cn[2], 64)
+			std, _ := strconv.ParseFloat(cn[3], 64)
+			if ct == nil {
+				if parent != -1 {
+					return nil, fmt.Errorf("vlog: first clock node is not the root")
+				}
+				ct = netlist.NewClockTree(num.Dist{Mean: mean, Std: std})
+				continue
+			}
+			ct.AddNode(int32(parent), num.Dist{Mean: mean, Std: std})
+		}
+		for _, cp := range clockPins {
+			pin, ok := d.PinByName(cp[0])
+			if !ok {
+				return nil, fmt.Errorf("vlog: clockpin %q not in design", cp[0])
+			}
+			node, err := strconv.ParseInt(cp[1], 10, 32)
+			if err != nil || node < 0 || int(node) >= ct.NumNodes() {
+				return nil, fmt.Errorf("vlog: clockpin %q bad node %q", cp[0], cp[1])
+			}
+			ct.BindSink(pin, int32(node))
+		}
+		if err := ct.Finalize(); err != nil {
+			return nil, err
+		}
+		d.Clock = ct
+	}
+	for name, pos := range portPos {
+		if p, ok := d.PinByName(name); ok {
+			d.Pins[p].X, _ = strconv.ParseFloat(pos[0], 64)
+			d.Pins[p].Y, _ = strconv.ParseFloat(pos[1], 64)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("vlog: parsed design invalid: %w", err)
+	}
+	return d, nil
+}
+
+func trimDecl(line, prefix string) string {
+	s := strings.TrimPrefix(line, prefix)
+	return strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), ";"))
+}
+
+// parseInstance parses `LIBCELL name (.A(n1), .B(n2));`.
+func parseInstance(line string, lib *liberty.Library) (struct {
+	libCell int32
+	name    string
+	conns   map[string]string
+}, error) {
+	var out struct {
+		libCell int32
+		name    string
+		conns   map[string]string
+	}
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ");") {
+		return out, fmt.Errorf("unparseable statement %q", line)
+	}
+	head := strings.Fields(line[:open])
+	if len(head) != 2 {
+		return out, fmt.Errorf("bad instance head %q", line[:open])
+	}
+	id, ok := lib.CellByName(head[0])
+	if !ok {
+		return out, fmt.Errorf("unknown library cell %q", head[0])
+	}
+	out.libCell = id
+	out.name = head[1]
+	out.conns = map[string]string{}
+	body := strings.TrimSuffix(line[open+1:], ");")
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.HasPrefix(part, ".") {
+			return out, fmt.Errorf("positional connections unsupported: %q", part)
+		}
+		lp := strings.IndexByte(part, '(')
+		if lp < 0 || !strings.HasSuffix(part, ")") {
+			return out, fmt.Errorf("bad connection %q", part)
+		}
+		pin := part[1:lp]
+		sig := strings.TrimSuffix(part[lp+1:], ")")
+		out.conns[pin] = strings.TrimSpace(sig)
+	}
+	return out, nil
+}
