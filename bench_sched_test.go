@@ -1,0 +1,117 @@
+// Scheduler bench regression harness: TestSchedBenchRegression times the
+// forward propagate kernel under four scheduler configurations per preset and
+// writes BENCH_sched.json at the repo root, so successive PRs can diff the
+// pool against the seed's spawn-per-level strategy without re-deriving the
+// numbers. It runs in -short mode by design — this is the smoke that proves
+// the pool path is not a regression, with the actual ratios recorded in the
+// JSON rather than asserted tightly (single-CPU CI machines make hard
+// speedup gates flaky).
+package insta
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/exp"
+)
+
+// schedBenchConfig is one scheduler setup to time.
+type schedBenchConfig struct {
+	key         string
+	workers     int
+	legacySpawn bool
+}
+
+// schedPresetResult is one preset's row in BENCH_sched.json.
+type schedPresetResult struct {
+	Name    string           `json:"name"`
+	Pins    int              `json:"pins"`
+	Levels  int              `json:"levels"`
+	TopK    int              `json:"top_k"`
+	NsPerOp map[string]int64 `json:"ns_per_op"`
+}
+
+type schedBenchReport struct {
+	NumCPU     int                 `json:"numcpu"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Presets    []schedPresetResult `json:"presets"`
+}
+
+// medianPropagateNs runs a warmup pass then five timed samples of e.Run()
+// and returns the median ns per run — a hand-rolled benchmark so the harness
+// stays a regular test (runnable by ci.sh without -bench plumbing).
+func medianPropagateNs(e *core.Engine) int64 {
+	e.Run() // warmup: faults pages, fills queues once
+	const samples = 5
+	ns := make([]int64, samples)
+	for i := range ns {
+		start := time.Now()
+		e.Run()
+		ns[i] = time.Since(start).Nanoseconds()
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns[samples/2]
+}
+
+func TestSchedBenchRegression(t *testing.T) {
+	presets := []string{"block-1", "block-2"}
+	configs := []schedBenchConfig{
+		{"pool_w1", 1, false},
+		{"pool_wN", runtime.NumCPU(), false},
+		{"spawn_w4", 4, true},
+		{"pool_w4", 4, false},
+	}
+
+	report := schedBenchReport{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, name := range presets {
+		spec, err := bench.BlockSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := exp.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := schedPresetResult{
+			Name: name, Pins: s.B.D.NumPins(), TopK: 32,
+			NsPerOp: make(map[string]int64, len(configs)),
+		}
+		for _, cfg := range configs {
+			e, err := core.NewEngine(s.Tab, core.Options{
+				TopK: 32, Workers: cfg.workers, LegacySpawn: cfg.legacySpawn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			row.Levels = e.NumLevels()
+			row.NsPerOp[cfg.key] = medianPropagateNs(e)
+		}
+		t.Logf("%s (%d pins, %d levels): pool_w1=%dns pool_wN=%dns spawn_w4=%dns pool_w4=%dns",
+			name, row.Pins, row.Levels,
+			row.NsPerOp["pool_w1"], row.NsPerOp["pool_wN"],
+			row.NsPerOp["spawn_w4"], row.NsPerOp["pool_w4"])
+
+		// Weak regression gate: at the same worker count, the persistent pool
+		// must not be grossly slower than the per-level spawn path. The real
+		// comparison lives in the JSON; the 1.5x slack absorbs scheduler noise
+		// on small shared CI machines.
+		if pool, spawn := row.NsPerOp["pool_w4"], row.NsPerOp["spawn_w4"]; pool > spawn+spawn/2 {
+			t.Errorf("%s: pool at 4 workers (%dns) is >1.5x the spawn path (%dns)", name, pool, spawn)
+		}
+		report.Presets = append(report.Presets, row)
+	}
+
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sched.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

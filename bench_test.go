@@ -12,6 +12,7 @@
 package insta
 
 import (
+	"runtime"
 	"testing"
 
 	"insta/internal/bench"
@@ -63,6 +64,23 @@ func benchPropagate(b *testing.B, block string, topK int) {
 
 func BenchmarkTableI_Block1_Propagate(b *testing.B) { benchPropagate(b, "block-1", 32) }
 func BenchmarkTableI_Block2_Propagate(b *testing.B) { benchPropagate(b, "block-2", 32) }
+
+// BenchmarkTableI_Block2_PropagateMT is the Table I row with the scheduler
+// pool at full machine width (Workers = NumCPU) instead of the serial path.
+func BenchmarkTableI_Block2_PropagateMT(b *testing.B) {
+	s := buildBlock(b, "block-2")
+	e, err := core.NewEngine(s.Tab, core.Options{TopK: 32, Tau: 0.01, Workers: runtime.NumCPU()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run()
+	}
+	b.ReportMetric(float64(s.B.D.NumPins()), "pins")
+	b.ReportMetric(float64(e.NumLevels()), "levels")
+}
 func BenchmarkTableI_Block3_Propagate(b *testing.B) { benchPropagate(b, "block-3", 32) }
 func BenchmarkTableI_Block4_Propagate(b *testing.B) { benchPropagate(b, "block-4", 32) }
 func BenchmarkTableI_Block5_Propagate(b *testing.B) { benchPropagate(b, "block-5", 32) }
@@ -239,13 +257,16 @@ func BenchmarkTableIII_Fig9_InstaPlaceIteration(b *testing.B) {
 // --- Ablations (DESIGN.md §6) ---
 
 // BenchmarkAblation_Workers compares the level-parallel kernel at different
-// worker-pool sizes (the paper's GPU parallelism axis).
-func BenchmarkAblation_Workers1(b *testing.B) { benchWorkers(b, 1) }
-func BenchmarkAblation_Workers4(b *testing.B) { benchWorkers(b, 4) }
+// worker-pool sizes (the paper's GPU parallelism axis), and the persistent
+// chunk-claiming pool against the seed's spawn-per-level strategy at the same
+// worker count (the internal/sched tentpole).
+func BenchmarkAblation_Workers1(b *testing.B)     { benchWorkers(b, 1, false) }
+func BenchmarkAblation_Workers4(b *testing.B)     { benchWorkers(b, 4, false) }
+func BenchmarkAblation_SpawnWorkers4(b *testing.B) { benchWorkers(b, 4, true) }
 
-func benchWorkers(b *testing.B, workers int) {
+func benchWorkers(b *testing.B, workers int, legacySpawn bool) {
 	s := buildBlock(b, "block-1")
-	e, err := core.NewEngine(s.Tab, core.Options{TopK: 32, Workers: workers})
+	e, err := core.NewEngine(s.Tab, core.Options{TopK: 32, Workers: workers, LegacySpawn: legacySpawn})
 	if err != nil {
 		b.Fatal(err)
 	}

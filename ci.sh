@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the checks a PR must pass, in the order a failure is cheapest:
+#
+#   1. go vet        — static analysis over every package
+#   2. go build      — everything compiles, including cmd/ and examples/
+#   3. go test       — full suite (unit + determinism + differential + bench
+#                      regression smoke, which rewrites BENCH_sched.json)
+#   4. go test -race — short-mode race check of the scheduler and the engine
+#                      kernels that run on it (the concurrency surface)
+#
+# Run from the repo root: ./ci.sh
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (sched + core, short) =="
+go test -race -short ./internal/sched/... ./internal/core/...
+
+echo "ci.sh: all checks passed"

@@ -24,6 +24,7 @@ import (
 	"insta/internal/liberty"
 	"insta/internal/libertyio"
 	"insta/internal/refsta"
+	"insta/internal/sched"
 	"insta/internal/sdcio"
 	"insta/internal/spef"
 	"insta/internal/vlog"
@@ -41,7 +42,9 @@ func main() {
 	topK := flag.Int("topk", 32, "INSTA Top-K")
 	paths := flag.Int("paths", 3, "worst paths to report")
 	hold := flag.Bool("hold", false, "also run hold analysis")
-	workers := flag.Int("workers", runtime.NumCPU(), "kernel goroutines")
+	workers := flag.Int("workers", runtime.NumCPU(), "scheduler pool participants")
+	grain := flag.Int("grain", 0, "scheduler chunk size in pins (0 = default)")
+	profile := flag.Bool("profile", false, "print per-kernel scheduler telemetry")
 	flag.Parse()
 
 	vPath := filepath.Join(*dir, "design.v")
@@ -137,9 +140,14 @@ func main() {
 
 	// INSTA.
 	tab := circuitops.Extract(ref)
-	e, err := core.NewEngine(tab, core.Options{TopK: *topK, Hold: *hold, Workers: *workers})
+	e, err := core.NewEngine(tab, core.Options{
+		TopK: *topK, Hold: *hold, Workers: *workers, Grain: *grain,
+	})
 	if err != nil {
 		fatalf("insta: %v", err)
+	}
+	if *profile {
+		e.EnableKernelStats()
 	}
 	slacks := e.Run()
 	r, ms, n, dis, err := exp.Correlate(ref.EndpointSlacks(), slacks)
@@ -152,6 +160,13 @@ func main() {
 		e.EvalHoldSlacks()
 		fmt.Printf("hold: reference WNS %.2f / TNS %.2f ps | INSTA WNS %.2f / TNS %.2f ps\n",
 			ref.HoldWNS(), ref.HoldTNS(), e.HoldWNS(), e.HoldTNS())
+	}
+
+	if *profile {
+		e.Backward() // include the backward kernel in the profile
+		fmt.Printf("\nkernel profile (workers=%d grain=%d levels=%d):\n",
+			*workers, e.Pool().Grain(), e.NumLevels())
+		sched.WriteTable(os.Stdout, e.KernelStats(), 3)
 	}
 
 	fmt.Println()

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sync/atomic"
 
 	"insta/internal/liberty"
 )
@@ -24,6 +23,16 @@ import (
 // factor s_parent/s_child < 1), which is why a single-plane corner gradient
 // would overestimate sigma sensitivities downstream.
 //
+// Parallel determinism: where a GPU backward kernel would atomicAdd into
+// shared parent-pin slots (making the float accumulation order depend on the
+// scheduler), this pass is two-phase per level. Each pin first *gathers* its
+// own gradient — its endpoint seed plus the flow slots of its fan-out arcs,
+// summed in fan-out CSR order — then *scatters* softmax-weighted shares into
+// the flow slots of its fan-in arcs, which it exclusively owns (each arc has
+// exactly one `to` pin). The reverse level sweep guarantees every child has
+// scattered before any parent gathers, so both phases fuse into one kernel
+// per level with no atomics and a bit-identical result for any worker count.
+//
 // TNS here is Σ_ep min(0, slack_ep) with slack taken from the k=0 entry per
 // transition; each violating endpoint seeds ∂/∂mean = -1 and ∂/∂sigma =
 // -nSigma into its critical transition. Mean gradients are therefore ≤ 0:
@@ -38,38 +47,40 @@ func (e *Engine) Backward() { e.BackwardWeighted(nil) }
 // of WNS and TNS with respect to leaf variables".
 func (e *Engine) BackwardWeighted(w []float64) {
 	n := e.numPins
+	nArcs := len(e.arcFrom)
 	if e.gradArr[0] == nil {
 		for rf := 0; rf < 2; rf++ {
 			e.gradArr[rf] = make([]float64, n)
-			e.gradMean[rf] = make([]float64, len(e.arcFrom))
-			e.gradStd[rf] = make([]float64, len(e.arcFrom))
+			e.gradArrStd[rf] = make([]float64, n)
+			e.seedMean[rf] = make([]float64, n)
+			e.seedStd[rf] = make([]float64, n)
+			e.flowMean[rf] = make([]float64, nArcs)
+			e.flowStd[rf] = make([]float64, nArcs)
+			e.gradMean[rf] = make([]float64, nArcs)
+			e.gradStd[rf] = make([]float64, nArcs)
 		}
-		e.gradBitsMean = [2][]uint64{make([]uint64, n), make([]uint64, n)}
-		e.gradBitsStd = [2][]uint64{make([]uint64, n), make([]uint64, n)}
 	}
+	e.fanoutCSR() // gather phase walks fan-out arcs
 	for rf := 0; rf < 2; rf++ {
-		clearBits(e.gradBitsMean[rf])
-		clearBits(e.gradBitsStd[rf])
+		clearFloats(e.seedMean[rf])
+		clearFloats(e.seedStd[rf])
+		clearFloats(e.flowMean[rf])
+		clearFloats(e.flowStd[rf])
 		clearFloats(e.gradMean[rf])
 		clearFloats(e.gradStd[rf])
 	}
 
 	e.seedEndpointGradients(w)
 
-	// Reverse level sweep: each pin distributes its accumulated gradient to
-	// its fan-in arcs and parents.
+	// Reverse level sweep: each pin gathers its gradient from its fan-out
+	// arcs' flow slots, then distributes it to its fan-in arcs and parents.
 	for l := e.lv.NumLevels - 1; l >= 0; l-- {
 		pins := e.lv.Nodes(l)
-		e.parallelOver(len(pins), func(lo, hi int) {
+		e.kern(kBackward, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.backpropPin(pins[i])
 			}
 		})
-	}
-	for rf := 0; rf < 2; rf++ {
-		for i := range e.gradArr[rf] {
-			e.gradArr[rf][i] = math.Float64frombits(atomic.LoadUint64(&e.gradBitsMean[rf][i]))
-		}
 	}
 }
 
@@ -92,8 +103,8 @@ func (e *Engine) seedEndpointGradients(w []float64) {
 			weight = 1
 		}
 		if weight != 0 {
-			atomicAdd(e.gradBitsMean[bestRF], p, -weight)
-			atomicAdd(e.gradBitsStd[bestRF], p, -e.nSigma*weight)
+			e.seedMean[bestRF][p] += -weight
+			e.seedStd[bestRF][p] += -e.nSigma * weight
 		}
 	}
 }
@@ -168,19 +179,28 @@ func (e *Engine) WNSWeights(tau float64) []float64 {
 	return w
 }
 
-// backpropPin distributes pin p's gradients across its fan-in contributions
-// using the Eq. 6 softmax over contribution corner values.
+// backpropPin gathers pin p's gradient from its fan-out flow slots (plus its
+// endpoint seed) in fan-out CSR order, then distributes it across its fan-in
+// contributions using the Eq. 6 softmax over contribution corner values. The
+// distribution writes only flow slots of arcs ending at p, so pins within a
+// level never touch shared state.
 func (e *Engine) backpropPin(p int32) {
+	folo, fohi := e.foStart[p], e.foStart[p+1]
 	lo, hi := e.faninStart[p], e.faninStart[p+1]
-	if lo == hi {
-		return
-	}
 	tau := e.opt.Tau
 	var contribs [16]contrib
 	for rf := 0; rf < 2; rf++ {
-		gm := math.Float64frombits(atomic.LoadUint64(&e.gradBitsMean[rf][p]))
-		gs := math.Float64frombits(atomic.LoadUint64(&e.gradBitsStd[rf][p]))
-		if gm == 0 && gs == 0 {
+		// Gather: fixed CSR order makes the float sum order deterministic.
+		gm := e.seedMean[rf][p]
+		gs := e.seedStd[rf][p]
+		for pos := folo; pos < fohi; pos++ {
+			a := e.foArc[pos]
+			gm += e.flowMean[rf][a]
+			gs += e.flowStd[rf][a]
+		}
+		e.gradArr[rf][p] = gm
+		e.gradArrStd[rf][p] = gs
+		if (gm == 0 && gs == 0) || lo == hi {
 			continue
 		}
 		cs := contribs[:0]
@@ -207,7 +227,7 @@ func (e *Engine) backpropPin(p int32) {
 					dsArc = as / rss
 				}
 				cs = append(cs, contrib{
-					arc: arc, parent: parent, prf: int8(prf),
+					arc: arc, prf: int8(prf),
 					corner: corner, dsParent: dsParent, dsArc: dsArc,
 				})
 				if corner > maxCorner {
@@ -231,15 +251,17 @@ func (e *Engine) backpropPin(p int32) {
 			w := c.w * inv
 			e.gradMean[rf][c.arc] += w * gm
 			e.gradStd[rf][c.arc] += w * gs * c.dsArc
-			atomicAdd(e.gradBitsMean[int(c.prf)], c.parent, w*gm)
-			atomicAdd(e.gradBitsStd[int(c.prf)], c.parent, w*gs*c.dsParent)
+			// Scatter: flow slots of fan-in arcs are owned by p. A non-unate
+			// arc can route both of p's transitions onto the same (prf, arc)
+			// slot, hence += rather than assignment.
+			e.flowMean[int(c.prf)][c.arc] += w * gm
+			e.flowStd[int(c.prf)][c.arc] += w * gs * c.dsParent
 		}
 	}
 }
 
 type contrib struct {
 	arc      int32
-	parent   int32
 	prf      int8
 	corner   float64
 	dsParent float64
@@ -247,27 +269,7 @@ type contrib struct {
 	w        float64
 }
 
-// atomicAdd accumulates into a shared gradient plane. Parents are shared
-// between same-level pins, so this is the CPU analogue of the CUDA atomicAdd
-// the backward kernel would use.
-func atomicAdd(bits []uint64, pin int32, v float64) {
-	addr := &bits[pin]
-	for {
-		old := atomic.LoadUint64(addr)
-		nw := math.Float64bits(math.Float64frombits(old) + v)
-		if atomic.CompareAndSwapUint64(addr, old, nw) {
-			return
-		}
-	}
-}
-
 func clearFloats(xs []float64) {
-	for i := range xs {
-		xs[i] = 0
-	}
-}
-
-func clearBits(xs []uint64) {
 	for i := range xs {
 		xs[i] = 0
 	}

@@ -28,6 +28,7 @@ import (
 	"insta/internal/liberty"
 	"insta/internal/netlist"
 	"insta/internal/num"
+	"insta/internal/sched"
 	"insta/internal/sdc"
 )
 
@@ -44,9 +45,16 @@ type Options struct {
 	// Tau is the Log-Sum-Exp temperature of the differentiable backward pass
 	// (paper Eq. 4; the sizing experiments use 0.01).
 	Tau float64
-	// Workers is the number of goroutines per kernel launch; 0 means
-	// runtime.NumCPU().
+	// Workers is the participant count of the engine's persistent scheduler
+	// pool (the launching goroutine counts as one); 0 means runtime.NumCPU().
 	Workers int
+	// Grain is the scheduler chunk size in pins/spans; 0 means
+	// sched.DefaultGrain. A kernel launch of at most one grain runs inline.
+	Grain int
+	// LegacySpawn bypasses the persistent pool and dispatches every kernel
+	// with the seed strategy (fresh goroutines per launch, fixed even splits,
+	// n < 256 serial cliff). Ablation/benchmark knob — see sched.Spawn.
+	LegacySpawn bool
 }
 
 // DefaultOptions mirrors the paper's Table I configuration.
@@ -106,12 +114,20 @@ type Engine struct {
 	topStd  []float64
 	topSP   []int32
 
-	// Differentiable state (allocated on first Backward call).
-	gradArr      [2][]float64 // dLoss/d(corner arrival), k=0 plane
-	gradBitsMean [2][]uint64  // atomic accumulation buffers behind gradArr
-	gradBitsStd  [2][]uint64
-	gradMean     [2][]float64 // dLoss/d(arc delay mean) — the paper's timing gradient
-	gradStd      [2][]float64 // dLoss/d(arc delay sigma)
+	// Differentiable state (allocated on first Backward call). The backward
+	// pass is two-phase per level so that accumulation order is fixed by the
+	// CSR layout, never by goroutine scheduling: each pin *scatters* weighted
+	// gradient into per-arc flow slots it exclusively owns (it is every fan-in
+	// arc's unique `to` pin), and *gathers* its own gradient from its fan-out
+	// arcs' slots in CSR order. Results are bit-identical for any Workers.
+	gradArr    [2][]float64 // dLoss/d(arrival mean at pin), gathered
+	gradArrStd [2][]float64 // dLoss/d(arrival sigma at pin), gathered
+	seedMean   [2][]float64 // per-pin loss seeds (endpoint injection)
+	seedStd    [2][]float64
+	flowMean   [2][]float64 // per-arc gradient flow, indexed [parent rf][arc]
+	flowStd    [2][]float64
+	gradMean   [2][]float64 // dLoss/d(arc delay mean) — the paper's timing gradient
+	gradStd    [2][]float64 // dLoss/d(arc delay sigma)
 
 	epSlack []float64
 	epSP    []int32 // critical startpoint per endpoint (last evaluation)
@@ -119,10 +135,16 @@ type Engine struct {
 
 	hold *holdState // early-arrival state (Options.Hold)
 
-	pinOwner []int32 // lazily built pin→cell mapping (see grads.go)
+	pinOwner []int32   // lazily built pin→cell mapping (see grads.go)
+	arcStage []int32   // lazily built arc→owning stage cell (see grads.go)
+	stageAcc []float64 // per-cell accumulation scratch for StageGradients
 
-	// Lazily built fan-out CSR for incremental propagation.
-	foStart, foAdj []int32
+	// Lazily built fan-out CSR (incremental propagation and backward gather):
+	// slot i holds destination pin foAdj[i] reached through arc foArc[i].
+	foStart, foAdj, foArc []int32
+
+	pool  *sched.Pool // persistent kernel scheduler, created with the engine
+	stats *sched.Stats
 }
 
 // NewEngine initializes INSTA from extracted circuitops tables — the
@@ -145,6 +167,7 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 		numPins: t.NumPins,
 		period:  t.Period,
 		nSigma:  t.NSigma,
+		pool:    sched.New(opt.Workers, opt.Grain),
 	}
 
 	// Arc annotations and fan-in CSR.
@@ -259,6 +282,59 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 	return e, nil
 }
 
+// Kernel tags for scheduler instrumentation (Engine.KernelStats).
+const (
+	kForward     = "forward"
+	kHold        = "hold"
+	kBackward    = "backward"
+	kSlack       = "slack"
+	kHoldSlack   = "hold-slack"
+	kIncremental = "incremental"
+)
+
+// kern dispatches one kernel launch over [0, n) through the engine's
+// persistent pool (or the legacy per-launch spawn path when configured). tag
+// and level identify the launch to the attached stats collector; level is -1
+// for launches not tied to the level schedule (endpoint sweeps).
+func (e *Engine) kern(tag string, level, n int, fn func(lo, hi int)) {
+	if e.opt.LegacySpawn {
+		sched.Spawn(e.opt.Workers, n, fn)
+		return
+	}
+	e.pool.RunTagged(tag, level, n, fn)
+}
+
+// Pool returns the engine's persistent scheduler pool so applications
+// (placement, sizing) can dispatch their own hot loops onto the same workers.
+func (e *Engine) Pool() *sched.Pool { return e.pool }
+
+// Close releases the engine's worker pool. Optional: dropping the last
+// reference to the engine releases the workers automatically; Close is for
+// deterministic shutdown and is idempotent. The engine must not be used
+// after Close.
+func (e *Engine) Close() { e.pool.Close() }
+
+// EnableKernelStats attaches (and returns) a telemetry collector recording
+// every subsequent kernel launch: per-kernel and per-level span counts, chunk
+// imbalance and wall time. Idempotent — repeated calls return the same
+// collector.
+func (e *Engine) EnableKernelStats() *sched.Stats {
+	if e.stats == nil {
+		e.stats = sched.NewStats()
+		e.pool.SetStats(e.stats)
+	}
+	return e.stats
+}
+
+// KernelStats snapshots the collected kernel profiles (nil before
+// EnableKernelStats).
+func (e *Engine) KernelStats() []sched.KernelProfile {
+	if e.stats == nil {
+		return nil
+	}
+	return e.stats.Snapshot()
+}
+
 // base returns the flat offset of (rf, pin)'s Top-K block.
 func (e *Engine) base(rf int, pin int32) int {
 	return ((rf * e.numPins) + int(pin)) * e.opt.TopK
@@ -286,8 +362,8 @@ func (e *Engine) MemoryBytes() int64 {
 	b += int64(len(e.spPin)) * (4 + 4 + 8 + 8)
 	b += int64(len(e.epPin)) * (4 + 4 + 8 + 8 + 8 + 4 + 1)
 	if e.gradArr[0] != nil {
-		b += int64(len(e.gradArr[0])) * 2 * (8 + 8 + 8) // arr + two bit planes, both rf
-		b += int64(len(e.gradMean[0])) * 2 * 16
+		b += int64(len(e.gradArr[0])) * 2 * 4 * 8 // arr/arrStd/seed planes, both rf
+		b += int64(len(e.gradMean[0])) * 2 * 4 * 8 // arc grad + flow planes, both rf
 	}
 	return b
 }

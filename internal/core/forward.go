@@ -2,19 +2,19 @@ package core
 
 import (
 	"math"
-	"sync"
 
 	"insta/internal/liberty"
 )
 
 // Propagate runs the forward kernel: level-synchronous Top-K statistical
 // arrival propagation with unique startpoints (Algorithms 1 and 2). Pins
-// within a level are independent and are distributed over the worker pool —
-// the goroutine analogue of one CUDA thread per output pin (Fig. 3).
+// within a level are independent and are distributed over the engine's
+// persistent scheduler pool by atomic chunk claiming — the goroutine
+// analogue of one CUDA thread per output pin (Fig. 3).
 func (e *Engine) Propagate() {
 	for l := 0; l < e.lv.NumLevels; l++ {
 		pins := e.lv.Nodes(l)
-		e.parallelOver(len(pins), func(lo, hi int) {
+		e.kern(kForward, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.propagatePin(pins[i])
 			}
@@ -23,29 +23,6 @@ func (e *Engine) Propagate() {
 	if e.hold != nil {
 		e.propagateHold()
 	}
-}
-
-// parallelOver splits [0, n) into chunks across the worker pool and waits.
-func (e *Engine) parallelOver(n int, fn func(lo, hi int)) {
-	w := e.opt.Workers
-	if w <= 1 || n < 256 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // propagatePin recomputes pin p's Top-K queues for both transitions.

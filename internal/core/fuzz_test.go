@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzInsertTopK drives Algorithm 2's queue insert with byte-decoded
+// (arrival, startpoint) streams and checks every invariant the propagation
+// kernels rely on against the brute-force oracle:
+//
+//   - the kept arrivals equal "max per startpoint, then K largest";
+//   - entries are in descending arrival order;
+//   - startpoints are unique;
+//   - empty slots are packed at the tail (-Inf arrival, noSP marker).
+//
+// Bytes decode two per insert: arrival = b0 (a coarse grid that makes
+// duplicate keys and displacement ties common), sp = b1 % 10.
+func FuzzInsertTopK(f *testing.F) {
+	// Algorithm-2 edge cases as seeds.
+	// Duplicate SP update: same startpoint arrives twice, larger second.
+	f.Add(uint8(3), []byte{10, 1, 20, 1})
+	// Duplicate SP with a smaller second arrival (must be ignored).
+	f.Add(uint8(3), []byte{20, 1, 10, 1})
+	// Displacement at k-1: full queue, new sp lands exactly above the min.
+	f.Add(uint8(2), []byte{30, 1, 10, 2, 20, 3})
+	// Bubble-up: in-place update that must rise past two entries.
+	f.Add(uint8(3), []byte{30, 1, 20, 2, 10, 3, 40, 3})
+	// Saturating duplicates across a tiny queue.
+	f.Add(uint8(1), []byte{5, 0, 9, 1, 7, 0, 9, 2, 1, 1})
+
+	f.Fuzz(func(t *testing.T, kByte uint8, data []byte) {
+		k := 1 + int(kByte)%8
+		arr := make([]float64, k)
+		mean := make([]float64, k)
+		std := make([]float64, k)
+		sps := make([]int32, k)
+		clearQueue(arr, sps)
+
+		var fed []qEntry
+		for i := 0; i+1 < len(data); i += 2 {
+			a := float64(data[i])
+			sp := int32(data[i+1] % 10)
+			fed = append(fed, qEntry{arr: a, sp: sp})
+			insertTopK(arr, mean, std, sps, a, a, 0, sp)
+		}
+
+		// Invariant: packed empties trailing.
+		n := k
+		for i := 0; i < k; i++ {
+			if sps[i] == noSP {
+				n = i
+				break
+			}
+		}
+		for i := n; i < k; i++ {
+			if sps[i] != noSP || !math.IsInf(arr[i], -1) {
+				t.Fatalf("slot %d after first empty not cleared: arr=%v sp=%d",
+					i, arr[i], sps[i])
+			}
+		}
+		// Invariant: descending order, unique startpoints.
+		seen := make(map[int32]bool, n)
+		for i := 0; i < n; i++ {
+			if i > 0 && arr[i-1] < arr[i] {
+				t.Fatalf("ascending pair at %d: %v < %v", i-1, arr[i-1], arr[i])
+			}
+			if seen[sps[i]] {
+				t.Fatalf("duplicate startpoint %d", sps[i])
+			}
+			seen[sps[i]] = true
+		}
+		// Oracle: arrivals must match brute force exactly. (At equal arrivals
+		// the kept sp may differ from the oracle's tie-break, so only the
+		// values are compared.)
+		want := bruteTopK(fed, k)
+		if len(want) != n {
+			t.Fatalf("kept %d entries, oracle kept %d", n, len(want))
+		}
+		for i := 0; i < n; i++ {
+			if arr[i] != want[i].arr {
+				t.Fatalf("slot %d: arr %v, oracle %v", i, arr[i], want[i].arr)
+			}
+		}
+	})
+}

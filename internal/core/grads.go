@@ -13,30 +13,43 @@ type StageGradient struct {
 }
 
 // StageGradients aggregates the last Backward's arc gradients per stage and
-// returns the stages with non-zero gradient. This is the ranking signal
-// INSTA-Size sorts by magnitude.
+// returns the stages with non-zero gradient, in ascending cell order. The
+// arc→stage map is cached; accumulation walks arcs in id order into a dense
+// per-cell buffer, so the output is deterministic (the map-based original
+// iterated in random order, making float sums run-dependent). This is the
+// ranking signal INSTA-Size sorts by magnitude.
 func (e *Engine) StageGradients() []StageGradient {
-	acc := make(map[int32]float64)
-	for arc := range e.arcFrom {
-		g := e.TimingGradient(int32(arc))
-		if g == 0 {
-			continue
-		}
-		var cell int32
-		if e.arcKind[arc] == 0 {
-			cell = e.arcCell[arc]
-		} else {
-			// Net arc: attribute to the driving cell.
-			cell = e.ownerOfPin(e.arcFrom[arc])
-			if cell < 0 {
-				continue // driven by a primary input
+	if e.arcStage == nil {
+		e.arcStage = make([]int32, len(e.arcFrom))
+		maxCell := int32(-1)
+		for arc := range e.arcFrom {
+			var cell int32
+			if e.arcKind[arc] == 0 {
+				cell = e.arcCell[arc]
+			} else {
+				// Net arc: attribute to the driving cell (-1 when driven by a
+				// primary input).
+				cell = e.ownerOfPin(e.arcFrom[arc])
+			}
+			e.arcStage[arc] = cell
+			if cell > maxCell {
+				maxCell = cell
 			}
 		}
-		acc[cell] += g
+		e.stageAcc = make([]float64, maxCell+1)
 	}
-	out := make([]StageGradient, 0, len(acc))
+	acc := e.stageAcc
+	clearFloats(acc)
+	for arc := range e.arcFrom {
+		if cell := e.arcStage[arc]; cell >= 0 {
+			acc[cell] += e.TimingGradient(int32(arc))
+		}
+	}
+	var out []StageGradient
 	for c, g := range acc {
-		out = append(out, StageGradient{Cell: c, Grad: g})
+		if g != 0 {
+			out = append(out, StageGradient{Cell: int32(c), Grad: g})
+		}
 	}
 	return out
 }

@@ -52,7 +52,7 @@ func (e *Engine) HoldEnabled() bool { return e.hold != nil }
 func (e *Engine) propagateHold() {
 	for l := 0; l < e.lv.NumLevels; l++ {
 		pins := e.lv.Nodes(l)
-		e.parallelOver(len(pins), func(lo, hi int) {
+		e.kern(kHold, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.propagatePinMin(pins[i])
 			}
@@ -115,7 +115,7 @@ func (e *Engine) propagatePinMin(p int32) {
 func (e *Engine) EvalHoldSlacks() []float64 {
 	h := e.hold
 	k := e.opt.TopK
-	e.parallelOver(len(e.epPin), func(lo, hiI int) {
+	e.kern(kHoldSlack, -1, len(e.epPin), func(lo, hiI int) {
 		for i := lo; i < hiI; i++ {
 			p := e.epPin[i]
 			best := math.Inf(1)

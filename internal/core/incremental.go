@@ -10,7 +10,9 @@ package core
 // paper's full-propagation design (BenchmarkAblation_IncrementalPropagate).
 
 // fanoutCSR lazily builds the pin fan-out adjacency (the forward kernel only
-// needs fan-in).
+// needs fan-in): slot i of [foStart[p], foStart[p+1]) holds destination pin
+// foAdj[i] reached through arc foArc[i]. The backward gather phase relies on
+// this slot order being fixed for its deterministic float summation.
 func (e *Engine) fanoutCSR() (start, adj []int32) {
 	if e.foStart != nil {
 		return e.foStart, e.foAdj
@@ -25,13 +27,15 @@ func (e *Engine) fanoutCSR() (start, adj []int32) {
 		start[i+1] = start[i] + counts[i+1]
 	}
 	adj = make([]int32, len(e.arcFrom))
+	arcs := make([]int32, len(e.arcFrom))
 	cursor := make([]int32, n)
 	for i := range e.arcFrom {
 		f := e.arcFrom[i]
 		adj[start[f]+cursor[f]] = e.arcTo[i]
+		arcs[start[f]+cursor[f]] = int32(i)
 		cursor[f]++
 	}
-	e.foStart, e.foAdj = start, adj
+	e.foStart, e.foAdj, e.foArc = start, adj, arcs
 	return start, adj
 }
 
@@ -40,8 +44,13 @@ func (e *Engine) fanoutCSR() (start, adj []int32) {
 // Propagate. A wavefront stops at pins whose Top-K queues come out
 // identical. Hold queues, when enabled, are updated over the same cone.
 //
+// Each level's bucket is recomputed through the scheduler pool (pins are
+// independent, exactly as in the full forward kernel); the wavefront
+// expansion that follows is serial and walks the bucket in order, so the
+// resulting state is bit-identical to a full Propagate for any worker count.
+//
 // Callers batching SetArcDelay updates pass the touched arc ids here instead
-// of calling Propagate; results are bit-identical to a full pass.
+// of calling Propagate.
 func (e *Engine) PropagateIncremental(arcs []int32) {
 	if len(arcs) == 0 {
 		return
@@ -62,30 +71,45 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 	}
 
 	k := e.opt.TopK
-	snap := snapshotBuf{
-		arr:  make([]float64, 2*k),
-		mean: make([]float64, 2*k),
-		std:  make([]float64, 2*k),
-		sp:   make([]int32, 2*k),
-	}
+	var changed []bool
 	for l := 0; l < len(buckets); l++ {
-		for _, p := range buckets[l] {
-			changed := false
-			// Late queues.
-			e.snapshotPin(p, &snap, false)
-			e.propagatePin(p)
-			if !e.snapshotEqual(p, &snap, false) {
-				changed = true
+		bucket := buckets[l]
+		if len(bucket) == 0 {
+			continue
+		}
+		if cap(changed) < len(bucket) {
+			changed = make([]bool, len(bucket))
+		}
+		changed = changed[:len(bucket)]
+		e.kern(kIncremental, l, len(bucket), func(lo, hi int) {
+			snap := snapshotBuf{
+				arr:  make([]float64, 2*k),
+				mean: make([]float64, 2*k),
+				std:  make([]float64, 2*k),
+				sp:   make([]int32, 2*k),
 			}
-			// Early queues.
-			if e.hold != nil {
-				e.snapshotPin(p, &snap, true)
-				e.propagatePinMin(p)
-				if !e.snapshotEqual(p, &snap, true) {
-					changed = true
+			for i := lo; i < hi; i++ {
+				p := bucket[i]
+				ch := false
+				// Late queues.
+				e.snapshotPin(p, &snap, false)
+				e.propagatePin(p)
+				if !e.snapshotEqual(p, &snap, false) {
+					ch = true
 				}
+				// Early queues.
+				if e.hold != nil {
+					e.snapshotPin(p, &snap, true)
+					e.propagatePinMin(p)
+					if !e.snapshotEqual(p, &snap, true) {
+						ch = true
+					}
+				}
+				changed[i] = ch
 			}
-			if changed {
+		})
+		for i, p := range bucket {
+			if changed[i] {
 				for _, to := range foAdj[foStart[p]:foStart[p+1]] {
 					push(to)
 				}

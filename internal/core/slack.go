@@ -9,7 +9,7 @@ import "math"
 // untimed endpoints carry +Inf.
 func (e *Engine) EvalSlacks() []float64 {
 	k := e.opt.TopK
-	e.parallelOver(len(e.epPin), func(lo, hi int) {
+	e.kern(kSlack, -1, len(e.epPin), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p := e.epPin[i]
 			best := math.Inf(1)

@@ -10,26 +10,49 @@ import (
 // smooth wirelength over all nets into gradX/gradY. weights scales each
 // net's contribution (nil means uniform), which is how DP4.0-style net
 // weighting enters the objective.
+//
+// The kernel is two-phase over the scheduler pool, each phase racing on
+// nothing and summing in a fixed order: nets scatter per-pin gradients into
+// pinGX/pinGY (a pin belongs to exactly one net, so writes are disjoint),
+// then movable cells gather their pins' contributions in pin-list order. The
+// result is bit-identical for any worker count.
 func (p *Placer) addWirelengthGrad(weights []float64) {
 	gamma := p.cfg.Gamma
-	for ni := range p.d.Nets {
-		net := &p.d.Nets[ni]
-		if len(net.Sinks) == 0 {
-			continue
+	clear(p.pinGX)
+	clear(p.pinGY)
+	p.pool.RunTagged("place-wl", -1, len(p.d.Nets), func(lo, hi int) {
+		for ni := lo; ni < hi; ni++ {
+			net := &p.d.Nets[ni]
+			if len(net.Sinks) == 0 {
+				continue
+			}
+			w := 1.0
+			if weights != nil {
+				w = weights[ni]
+			}
+			p.waNetGrad(net, w, gamma, true)
+			p.waNetGrad(net, w, gamma, false)
 		}
-		w := 1.0
-		if weights != nil {
-			w = weights[ni]
+	})
+	p.pool.RunTagged("place-wl", -1, len(p.movable), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := p.movable[i]
+			var gx, gy float64
+			for _, pin := range p.d.Cells[c].Pins {
+				gx += p.pinGX[pin]
+				gy += p.pinGY[pin]
+			}
+			p.gradX[c] += gx
+			p.gradY[c] += gy
 		}
-		p.waNetGrad(net, w, gamma, true)
-		p.waNetGrad(net, w, gamma, false)
-	}
+	})
 }
 
-// waNetGrad adds the WA wirelength gradient of one net along one axis.
+// waNetGrad computes the WA wirelength gradient of one net along one axis.
 // WA(net) = (Σ x e^{x/γ})/(Σ e^{x/γ}) - (Σ x e^{-x/γ})/(Σ e^{-x/γ});
 // its gradient w.r.t. each pin is computed with max-shifted exponentials for
-// stability, and accumulated onto the pin's owning cell (ports are fixed).
+// stability, and scattered into the per-pin scratch (the gather phase folds
+// it onto movable cells; ports and fixed cells never gather).
 func (p *Placer) waNetGrad(net *netlist.Net, w, gamma float64, xAxis bool) {
 	pins := p.netPins(net)
 	n := len(pins)
@@ -67,19 +90,15 @@ func (p *Placer) waNetGrad(net *netlist.Net, w, gamma float64, xAxis bool) {
 		sxMinus += c * em
 	}
 	for i, pin := range pins {
-		cell := p.d.Pins[pin].Cell
-		if cell == netlist.NoCell || p.d.Cells[cell].Fixed {
-			continue
-		}
 		c := coord(pin)
 		// d WA⁺ / dx_i and d WA⁻ / dx_i.
 		dPlus := ePlus[i] * (1 + (c-sxPlus/sPlus)/gamma) / sPlus
 		dMinus := eMinus[i] * (1 - (c-sxMinus/sMinus)/gamma) / sMinus
 		g := w * (dPlus - dMinus)
 		if xAxis {
-			p.gradX[cell] += g
+			p.pinGX[pin] += g
 		} else {
-			p.gradY[cell] += g
+			p.pinGY[pin] += g
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"insta/internal/netlist"
 	"insta/internal/num"
 	"insta/internal/refsta"
+	"insta/internal/sched"
 )
 
 // Mode selects the timing strategy.
@@ -62,6 +63,11 @@ type Config struct {
 	TimingStrength float64
 	// DensityOff disables the density term (diagnostics only).
 	DensityOff bool
+	// Workers sizes the placer's scheduler pool for the wirelength-gradient
+	// and position-update kernels; 0 means NumCPU. In INSTA mode the engine's
+	// pool is shared instead, so timing and placement kernels reuse the same
+	// workers.
+	Workers int
 }
 
 // DefaultConfig returns settings mirroring the paper's placement setup.
@@ -121,10 +127,15 @@ type Placer struct {
 	arcW    []core.NetArcGrad // raw arc gradients of the last refresh (INSTA mode)
 	arcWSm  map[int32]arcPull // momentum-smoothed arc pulls (INSTA mode)
 	lambda2 float64           // Eq. 8 balance factor
-	gradX   map[netlist.CellID]float64
-	gradY   map[netlist.CellID]float64
-	tgX     map[netlist.CellID]float64 // timing-force scratch
-	tgY     map[netlist.CellID]float64
+
+	// Dense gradient state, indexed by CellID / PinID. The wirelength kernel
+	// is two-phase for parallel determinism: nets scatter into the per-pin
+	// scratch (each pin belongs to exactly one net), then cells gather their
+	// pins' contributions in pin-list order.
+	gradX, gradY []float64
+	pinGX, pinGY []float64
+
+	pool *sched.Pool // engine's pool in INSTA mode, own pool otherwise
 }
 
 // New builds a placer over an initialized reference engine. The region is
@@ -155,12 +166,17 @@ func New(ref *refsta.Engine, eng *core.Engine, cfg Config) (*Placer, error) {
 		vx:      make([]float64, len(movable)),
 		vy:      make([]float64, len(movable)),
 		netW:    make([]float64, len(d.Nets)),
-		gradX:   make(map[netlist.CellID]float64, len(movable)),
-		gradY:   make(map[netlist.CellID]float64, len(movable)),
-		tgX:     make(map[netlist.CellID]float64),
-		tgY:     make(map[netlist.CellID]float64),
+		gradX:   make([]float64, len(d.Cells)),
+		gradY:   make([]float64, len(d.Cells)),
+		pinGX:   make([]float64, len(d.Pins)),
+		pinGY:   make([]float64, len(d.Pins)),
 		arcWSm:  make(map[int32]arcPull),
 		lambda2: 1,
+	}
+	if eng != nil {
+		p.pool = eng.Pool()
+	} else {
+		p.pool = sched.New(cfg.Workers, 0)
 	}
 	for i := range p.netW {
 		p.netW[i] = 1
@@ -249,13 +265,16 @@ func (p *Placer) RefreshTiming() Breakdown {
 		}
 		bd.Weights = time.Since(t0)
 	case ModeInsta:
-		// "Data transfer": clone refreshed arc delays into INSTA.
+		// "Data transfer": clone refreshed arc delays into INSTA. Arcs are
+		// disjoint, so the transfer runs on the shared scheduler pool.
 		t0 = time.Now()
-		for i := range p.ref.Arcs {
-			a := &p.ref.Arcs[i]
-			p.eng.SetArcDelay(int32(i), liberty.Rise, a.Delay[liberty.Rise])
-			p.eng.SetArcDelay(int32(i), liberty.Fall, a.Delay[liberty.Fall])
-		}
+		p.pool.RunTagged("place-xfer", -1, len(p.ref.Arcs), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := &p.ref.Arcs[i]
+				p.eng.SetArcDelay(int32(i), liberty.Rise, a.Delay[liberty.Rise])
+				p.eng.SetArcDelay(int32(i), liberty.Fall, a.Delay[liberty.Fall])
+			}
+		})
 		bd.Transfer = time.Since(t0)
 		// Gradient computation: forward + backward kernels, then the same
 		// momentum smoothing the net-weighting baseline enjoys, so pressure
@@ -289,12 +308,8 @@ func (p *Placer) updateLambda2() {
 }
 
 func (p *Placer) clearGrads() {
-	for k := range p.gradX {
-		delete(p.gradX, k)
-	}
-	for k := range p.gradY {
-		delete(p.gradY, k)
-	}
+	clear(p.gradX)
+	clear(p.gradY)
 }
 
 func (p *Placer) gradNorm() float64 {
@@ -327,14 +342,17 @@ func (p *Placer) Step(it int) {
 	}
 
 	lr := p.cfg.LR * (1 - 0.5*float64(it)/float64(p.cfg.Iterations))
-	for i, c := range p.movable {
-		gx, gy := p.gradX[c], p.gradY[c]
-		p.vx[i] = p.cfg.Momentum*p.vx[i] - lr*gx
-		p.vy[i] = p.cfg.Momentum*p.vy[i] - lr*gy
-		cell := &p.d.Cells[c]
-		cell.X = num.Clamp(cell.X+p.vx[i], 0, p.W)
-		cell.Y = num.Clamp(cell.Y+p.vy[i], 0, p.H)
-	}
+	p.pool.RunTagged("place-step", -1, len(p.movable), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := p.movable[i]
+			gx, gy := p.gradX[c], p.gradY[c]
+			p.vx[i] = p.cfg.Momentum*p.vx[i] - lr*gx
+			p.vy[i] = p.cfg.Momentum*p.vy[i] - lr*gy
+			cell := &p.d.Cells[c]
+			cell.X = num.Clamp(cell.X+p.vx[i], 0, p.W)
+			cell.Y = num.Clamp(cell.Y+p.vy[i], 0, p.H)
+		}
+	})
 }
 
 // arcPull is one momentum-smoothed arc weight with its pin pair.

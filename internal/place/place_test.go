@@ -141,10 +141,11 @@ func TestWAGradientPullsTogether(t *testing.T) {
 		}
 		d.Cells[dc].X, d.Cells[dc].Y = 10, 10
 		d.Cells[sc].X, d.Cells[sc].Y = 40, 10
-		p.clearGrads()
+		clear(p.pinGX)
 		p.waNetGrad(net, 1, p.cfg.Gamma, true)
-		if !(p.gradX[sc] > 0 && p.gradX[dc] < 0) {
-			t.Fatalf("gradient wrong direction: driver %v sink %v", p.gradX[dc], p.gradX[sc])
+		if !(p.pinGX[net.Sinks[0]] > 0 && p.pinGX[net.Driver] < 0) {
+			t.Fatalf("gradient wrong direction: driver %v sink %v",
+				p.pinGX[net.Driver], p.pinGX[net.Sinks[0]])
 		}
 		return
 	}

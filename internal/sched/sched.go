@@ -1,0 +1,242 @@
+// Package sched provides the persistent execution layer every INSTA kernel
+// dispatches onto: a worker pool created once per engine and reused across
+// forward, hold, backward and incremental passes.
+//
+// The paper's GPU runtime launches one massively parallel kernel per timing
+// level, so propagation cost scales with the level count, not the pin count
+// (§III-A/§IV-A). The CPU analogue here must not pay a goroutine spawn per
+// level per pass — deep-but-narrow graphs launch thousands of kernels per
+// propagation — so the pool parks its workers on a channel between launches
+// and wakes only as many as a launch has chunks for.
+//
+// Work is distributed by atomic chunk claiming rather than fixed even splits:
+// every participant (the calling goroutine included) repeatedly claims the
+// next grain-sized index range until the launch is drained. Uneven per-pin
+// cost (Top-K merges vary with fan-in and queue occupancy) therefore cannot
+// strand a worker with the slowest fixed share. The grain is tunable and
+// doubles as the serial cutoff: a launch with at most one chunk runs inline
+// on the caller.
+//
+// Determinism: the pool never decides *what* a kernel computes, only which
+// participant computes which chunk. Kernels that write disjoint state per
+// index (all of INSTA's are) produce bit-identical results for any worker
+// count and any claiming interleaving.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultGrain is the chunk size used when a Pool is created with grain <= 0.
+// Each claimed chunk costs one atomic add; INSTA's per-pin kernels are heavy
+// enough (Top-K queue merges) that 64 pins amortize it to noise while still
+// splitting typical level widths into several claimable pieces.
+const DefaultGrain = 64
+
+// Pool is a handle to a persistent worker pool. Dropping the last reference
+// releases the workers automatically (a runtime cleanup closes the pool), so
+// holders need not call Close; Close remains available for deterministic
+// release and is idempotent.
+type Pool struct{ p *pool }
+
+type pool struct {
+	workers int // max claimers per launch, including the caller
+	grain   int
+	wake    chan struct{} // parked workers block here; buffered workers-1
+	job     job
+	stats   atomic.Pointer[Stats]
+	close   sync.Once
+}
+
+// job is the state of the in-flight launch. Run does not return until every
+// woken worker is done, so consecutive launches never overlap: the plain
+// fields are published to workers by the wake-channel send and retired by the
+// WaitGroup before being rewritten.
+type job struct {
+	fn        func(lo, hi int)
+	n         int64
+	grain     int64
+	cursor    atomic.Int64 // next unclaimed index
+	claimers  atomic.Int64 // participants that processed at least one chunk
+	maxChunks atomic.Int64 // most chunks claimed by a single participant
+	wg        sync.WaitGroup
+}
+
+// New creates a pool with the given worker count and grain size. workers <= 0
+// selects runtime.NumCPU(); grain <= 0 selects DefaultGrain. workers-1
+// goroutines are spawned immediately and parked; the calling goroutine is the
+// remaining participant of every launch.
+func New(workers, grain int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := &pool{
+		workers: workers,
+		grain:   grain,
+		wake:    make(chan struct{}, workers-1),
+	}
+	for i := 0; i < workers-1; i++ {
+		go p.worker()
+	}
+	h := &Pool{p}
+	// Workers reference only the inner pool, so once the handle is
+	// unreachable nothing can launch again and the cleanup may park them
+	// permanently off.
+	runtime.AddCleanup(h, func(ip *pool) { ip.closePool() }, p)
+	return h
+}
+
+// Workers returns the pool's participant count (workers goroutines plus the
+// caller counts as one of them).
+func (h *Pool) Workers() int { return h.p.workers }
+
+// Grain returns the chunk size.
+func (h *Pool) Grain() int { return h.p.grain }
+
+// SetStats attaches a stats collector recording every subsequent launch; nil
+// detaches. Attaching costs two time.Now calls and one mutex acquisition per
+// launch; a detached pool records nothing.
+func (h *Pool) SetStats(s *Stats) { h.p.stats.Store(s) }
+
+// Stats returns the attached collector, or nil.
+func (h *Pool) Stats() *Stats { return h.p.stats.Load() }
+
+// Close releases the pool's workers. Idempotent. Calling Run after Close is a
+// bug (it panics on the closed wake channel for parallel launches).
+func (h *Pool) Close() { h.p.closePool() }
+
+func (p *pool) closePool() {
+	p.close.Do(func() { close(p.wake) })
+}
+
+// Run distributes fn over [0, n) and returns when every index has been
+// processed exactly once. fn is called with half-open chunk ranges [lo, hi)
+// from multiple goroutines concurrently; it must not assume any chunk order.
+// Launches at most one chunk long run inline on the caller.
+func (h *Pool) Run(n int, fn func(lo, hi int)) {
+	h.RunTagged("", -1, n, fn)
+}
+
+// RunTagged is Run with instrumentation identity: tag names the kernel and
+// level identifies the launch within a pass (-1 when levels are meaningless,
+// e.g. endpoint sweeps). The attached Stats collector, if any, aggregates
+// spans, chunks, imbalance and wall time under that identity.
+func (h *Pool) RunTagged(tag string, level, n int, fn func(lo, hi int)) {
+	p := h.p
+	if n <= 0 {
+		return
+	}
+	stats := p.stats.Load()
+	var start time.Time
+	if stats != nil {
+		start = time.Now()
+	}
+	grain := p.grain
+	nchunks := (n + grain - 1) / grain
+	helpers := p.workers - 1
+	if helpers > nchunks-1 {
+		helpers = nchunks - 1
+	}
+	if helpers <= 0 {
+		fn(0, n)
+		if stats != nil {
+			stats.record(tag, level, launchRecord{
+				spans: int64(n), chunks: 1, claimers: 1, serial: true,
+				wall: time.Since(start),
+			})
+		}
+		return
+	}
+	j := &p.job
+	j.fn, j.n, j.grain = fn, int64(n), int64(grain)
+	j.cursor.Store(0)
+	j.claimers.Store(0)
+	j.maxChunks.Store(0)
+	j.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.wake <- struct{}{}
+	}
+	p.runChunks()
+	j.wg.Wait()
+	j.fn = nil
+	if stats != nil {
+		stats.record(tag, level, launchRecord{
+			spans:     int64(n),
+			chunks:    int64(nchunks),
+			claimers:  j.claimers.Load(),
+			maxChunks: j.maxChunks.Load(),
+			wall:      time.Since(start),
+		})
+	}
+}
+
+func (p *pool) worker() {
+	for range p.wake {
+		p.runChunks()
+		p.job.wg.Done()
+	}
+}
+
+// runChunks claims grain-sized chunks until the launch is drained, then folds
+// this participant's claim count into the launch's imbalance counters.
+func (p *pool) runChunks() {
+	j := &p.job
+	n, grain, fn := j.n, j.grain, j.fn
+	var claimed int64
+	for {
+		lo := j.cursor.Add(grain) - grain
+		if lo >= n {
+			break
+		}
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(int(lo), int(hi))
+		claimed++
+	}
+	if claimed > 0 {
+		j.claimers.Add(1)
+		for {
+			cur := j.maxChunks.Load()
+			if claimed <= cur || j.maxChunks.CompareAndSwap(cur, claimed) {
+				break
+			}
+		}
+	}
+}
+
+// Spawn is the seed scheduling strategy, kept as an ablation baseline: split
+// [0, n) into one fixed even chunk per worker and spawn a goroutine for each,
+// every launch, with the historical n < 256 serial cliff. Benchmarks compare
+// Pool.Run against it so the per-level spawn overhead stays measurable as the
+// engine evolves (see BENCH_sched.json).
+func Spawn(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n < 256 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats aggregates kernel-launch telemetry: per kernel tag it tracks launch
+// and span counts, chunk counts, wall time, the share of launches that ran
+// inline (serial), and a chunk-imbalance figure; per (kernel, level) it
+// tracks launches, spans and wall time, which is the per-level profile the
+// paper's level-count scaling argument predicts (§IV-A: runtime tracks the
+// number of levels, spans per level set the parallel width).
+//
+// One collector may be attached to several pools; all methods are safe for
+// concurrent use.
+type Stats struct {
+	mu      sync.Mutex
+	kernels map[string]*kernelAgg
+}
+
+type kernelAgg struct {
+	launches     int64
+	serial       int64
+	spans        int64
+	chunks       int64
+	wall         time.Duration
+	imbalanceSum float64 // summed over parallel launches
+	parallel     int64
+	levels       []levelAgg
+}
+
+type levelAgg struct {
+	launches int64
+	spans    int64
+	wall     time.Duration
+}
+
+type launchRecord struct {
+	spans     int64
+	chunks    int64
+	claimers  int64
+	maxChunks int64
+	serial    bool
+	wall      time.Duration
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats {
+	return &Stats{kernels: make(map[string]*kernelAgg)}
+}
+
+func (s *Stats) record(tag string, level int, r launchRecord) {
+	if tag == "" {
+		tag = "(untagged)"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.kernels[tag]
+	if k == nil {
+		k = &kernelAgg{}
+		s.kernels[tag] = k
+	}
+	k.launches++
+	k.spans += r.spans
+	k.chunks += r.chunks
+	k.wall += r.wall
+	if r.serial {
+		k.serial++
+	} else {
+		k.parallel++
+		// Imbalance of one launch: the busiest participant's chunk count
+		// relative to a perfectly even split over the participants that did
+		// any work. 1.0 means perfect balance.
+		if r.claimers > 0 {
+			even := float64(r.chunks) / float64(r.claimers)
+			k.imbalanceSum += float64(r.maxChunks) / even
+		}
+	}
+	if level >= 0 {
+		for len(k.levels) <= level {
+			k.levels = append(k.levels, levelAgg{})
+		}
+		lv := &k.levels[level]
+		lv.launches++
+		lv.spans += r.spans
+		lv.wall += r.wall
+	}
+}
+
+// Reset discards all recorded telemetry.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kernels = make(map[string]*kernelAgg)
+}
+
+// KernelProfile is one kernel's aggregated telemetry snapshot.
+type KernelProfile struct {
+	Kernel         string
+	Launches       int64
+	SerialLaunches int64 // launches that ran inline on the caller
+	Spans          int64 // total indices processed
+	Chunks         int64 // total chunks claimed (serial launches count 1)
+	Wall           time.Duration
+	// AvgImbalance averages, over parallel launches, the busiest
+	// participant's chunk count relative to an even split; 1.0 is perfectly
+	// balanced, 2.0 means the busiest claimer did twice its even share. 0
+	// when no launch went parallel.
+	AvgImbalance float64
+	Levels       []LevelProfile
+}
+
+// LevelProfile is the per-level slice of a kernel's telemetry.
+type LevelProfile struct {
+	Level    int
+	Launches int64
+	Spans    int64
+	Wall     time.Duration
+}
+
+// Snapshot returns the current per-kernel profiles, sorted by kernel name.
+func (s *Stats) Snapshot() []KernelProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KernelProfile, 0, len(s.kernels))
+	for tag, k := range s.kernels {
+		p := KernelProfile{
+			Kernel:         tag,
+			Launches:       k.launches,
+			SerialLaunches: k.serial,
+			Spans:          k.spans,
+			Chunks:         k.chunks,
+			Wall:           k.wall,
+		}
+		if k.parallel > 0 {
+			p.AvgImbalance = k.imbalanceSum / float64(k.parallel)
+		}
+		for lv, a := range k.levels {
+			if a.launches == 0 {
+				continue
+			}
+			p.Levels = append(p.Levels, LevelProfile{
+				Level: lv, Launches: a.launches, Spans: a.spans, Wall: a.wall,
+			})
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kernel < out[j].Kernel })
+	return out
+}
+
+// WriteTable renders the profiles as an aligned text table with, per kernel,
+// the heaviest levels by wall time (topLevels <= 0 omits the level detail).
+func WriteTable(w io.Writer, profiles []KernelProfile, topLevels int) {
+	fmt.Fprintf(w, "%-12s %9s %7s %10s %10s %9s %10s\n",
+		"kernel", "launches", "serial", "spans", "chunks", "imbal", "wall")
+	for _, p := range profiles {
+		imbal := "-"
+		if p.AvgImbalance > 0 {
+			imbal = fmt.Sprintf("%.2f", p.AvgImbalance)
+		}
+		fmt.Fprintf(w, "%-12s %9d %7d %10d %10d %9s %10s\n",
+			p.Kernel, p.Launches, p.SerialLaunches, p.Spans, p.Chunks, imbal,
+			p.Wall.Round(time.Microsecond))
+		if topLevels <= 0 || len(p.Levels) == 0 {
+			continue
+		}
+		levels := append([]LevelProfile(nil), p.Levels...)
+		sort.Slice(levels, func(i, j int) bool { return levels[i].Wall > levels[j].Wall })
+		if len(levels) > topLevels {
+			levels = levels[:topLevels]
+		}
+		for _, lv := range levels {
+			fmt.Fprintf(w, "  level %-5d %8d %28d %20s\n",
+				lv.Level, lv.Launches, lv.Spans, lv.Wall.Round(time.Microsecond))
+		}
+	}
+}

@@ -113,12 +113,15 @@ func InstaSize(ref *refsta.Engine, e *core.Engine, cfg Config) Result {
 	for round := 0; round < cfg.MaxRounds; round++ {
 		// Re-synchronize INSTA with the reference engine's current arc
 		// delays at each round boundary (the cheap Fig. 2 resync), so
-		// estimate_eco drift cannot accumulate across rounds.
-		for i := range ref.Arcs {
-			a := &ref.Arcs[i]
-			e.SetArcDelay(int32(i), 0, a.Delay[0])
-			e.SetArcDelay(int32(i), 1, a.Delay[1])
-		}
+		// estimate_eco drift cannot accumulate across rounds. Arcs are
+		// disjoint, so the transfer runs on the engine's scheduler pool.
+		e.Pool().RunTagged("size-resync", -1, len(ref.Arcs), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := &ref.Arcs[i]
+				e.SetArcDelay(int32(i), 0, a.Delay[0])
+				e.SetArcDelay(int32(i), 1, a.Delay[1])
+			}
+		})
 		e.Run()
 		curTNS = e.TNS()
 
