@@ -260,8 +260,8 @@ func BenchmarkTableIII_Fig9_InstaPlaceIteration(b *testing.B) {
 // worker-pool sizes (the paper's GPU parallelism axis), and the persistent
 // chunk-claiming pool against the seed's spawn-per-level strategy at the same
 // worker count (the internal/sched tentpole).
-func BenchmarkAblation_Workers1(b *testing.B)     { benchWorkers(b, 1, false) }
-func BenchmarkAblation_Workers4(b *testing.B)     { benchWorkers(b, 4, false) }
+func BenchmarkAblation_Workers1(b *testing.B)      { benchWorkers(b, 1, false) }
+func BenchmarkAblation_Workers4(b *testing.B)      { benchWorkers(b, 4, false) }
 func BenchmarkAblation_SpawnWorkers4(b *testing.B) { benchWorkers(b, 4, true) }
 
 func benchWorkers(b *testing.B, workers int, legacySpawn bool) {

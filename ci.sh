@@ -4,9 +4,13 @@
 #   1. go vet        — static analysis over every package
 #   2. go build      — everything compiles, including cmd/ and examples/
 #   3. go test       — full suite (unit + determinism + differential + bench
-#                      regression smoke, which rewrites BENCH_sched.json)
-#   4. go test -race — short-mode race check of the scheduler and the engine
-#                      kernels that run on it (the concurrency surface)
+#                      regression smoke, which rewrites BENCH_sched.json and
+#                      BENCH_serve.json)
+#   4. go test -race — short-mode race check of the scheduler, the engine
+#                      kernels that run on it, and the serving layer's
+#                      session manager (the concurrency surface)
+#   5. load smoke    — 100 concurrent ECO requests against the HTTP serving
+#                      surface under -race must complete with zero errors
 #
 # Run from the repo root: ./ci.sh
 set -eu
@@ -20,7 +24,10 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core, short) =="
-go test -race -short ./internal/sched/... ./internal/core/...
+echo "== go test -race (sched + core + server, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/server/...
+
+echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
+go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/
 
 echo "ci.sh: all checks passed"

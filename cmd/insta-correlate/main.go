@@ -6,27 +6,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
 	"insta/internal/bench"
+	"insta/internal/cmdutil"
 	"insta/internal/exp"
 )
 
 func main() {
 	topK := flag.Int("topk", 32, "Top-K entries per pin for Table I")
-	workers := flag.Int("workers", runtime.NumCPU(), "forward-kernel goroutines")
 	fig6 := flag.Bool("fig6", true, "also run the Figure 6 Top-K trade-off")
 	fig6Block := flag.String("fig6-block", "block-1", "block used for Figure 6")
 	fig6Ks := flag.String("fig6-ks", "1,128", "comma-separated Top-K values for Figure 6")
 	scatterPath := flag.String("scatter", "", "optional CSV path for the Figure 6 scatter data")
 	blocks := flag.String("blocks", strings.Join(bench.BlockNames(), ","), "comma-separated block presets")
+	sf := cmdutil.SchedFlags()
 	flag.Parse()
 
+	opt := sf.Options()
+	opt.TopK = *topK
 	names := strings.Split(*blocks, ",")
-	if _, err := exp.TableI(os.Stdout, names, *topK, *workers); err != nil {
+	if _, err := exp.TableI(os.Stdout, names, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "table I:", err)
 		os.Exit(1)
 	}
@@ -42,7 +45,7 @@ func main() {
 		}
 		ks = append(ks, v)
 	}
-	var scatter *os.File
+	var scatter io.Writer
 	if *scatterPath != "" {
 		f, err := os.Create(*scatterPath)
 		if err != nil {
@@ -53,14 +56,7 @@ func main() {
 		scatter = f
 	}
 	fmt.Println()
-	if scatter != nil {
-		if _, err := exp.Fig6(os.Stdout, *fig6Block, ks, *workers, scatter); err != nil {
-			fmt.Fprintln(os.Stderr, "figure 6:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if _, err := exp.Fig6(os.Stdout, *fig6Block, ks, *workers, nil); err != nil {
+	if _, err := exp.Fig6(os.Stdout, *fig6Block, ks, opt, scatter); err != nil {
 		fmt.Fprintln(os.Stderr, "figure 6:", err)
 		os.Exit(1)
 	}

@@ -11,22 +11,22 @@ import (
 
 	"insta/internal/bench"
 	"insta/internal/circuitops"
+	"insta/internal/cmdutil"
 	"insta/internal/refsta"
 )
 
 func main() {
 	name := flag.String("design", "block-2", "block, IWLS or superblue preset name")
 	out := flag.String("o", "", "output path (default stdout)")
+	// Extraction itself is sequential; the flags are accepted so every tool
+	// shares one CLI surface.
+	cmdutil.SchedFlags()
 	flag.Parse()
 
-	spec, err := bench.BlockSpec(*name)
+	spec, err := cmdutil.SpecByName(*name)
 	if err != nil {
-		if spec, err = bench.IWLSSpec(*name); err != nil {
-			if spec, err = bench.SuperblueSpec(*name); err != nil {
-				fmt.Fprintf(os.Stderr, "unknown design %q\n", *name)
-				os.Exit(1)
-			}
-		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	b, err := bench.Generate(spec)
 	if err != nil {

@@ -9,9 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"insta/internal/bench"
+	"insta/internal/cmdutil"
 	"insta/internal/exp"
 )
 
@@ -20,7 +20,7 @@ func main() {
 	n := flag.Int("n", 30, "sizing iterations")
 	batch := flag.Int("batch", 120, "cells resized per iteration")
 	topK := flag.Int("topk", 32, "INSTA Top-K")
-	workers := flag.Int("workers", runtime.NumCPU(), "forward-kernel goroutines")
+	sf := cmdutil.SchedFlags()
 	flag.Parse()
 
 	spec, err := bench.BlockSpec(*block)
@@ -28,7 +28,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	f7, f8, err := exp.Incremental(spec, *n, *batch, *topK, *workers)
+	opt := sf.Options()
+	opt.TopK = *topK
+	f7, f8, err := exp.Incremental(spec, *n, *batch, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -7,28 +7,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
 	"insta/internal/bench"
+	"insta/internal/cmdutil"
 	"insta/internal/exp"
 )
 
 func main() {
 	designs := flag.String("designs", strings.Join(bench.SuperblueNames(), ","), "comma-separated superblue presets")
 	iters := flag.Int("iters", 0, "placement iterations (0 = mode default)")
-	workers := flag.Int("workers", runtime.NumCPU(), "kernel goroutines")
 	fig9 := flag.Bool("fig9", true, "also run the Figure 9 breakdown")
 	fig9Design := flag.String("fig9-design", "superblue10", "benchmark for Figure 9")
+	sf := cmdutil.SchedFlags()
 	flag.Parse()
 
-	if _, err := exp.TableIII(os.Stdout, strings.Split(*designs, ","), *iters, *workers); err != nil {
+	opt := sf.Options()
+	if _, err := exp.TableIII(os.Stdout, strings.Split(*designs, ","), *iters, opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	if *fig9 {
 		fmt.Println()
-		if _, err := exp.Fig9(os.Stdout, *fig9Design, *iters, *workers); err != nil {
+		if _, err := exp.Fig9(os.Stdout, *fig9Design, *iters, opt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

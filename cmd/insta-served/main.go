@@ -1,0 +1,143 @@
+// Command insta-served is the serving daemon over one design: it runs the
+// one-time initialization (reference signoff + INSTA extraction + full
+// propagation) at startup, then serves concurrent what-if timing queries
+// over HTTP/JSON through copy-on-write ECO sessions (see internal/server and
+// DESIGN.md §8).
+//
+//	insta-served -design block-2 -addr :8080
+//	insta-served -dir /path/to/design -topk 16
+//
+// Endpoints: POST /session, POST /session/{id}/eco, POST
+// /session/{id}/commit, POST /session/{id}/rollback, GET/DELETE
+// /session/{id}, GET /slacks, GET /gradients, GET /healthz, GET /metrics.
+// SIGINT/SIGTERM drains in-flight requests before exiting; idle sessions are
+// evicted past -ttl.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/cmdutil"
+	"insta/internal/core"
+	"insta/internal/refsta"
+	"insta/internal/server"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	design := flag.String("design", "", "serve a built-in preset (block-*/IWLS/superblue name)")
+	dir := flag.String("dir", "", "serve a design directory (design.lib/.v/.sdc/.spef)")
+	tech := flag.String("tech", "", "fallback library when design.lib is absent: n3 or asap7")
+	topK := flag.Int("topk", 32, "INSTA Top-K")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "admission cap on live sessions")
+	ttl := flag.Duration("ttl", 5*time.Minute, "idle session lifetime")
+	sweepEvery := flag.Duration("sweep", 30*time.Second, "eviction sweep interval")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	sf := cmdutil.SchedFlags()
+	flag.Parse()
+
+	var (
+		b    *bench.Design
+		name string
+		err  error
+	)
+	switch {
+	case *design != "" && *dir != "":
+		fatalf("pass -design or -dir, not both")
+	case *design != "":
+		spec, sErr := cmdutil.SpecByName(*design)
+		if sErr != nil {
+			fatalf("%v", sErr)
+		}
+		if b, err = bench.Generate(spec); err != nil {
+			fatalf("generate: %v", err)
+		}
+		name = spec.Name
+	case *dir != "":
+		if b, err = cmdutil.LoadDir(*dir, *tech); err != nil {
+			fatalf("load %s: %v", *dir, err)
+		}
+		name = b.D.Name
+	default:
+		fatalf("pass -design <preset> or -dir <design directory>")
+	}
+
+	t0 := time.Now()
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		fatalf("refsta: %v", err)
+	}
+	tab := circuitops.Extract(ref)
+	opt := sf.Options()
+	opt.TopK = *topK
+	e, err := core.NewEngine(tab, opt)
+	if err != nil {
+		fatalf("insta: %v", err)
+	}
+	defer e.Close()
+	e.EnableKernelStats()
+
+	mgr := server.NewManager(e, ref, server.Options{MaxSessions: *maxSessions, TTL: *ttl})
+	fmt.Fprintf(os.Stderr, "insta-served: %s ready in %s — %d pins, %d arcs, %d endpoints, WNS %.1f TNS %.1f (K=%d, workers=%d)\n",
+		name, time.Since(t0).Round(time.Millisecond), e.NumPins(), e.NumArcs(),
+		len(e.Endpoints()), mgr.BaseWNS(), mgr.BaseTNS(), *topK, e.Pool().Workers())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(mgr, name).Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Eviction sweep: abandoned sessions age out so their overlays free up.
+	go func() {
+		tick := time.NewTicker(*sweepEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-tick.C:
+				if n := mgr.Sweep(now); n > 0 {
+					fmt.Fprintf(os.Stderr, "insta-served: evicted %d idle session(s)\n", n)
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "insta-served: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, finish in-flight requests, then
+		// release the sessions.
+		fmt.Fprintf(os.Stderr, "insta-served: draining (%s budget)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "insta-served: drain incomplete: %v\n", err)
+		}
+		mgr.CloseAll()
+		fmt.Fprintf(os.Stderr, "insta-served: bye\n")
+	}
+}

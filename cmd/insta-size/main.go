@@ -7,20 +7,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
 	"insta/internal/bench"
+	"insta/internal/cmdutil"
 	"insta/internal/exp"
 )
 
 func main() {
 	designs := flag.String("designs", strings.Join(bench.IWLSNames(), ","), "comma-separated IWLS presets")
 	topK := flag.Int("topk", 4, "INSTA Top-K during sizing evaluation")
-	workers := flag.Int("workers", runtime.NumCPU(), "forward-kernel goroutines")
+	sf := cmdutil.SchedFlags()
 	flag.Parse()
 
-	if _, err := exp.TableII(os.Stdout, strings.Split(*designs, ","), *topK, *workers); err != nil {
+	opt := sf.Options()
+	opt.TopK = *topK
+	if _, err := exp.TableII(os.Stdout, strings.Split(*designs, ","), opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -14,20 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
 
-	"insta/internal/bench"
 	"insta/internal/circuitops"
+	"insta/internal/cmdutil"
 	"insta/internal/core"
 	"insta/internal/exp"
-	"insta/internal/liberty"
-	"insta/internal/libertyio"
 	"insta/internal/refsta"
 	"insta/internal/sched"
-	"insta/internal/sdcio"
-	"insta/internal/spef"
-	"insta/internal/vlog"
 )
 
 func fatalf(format string, args ...any) {
@@ -42,91 +35,31 @@ func main() {
 	topK := flag.Int("topk", 32, "INSTA Top-K")
 	paths := flag.Int("paths", 3, "worst paths to report")
 	hold := flag.Bool("hold", false, "also run hold analysis")
-	workers := flag.Int("workers", runtime.NumCPU(), "scheduler pool participants")
-	grain := flag.Int("grain", 0, "scheduler chunk size in pins (0 = default)")
 	profile := flag.Bool("profile", false, "print per-kernel scheduler telemetry")
+	sf := cmdutil.SchedFlags()
 	flag.Parse()
 
-	vPath := filepath.Join(*dir, "design.v")
-	sdcPath := filepath.Join(*dir, "design.sdc")
-	spefPath := filepath.Join(*dir, "design.spef")
-	libPath := filepath.Join(*dir, "design.lib")
-
 	if *gen != "" {
-		spec, err := bench.BlockSpec(*gen)
+		spec, err := cmdutil.SpecByName(*gen)
 		if err != nil {
-			if spec, err = bench.IWLSSpec(*gen); err != nil {
-				if spec, err = bench.SuperblueSpec(*gen); err != nil {
-					fatalf("unknown preset %q", *gen)
-				}
-			}
+			fatalf("%v", err)
 		}
-		b, err := bench.Generate(spec)
+		b, err := cmdutil.GenerateDir(*dir, spec)
 		if err != nil {
 			fatalf("generate: %v", err)
 		}
-		if err := os.MkdirAll(*dir, 0o755); err != nil {
-			fatalf("%v", err)
-		}
-		writeFile(libPath, func(f *os.File) error { return libertyio.Write(f, b.Lib) })
-		writeFile(vPath, func(f *os.File) error { return vlog.Write(f, b.D, b.Lib) })
-		writeFile(sdcPath, func(f *os.File) error { return sdcio.Write(f, b.Con, b.D) })
-		writeFile(spefPath, func(f *os.File) error { return spef.Write(f, b.Par, b.D) })
-		fmt.Printf("wrote %s, %s, %s, %s (%d cells, %d pins; tech %s)\n",
-			libPath, vPath, sdcPath, spefPath, b.D.NumCells(), b.D.NumPins(), spec.Tech.Name)
+		fmt.Printf("wrote design.lib, design.v, design.sdc, design.spef under %s (%d cells, %d pins; tech %s)\n",
+			*dir, b.D.NumCells(), b.D.NumPins(), spec.Tech.Name)
 		return
 	}
 
-	// Library: prefer design.lib, fall back to a synthetic tech.
-	var lib *liberty.Library
-	if fl, err := os.Open(libPath); err == nil {
-		lib, err = libertyio.Read(fl)
-		fl.Close()
-		if err != nil {
-			fatalf("read %s: %v", libPath, err)
-		}
-	} else {
-		switch *tech {
-		case "asap7":
-			lib = liberty.NewSynthetic(liberty.TechASAP7())
-		case "n3", "":
-			lib = liberty.NewSynthetic(liberty.TechN3())
-		default:
-			fatalf("unknown -tech %q", *tech)
-		}
-	}
-
-	// Load the three files.
-	fv, err := os.Open(vPath)
+	b, err := cmdutil.LoadDir(*dir, *tech)
 	if err != nil {
-		fatalf("%v", err)
-	}
-	d, err := vlog.Read(fv, lib)
-	fv.Close()
-	if err != nil {
-		fatalf("read %s: %v", vPath, err)
-	}
-	fs, err := os.Open(sdcPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	con, err := sdcio.Read(fs, d)
-	fs.Close()
-	if err != nil {
-		fatalf("read %s: %v", sdcPath, err)
-	}
-	fp, err := os.Open(spefPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	par, err := spef.Read(fp, d)
-	fp.Close()
-	if err != nil {
-		fatalf("read %s: %v", spefPath, err)
+		fatalf("load %s: %v", *dir, err)
 	}
 
 	// Reference signoff.
-	ref, err := refsta.New(d, lib, con, par, refsta.DefaultConfig())
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
 	if err != nil {
 		fatalf("refsta: %v", err)
 	}
@@ -134,18 +67,19 @@ func main() {
 		ref.EnableHoldAnalysis()
 	}
 	fmt.Printf("%s: %d cells, %d pins, %d arcs, %d endpoints\n",
-		d.Name, d.NumCells(), d.NumPins(), ref.NumArcs(), len(ref.Endpoints()))
+		b.D.Name, b.D.NumCells(), b.D.NumPins(), ref.NumArcs(), len(ref.Endpoints()))
 	fmt.Printf("reference: WNS %.2f ps, TNS %.2f ps, %d violations\n",
 		ref.WNS(), ref.TNS(), ref.NumViolations())
 
 	// INSTA.
 	tab := circuitops.Extract(ref)
-	e, err := core.NewEngine(tab, core.Options{
-		TopK: *topK, Hold: *hold, Workers: *workers, Grain: *grain,
-	})
+	opt := sf.Options()
+	opt.TopK, opt.Hold = *topK, *hold
+	e, err := core.NewEngine(tab, opt)
 	if err != nil {
 		fatalf("insta: %v", err)
 	}
+	defer e.Close()
 	if *profile {
 		e.EnableKernelStats()
 	}
@@ -165,7 +99,7 @@ func main() {
 	if *profile {
 		e.Backward() // include the backward kernel in the profile
 		fmt.Printf("\nkernel profile (workers=%d grain=%d levels=%d):\n",
-			*workers, e.Pool().Grain(), e.NumLevels())
+			sf.Workers, e.Pool().Grain(), e.NumLevels())
 		sched.WriteTable(os.Stdout, e.KernelStats(), 3)
 	}
 
@@ -173,15 +107,4 @@ func main() {
 	ref.SlackHistogram(os.Stdout, 16)
 	fmt.Println()
 	ref.ReportTiming(os.Stdout, *paths)
-}
-
-func writeFile(path string, fn func(*os.File) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-	if err := fn(f); err != nil {
-		fatalf("write %s: %v", path, err)
-	}
 }

@@ -11,7 +11,7 @@ import (
 	"os"
 	"strings"
 
-	"insta/internal/bench"
+	"insta/internal/cmdutil"
 	"insta/internal/exp"
 	"insta/internal/mc"
 )
@@ -20,19 +20,18 @@ func main() {
 	designs := flag.String("designs", "block-5,block-2", "comma-separated presets")
 	samples := flag.Int("samples", 500, "Monte Carlo trials")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	// Monte Carlo runs single-threaded for reproducibility; the flags are
+	// accepted so every tool shares one CLI surface.
+	cmdutil.SchedFlags()
 	flag.Parse()
 
 	fmt.Printf("POCV validation: empirical 3-sigma quantile vs analytic corner (%d samples)\n", *samples)
 	fmt.Printf("%-12s %10s %12s %22s %12s\n", "design", "#eps", "corr", "rel err (avg, wst)", "bias(ps)")
 	for _, name := range strings.Split(*designs, ",") {
-		spec, err := bench.BlockSpec(name)
+		spec, err := cmdutil.SpecByName(name)
 		if err != nil {
-			if spec, err = bench.IWLSSpec(name); err != nil {
-				if spec, err = bench.SuperblueSpec(name); err != nil {
-					fmt.Fprintf(os.Stderr, "unknown preset %q\n", name)
-					os.Exit(1)
-				}
-			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		s, err := exp.Build(spec)
 		if err != nil {

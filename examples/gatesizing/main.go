@@ -59,6 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer e.Close()
 	t0 = time.Now()
 	resInsta := sizing.InstaSize(refInsta, e, sizing.DefaultConfig())
 	fmt.Printf("INSTA-Size:       WNS=%9.2f TNS=%12.2f vio=%4d cells sized=%4d (%v, backward kernel %v)\n",

@@ -29,6 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer e.Close()
 	e.Run()
 	fmt.Printf("%s: %d pins; initial TNS %.1f ps (INSTA) vs %.1f ps (reference)\n",
 		spec.Name, pt.B.D.NumPins(), e.TNS(), pt.Ref.TNS())

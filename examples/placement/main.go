@@ -50,5 +50,8 @@ func main() {
 				bd.Timer.Round(time.Microsecond), bd.Transfer.Round(time.Microsecond),
 				bd.Weights.Round(time.Microsecond), bd.Step.Round(time.Microsecond))
 		}
+		if eng != nil {
+			eng.Close()
+		}
 	}
 }

@@ -55,6 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer e.Close()
 
 	// 4. Full-graph Top-K statistical propagation + slack evaluation.
 	t0 := time.Now()

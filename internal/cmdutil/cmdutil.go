@@ -1,0 +1,155 @@
+// Package cmdutil holds the small pieces every cmd tool shares: the
+// scheduler flags (-workers/-grain), preset-name resolution across the three
+// benchmark suites, and loading/generating a design directory in the repo's
+// file formats (design.lib/.v/.sdc/.spef).
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"insta/internal/bench"
+	"insta/internal/core"
+	"insta/internal/liberty"
+	"insta/internal/libertyio"
+	"insta/internal/sdcio"
+	"insta/internal/spef"
+	"insta/internal/vlog"
+)
+
+// Sched carries the scheduler-pool flags after flag.Parse.
+type Sched struct {
+	Workers int
+	Grain   int
+}
+
+// SchedFlags registers -workers and -grain on the default flag set. Call
+// before flag.Parse; read the fields after.
+func SchedFlags() *Sched {
+	s := &Sched{}
+	flag.IntVar(&s.Workers, "workers", runtime.NumCPU(), "scheduler pool participants (all parallel kernels)")
+	flag.IntVar(&s.Grain, "grain", 0, "scheduler chunk size in pins (0 = default)")
+	return s
+}
+
+// Options returns engine options carrying the scheduler flags; the caller
+// fills the analysis knobs (TopK, Tau, Hold).
+func (s *Sched) Options() core.Options {
+	return core.Options{Workers: s.Workers, Grain: s.Grain}
+}
+
+// SpecByName resolves a preset name across the block (Table I), IWLS-like
+// (Table II) and superblue-like (Table III) suites.
+func SpecByName(name string) (bench.Spec, error) {
+	if spec, err := bench.BlockSpec(name); err == nil {
+		return spec, nil
+	}
+	if spec, err := bench.IWLSSpec(name); err == nil {
+		return spec, nil
+	}
+	if spec, err := bench.SuperblueSpec(name); err == nil {
+		return spec, nil
+	}
+	return bench.Spec{}, fmt.Errorf("unknown preset %q", name)
+}
+
+// designPaths returns the four canonical file paths under dir.
+func designPaths(dir string) (lib, v, sdcp, spefp string) {
+	return filepath.Join(dir, "design.lib"),
+		filepath.Join(dir, "design.v"),
+		filepath.Join(dir, "design.sdc"),
+		filepath.Join(dir, "design.spef")
+}
+
+// GenerateDir materializes a preset into dir as design.lib/.v/.sdc/.spef.
+func GenerateDir(dir string, spec bench.Spec) (*bench.Design, error) {
+	b, err := bench.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	libPath, vPath, sdcPath, spefPath := designPaths(dir)
+	write := func(path string, fn func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write(libPath, func(f *os.File) error { return libertyio.Write(f, b.Lib) }); err != nil {
+		return nil, err
+	}
+	if err := write(vPath, func(f *os.File) error { return vlog.Write(f, b.D, b.Lib) }); err != nil {
+		return nil, err
+	}
+	if err := write(sdcPath, func(f *os.File) error { return sdcio.Write(f, b.Con, b.D) }); err != nil {
+		return nil, err
+	}
+	if err := write(spefPath, func(f *os.File) error { return spef.Write(f, b.Par, b.D) }); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// LoadDir reads a design directory (design.v/.sdc/.spef, with design.lib
+// optional) into the bench bundle the engines initialize from. When
+// design.lib is absent, tech selects the synthetic fallback library: "n3"
+// (also the "" default) or "asap7".
+func LoadDir(dir, tech string) (*bench.Design, error) {
+	libPath, vPath, sdcPath, spefPath := designPaths(dir)
+
+	var lib *liberty.Library
+	if fl, err := os.Open(libPath); err == nil {
+		lib, err = libertyio.Read(fl)
+		fl.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", libPath, err)
+		}
+	} else {
+		switch tech {
+		case "asap7":
+			lib = liberty.NewSynthetic(liberty.TechASAP7())
+		case "n3", "":
+			lib = liberty.NewSynthetic(liberty.TechN3())
+		default:
+			return nil, fmt.Errorf("unknown tech %q", tech)
+		}
+	}
+
+	fv, err := os.Open(vPath)
+	if err != nil {
+		return nil, err
+	}
+	d, err := vlog.Read(fv, lib)
+	fv.Close()
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", vPath, err)
+	}
+
+	fs, err := os.Open(sdcPath)
+	if err != nil {
+		return nil, err
+	}
+	con, err := sdcio.Read(fs, d)
+	fs.Close()
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", sdcPath, err)
+	}
+
+	fp, err := os.Open(spefPath)
+	if err != nil {
+		return nil, err
+	}
+	par, err := spef.Read(fp, d)
+	fp.Close()
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", spefPath, err)
+	}
+	return &bench.Design{D: d, Lib: lib, Con: con, Par: par}, nil
+}

@@ -100,6 +100,7 @@ type Engine struct {
 	epPin   []int32
 	epNode  []int32
 	epBase  [2][]float64 // base required time per data transition
+	epOfPin []int32      // per pin: endpoint index or -1 (overlay read path)
 
 	// Clock network (for CPPR credit).
 	clkParent []int32
@@ -237,11 +238,16 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 	}
 	e.epBase[0] = make([]float64, len(t.EPs))
 	e.epBase[1] = make([]float64, len(t.EPs))
+	e.epOfPin = make([]int32, t.NumPins)
+	for i := range e.epOfPin {
+		e.epOfPin[i] = -1
+	}
 	for i, ep := range t.EPs {
 		e.epPin = append(e.epPin, ep.Pin)
 		e.epNode = append(e.epNode, ep.CaptureNode)
 		e.epBase[0][i] = ep.BaseReqRise
 		e.epBase[1][i] = ep.BaseReqFall
+		e.epOfPin[ep.Pin] = int32(i)
 	}
 
 	// Clock network.
@@ -279,6 +285,11 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 		}
 		e.initHold(holdRise, holdFall)
 	}
+	// The fan-out CSR is needed by incremental propagation, the backward
+	// gather and the copy-on-write overlay read path. Building it eagerly
+	// keeps the lazily-cached fields of a *shared* engine immutable after
+	// NewEngine, so concurrent overlay sessions never race on construction.
+	e.fanoutCSR()
 	return e, nil
 }
 
@@ -290,6 +301,13 @@ const (
 	kSlack       = "slack"
 	kHoldSlack   = "hold-slack"
 	kIncremental = "incremental"
+	// Overlay session kernels (overlay.go): cone-limited recompute and
+	// changed-endpoint slack evaluation over a frozen base engine.
+	KernelOverlay      = "overlay"
+	KernelOverlaySlack = "overlay-slack"
+	// KernelForward is the full forward-propagation tag, exported so serving
+	// tests can assert a session evaluation never triggered a full propagate.
+	KernelForward = kForward
 )
 
 // kern dispatches one kernel launch over [0, n) through the engine's
@@ -362,7 +380,7 @@ func (e *Engine) MemoryBytes() int64 {
 	b += int64(len(e.spPin)) * (4 + 4 + 8 + 8)
 	b += int64(len(e.epPin)) * (4 + 4 + 8 + 8 + 8 + 4 + 1)
 	if e.gradArr[0] != nil {
-		b += int64(len(e.gradArr[0])) * 2 * 4 * 8 // arr/arrStd/seed planes, both rf
+		b += int64(len(e.gradArr[0])) * 2 * 4 * 8  // arr/arrStd/seed planes, both rf
 		b += int64(len(e.gradMean[0])) * 2 * 4 * 8 // arc grad + flow planes, both rf
 	}
 	return b

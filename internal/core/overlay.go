@@ -1,0 +1,446 @@
+package core
+
+// Copy-on-write what-if evaluation. The serving layer (internal/server) runs
+// many concurrent "ECO sessions" against one signoff-propagated engine: each
+// session re-annotates a handful of arcs (an estimate_eco batch) and wants
+// the resulting endpoint slacks without paying a full propagation and without
+// cloning the engine's Top-K tensors.
+//
+// An Overlay freezes the base engine's propagated state as the immutable
+// snapshot and holds only sparse deltas on top of it:
+//
+//   - an arc-delay overlay (the re-annotated arcs),
+//   - a pin-queue overlay covering exactly the fan-out cone the deltas
+//     reached before the wavefront converged (the same equality-stop as
+//     PropagateIncremental), and
+//   - the slacks of endpoints inside that cone.
+//
+// Reads fall through to the base engine wherever the overlay has no entry,
+// so N concurrent sessions cost O(Σ cone sizes), not N engine clones. The
+// overlay never writes base state; Commit folds the arc deltas back into the
+// base with a regular incremental propagation, which makes the committed
+// state bit-identical to the overlay's preview (both recompute the same cone
+// with the same merge arithmetic in the same order).
+//
+// Concurrency contract: an Overlay itself is single-threaded (the serving
+// layer serializes per-session), but any number of overlays may evaluate in
+// parallel over one frozen base as long as nothing mutates that base — the
+// serving layer enforces this with a reader/writer lock around commits.
+
+import (
+	"math"
+	"sort"
+
+	"insta/internal/liberty"
+	"insta/internal/num"
+)
+
+// Overlay is a copy-on-write what-if view over a propagated base engine.
+type Overlay struct {
+	e *Engine
+
+	// Sparse arc-delay overlay: arc id -> per-rf delay distributions.
+	arcDelta map[int32]*[2]num.Dist
+	touched  []int32 // overlaid arc ids in first-annotation order
+	pending  []int32 // arcs annotated since the last propagate
+
+	// Sparse pin-queue overlay: pins whose Top-K queues were recomputed
+	// under the overlay. Entries may be bit-equal to the base (a wavefront
+	// that converged); reads through them are still correct.
+	pinQ map[int32]*pinOverlay
+
+	// Endpoint state: slacks re-evaluated under the overlay, and the set
+	// whose pins changed but are not yet re-evaluated.
+	epSlack map[int32]float64
+	epDirty map[int32]bool
+}
+
+// pinOverlay holds one pin's recomputed Top-K queues, flattened rf*K+k like
+// the engine's own tensors.
+type pinOverlay struct {
+	arr, mean, std []float64
+	sp             []int32
+}
+
+// NewOverlay creates an empty overlay over e. The base engine must be fully
+// propagated and slack-evaluated (Run) before the first ApplyArcDelay, and
+// must stay frozen while the overlay evaluates.
+func NewOverlay(e *Engine) *Overlay {
+	return &Overlay{
+		e:        e,
+		arcDelta: make(map[int32]*[2]num.Dist),
+		pinQ:     make(map[int32]*pinOverlay),
+		epSlack:  make(map[int32]float64),
+		epDirty:  make(map[int32]bool),
+	}
+}
+
+// Base returns the engine this overlay shadows.
+func (o *Overlay) Base() *Engine { return o.e }
+
+// SetArcDelay annotates one arc's delay for output transition rf in the
+// overlay only. The base engine is untouched. Call Propagate after a batch.
+func (o *Overlay) SetArcDelay(arc int32, rf int, d num.Dist) {
+	od := o.arcDelta[arc]
+	if od == nil {
+		od = &[2]num.Dist{
+			{Mean: o.e.arcMean[0][arc], Std: o.e.arcStd[0][arc]},
+			{Mean: o.e.arcMean[1][arc], Std: o.e.arcStd[1][arc]},
+		}
+		o.arcDelta[arc] = od
+		o.touched = append(o.touched, arc)
+	}
+	od[rf] = d
+	// Dedupe pending against re-annotation of an already-pending arc.
+	for _, a := range o.pending {
+		if a == arc {
+			return
+		}
+	}
+	o.pending = append(o.pending, arc)
+}
+
+// ArcDelay returns the arc's delay as seen through the overlay.
+func (o *Overlay) ArcDelay(arc int32, rf int) num.Dist {
+	if od := o.arcDelta[arc]; od != nil {
+		return od[rf]
+	}
+	return o.e.ArcDelay(arc, rf)
+}
+
+// arcDelay is the hot-path variant of ArcDelay.
+func (o *Overlay) arcDelay(rf int, arc int32) (mean, std float64) {
+	if od := o.arcDelta[arc]; od != nil {
+		return od[rf].Mean, od[rf].Std
+	}
+	return o.e.arcMean[rf][arc], o.e.arcStd[rf][arc]
+}
+
+// queues returns pin p's Top-K queue slices for transition rf as seen
+// through the overlay: the overlay's recomputed copy if present, else the
+// base engine's frozen tensors.
+func (o *Overlay) queues(rf int, p int32) (arr, mean, std []float64, sps []int32) {
+	k := o.e.opt.TopK
+	if q := o.pinQ[p]; q != nil {
+		b := rf * k
+		return q.arr[b : b+k], q.mean[b : b+k], q.std[b : b+k], q.sp[b : b+k]
+	}
+	b := o.e.base(rf, p)
+	return o.e.topArr[b : b+k], o.e.topMean[b : b+k], o.e.topStd[b : b+k], o.e.topSP[b : b+k]
+}
+
+// Propagate re-propagates the fan-out cone of every arc annotated since the
+// last call, writing recomputed queues into the overlay only. The wavefront
+// walks the level schedule exactly like PropagateIncremental — each level's
+// bucket is recomputed through the base engine's scheduler pool, and pins
+// whose queues come out identical to their previously visible state stop the
+// expansion — so the overlay state is bit-identical to what committing the
+// same deltas would produce on the base.
+func (o *Overlay) Propagate() {
+	arcs := o.pending
+	o.pending = o.pending[:0]
+	if len(arcs) == 0 {
+		return
+	}
+	e := o.e
+	foStart, foAdj := e.foStart, e.foAdj
+
+	buckets := make([][]int32, e.lv.NumLevels)
+	queued := make(map[int32]bool, len(arcs)*4)
+	push := func(p int32) {
+		if !queued[p] {
+			queued[p] = true
+			buckets[e.lv.Level[p]] = append(buckets[e.lv.Level[p]], p)
+		}
+	}
+	for _, a := range arcs {
+		push(e.arcTo[a])
+	}
+
+	k := e.opt.TopK
+	var changed []bool
+	for l := 0; l < len(buckets); l++ {
+		bucket := buckets[l]
+		if len(bucket) == 0 {
+			continue
+		}
+		// Startpoint pins reseed constants and never change; drop them
+		// before the kernel so the wavefront stops there, as the base
+		// incremental path does implicitly.
+		live := bucket[:0]
+		for _, p := range bucket {
+			if e.spOfPin[p] < 0 {
+				live = append(live, p)
+			}
+		}
+		bucket = live
+		if len(bucket) == 0 {
+			continue
+		}
+		// Allocate overlay queue storage serially: map writes must not run
+		// inside the kernel (parents at lower levels are read concurrently
+		// through the same map).
+		for _, p := range bucket {
+			if o.pinQ[p] == nil {
+				o.pinQ[p] = &pinOverlay{
+					arr:  make([]float64, 2*k),
+					mean: make([]float64, 2*k),
+					std:  make([]float64, 2*k),
+					sp:   make([]int32, 2*k),
+				}
+			}
+		}
+		if cap(changed) < len(bucket) {
+			changed = make([]bool, len(bucket))
+		}
+		changed = changed[:len(bucket)]
+		e.kern(KernelOverlay, l, len(bucket), func(lo, hi int) {
+			snap := snapshotBuf{
+				arr:  make([]float64, 2*k),
+				mean: make([]float64, 2*k),
+				std:  make([]float64, 2*k),
+				sp:   make([]int32, 2*k),
+			}
+			for i := lo; i < hi; i++ {
+				changed[i] = o.recomputePin(bucket[i], &snap)
+			}
+		})
+		for i, p := range bucket {
+			if !changed[i] {
+				continue
+			}
+			if ep := e.epOfPin[p]; ep >= 0 {
+				o.epDirty[ep] = true
+			}
+			for _, to := range foAdj[foStart[p]:foStart[p+1]] {
+				push(to)
+			}
+		}
+	}
+	o.evalDirtyEndpoints()
+}
+
+// recomputePin rebuilds pin p's Top-K queues inside the overlay from its
+// fan-in as seen through the overlay, and reports whether the result differs
+// from the previously visible queues (snapshotted into snap). The merge is
+// the general path of the forward kernel; for single-fan-in pins it produces
+// the same bits as the engine's shiftCopy fast path (same arithmetic, same
+// stable descending order), which the differential tests pin down.
+func (o *Overlay) recomputePin(p int32, snap *snapshotBuf) bool {
+	e := o.e
+	k := e.opt.TopK
+	// Snapshot the previously visible queues (overlay if this pin was
+	// already recomputed in an earlier batch, else base).
+	for rf := 0; rf < 2; rf++ {
+		arr, mean, std, sps := o.queues(rf, p)
+		d := rf * k
+		copy(snap.arr[d:d+k], arr)
+		copy(snap.mean[d:d+k], mean)
+		copy(snap.std[d:d+k], std)
+		copy(snap.sp[d:d+k], sps)
+	}
+
+	q := o.pinQ[p]
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	for rf := 0; rf < 2; rf++ {
+		b := rf * k
+		arr := q.arr[b : b+k]
+		mean := q.mean[b : b+k]
+		std := q.std[b : b+k]
+		sps := q.sp[b : b+k]
+		clearQueue(arr, sps)
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			am, as := o.arcDelay(rf, arc)
+			inRFs, n := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < n; ri++ {
+				_, pmean, pstd, psps := o.queues(inRFs[ri], parent)
+				for kk := 0; kk < k; kk++ {
+					psp := psps[kk]
+					if psp == noSP {
+						break
+					}
+					m := pmean[kk] + am
+					ps := pstd[kk]
+					if m+e.nSigma*(ps+as) <= arr[k-1] {
+						continue
+					}
+					s := math.Sqrt(ps*ps + as*as)
+					insertTopK(arr, mean, std, sps, m+e.nSigma*s, m, s, psp)
+				}
+			}
+		}
+	}
+	for i := 0; i < 2*k; i++ {
+		if q.sp[i] != snap.sp[i] || q.arr[i] != snap.arr[i] ||
+			q.mean[i] != snap.mean[i] || q.std[i] != snap.std[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// evalDirtyEndpoints re-evaluates the slack of every endpoint whose pin
+// queues changed, through the engine's pool. The dirty set is sorted so the
+// kernel's index space — and therefore the overlay's state — is independent
+// of map iteration order.
+func (o *Overlay) evalDirtyEndpoints() {
+	if len(o.epDirty) == 0 {
+		return
+	}
+	e := o.e
+	dirty := make([]int32, 0, len(o.epDirty))
+	for ep := range o.epDirty {
+		dirty = append(dirty, ep)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	out := make([]float64, len(dirty))
+	k := e.opt.TopK
+	e.kern(KernelOverlaySlack, -1, len(dirty), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ep := dirty[i]
+			p := e.epPin[ep]
+			best := math.Inf(1)
+			for rf := 0; rf < 2; rf++ {
+				arr, _, _, sps := o.queues(rf, p)
+				for kk := 0; kk < k; kk++ {
+					sp := sps[kk]
+					if sp == noSP {
+						break
+					}
+					adj := e.excLookup(e.spPin[sp], p)
+					if adj.False {
+						continue
+					}
+					req := e.epBase[rf][ep] +
+						float64(adj.CycleCount()-1)*e.period +
+						e.credit(e.spNode[sp], e.epNode[ep])
+					if s := req - arr[kk]; s < best {
+						best = s
+					}
+				}
+			}
+			out[i] = best
+		}
+	})
+	for i, ep := range dirty {
+		o.epSlack[ep] = out[i]
+		delete(o.epDirty, ep)
+	}
+}
+
+// Slack returns endpoint i's slack as seen through the overlay.
+func (o *Overlay) Slack(i int32) float64 {
+	if s, ok := o.epSlack[i]; ok {
+		return s
+	}
+	return o.e.epSlack[i]
+}
+
+// WNS returns the worst negative slack under the overlay (0 when nothing
+// violates). The scan visits endpoints in index order, matching the base
+// engine's WNS so committed and previewed figures agree bit-for-bit.
+func (o *Overlay) WNS() float64 {
+	w := 0.0
+	for i := range o.e.epSlack {
+		if s := o.Slack(int32(i)); s < w {
+			w = s
+		}
+	}
+	return w
+}
+
+// TNS returns the total negative slack under the overlay, summed in endpoint
+// index order like Engine.TNS.
+func (o *Overlay) TNS() float64 {
+	t := 0.0
+	for i := range o.e.epSlack {
+		if s := o.Slack(int32(i)); s < 0 {
+			t += s
+		}
+	}
+	return t
+}
+
+// ChangedEndpoints returns the sorted indices of endpoints whose slack the
+// overlay re-evaluated (their cone contained at least one changed pin).
+func (o *Overlay) ChangedEndpoints() []int32 {
+	out := make([]int32, 0, len(o.epSlack))
+	for ep := range o.epSlack {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TouchedArcs returns the overlaid arc ids in first-annotation order.
+func (o *Overlay) TouchedArcs() []int32 {
+	return append([]int32(nil), o.touched...)
+}
+
+// OverlayStats summarizes the overlay's sparse footprint.
+type OverlayStats struct {
+	TouchedArcs int // arcs re-annotated
+	OverlayPins int // pins with recomputed queues (the reached cone)
+	ChangedEPs  int // endpoints re-evaluated
+}
+
+// Stats reports the overlay's current sparse footprint.
+func (o *Overlay) Stats() OverlayStats {
+	return OverlayStats{
+		TouchedArcs: len(o.arcDelta),
+		OverlayPins: len(o.pinQ),
+		ChangedEPs:  len(o.epSlack),
+	}
+}
+
+// Reset discards all overlay state — the session rollback. The base engine
+// is untouched.
+func (o *Overlay) Reset() {
+	o.arcDelta = make(map[int32]*[2]num.Dist)
+	o.touched = o.touched[:0]
+	o.pending = o.pending[:0]
+	o.pinQ = make(map[int32]*pinOverlay)
+	o.epSlack = make(map[int32]float64)
+	o.epDirty = make(map[int32]bool)
+}
+
+// Rebase invalidates the overlay's derived state (queues, slacks) while
+// keeping the arc deltas, and schedules every touched arc for
+// re-propagation. The serving layer calls this when another session's commit
+// changed the base snapshot under this session.
+func (o *Overlay) Rebase() {
+	o.pinQ = make(map[int32]*pinOverlay)
+	o.epSlack = make(map[int32]float64)
+	o.epDirty = make(map[int32]bool)
+	// Arc deltas are kept verbatim: they are the session's pending intent.
+	// A delta that now matches the re-committed base annotation costs only a
+	// one-pin wavefront that stops on equality.
+	o.pending = append(o.pending[:0], o.touched...)
+}
+
+// Commit folds the overlay's arc deltas into the base engine, re-propagates
+// the affected cone incrementally, re-evaluates every endpoint slack, and
+// resets the overlay. The caller must hold exclusive access to the base
+// engine (no concurrent overlay may be evaluating). The resulting base state
+// is bit-identical to a full Propagate + EvalSlacks under the same
+// annotations, by the incremental-propagation guarantee.
+func (o *Overlay) Commit() {
+	if len(o.touched) == 0 {
+		return
+	}
+	e := o.e
+	for _, arc := range o.touched {
+		od := o.arcDelta[arc]
+		for rf := 0; rf < 2; rf++ {
+			e.SetArcDelay(arc, rf, od[rf])
+		}
+	}
+	e.PropagateIncremental(o.touched)
+	e.EvalSlacks()
+	if e.hold != nil {
+		e.EvalHoldSlacks()
+	}
+	o.Reset()
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/num"
+)
+
+// perturb returns a deterministic scattered arc-delay changelist: every
+// stride-th arc gets its mean and sigma scaled.
+func perturb(e *Engine, start, stride int32, meanScale, stdScale float64) map[int32][2]num.Dist {
+	out := make(map[int32][2]num.Dist)
+	for arc := start; arc < int32(e.NumArcs()); arc += stride {
+		var d [2]num.Dist
+		for rf := 0; rf < 2; rf++ {
+			d[rf] = e.ArcDelay(arc, rf)
+			d[rf].Mean *= meanScale
+			d[rf].Std *= stdScale
+		}
+		out[arc] = d
+	}
+	return out
+}
+
+func applyToOverlay(o *Overlay, deltas map[int32][2]num.Dist) {
+	for arc, d := range deltas {
+		for rf := 0; rf < 2; rf++ {
+			o.SetArcDelay(arc, rf, d[rf])
+		}
+	}
+	o.Propagate()
+}
+
+func applyToEngine(e *Engine, deltas map[int32][2]num.Dist) {
+	for arc, d := range deltas {
+		for rf := 0; rf < 2; rf++ {
+			e.SetArcDelay(arc, rf, d[rf])
+		}
+	}
+}
+
+// TestOverlayMatchesFreshFull: an overlay evaluation over a frozen base must
+// be bit-identical, at every endpoint, to a from-scratch full propagation of
+// a twin engine carrying the same annotations.
+func TestOverlayMatchesFreshFull(t *testing.T) {
+	h := buildHarness(t, testSpec(71))
+	e, err := NewEngine(h.tab, Options{TopK: 6, Workers: 2, Grain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+	baseTNS := e.TNS()
+
+	twin, err := NewEngine(h.tab, Options{TopK: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+
+	deltas := perturb(e, 3, 41, 1.25, 1.1)
+	orig := make(map[int32]num.Dist, len(deltas))
+	for arc := range deltas {
+		orig[arc] = e.ArcDelay(arc, 0)
+	}
+	o := NewOverlay(e)
+	applyToOverlay(o, deltas)
+	applyToEngine(twin, deltas)
+	want := twin.Run()
+
+	for i := range want {
+		if got := o.Slack(int32(i)); got != want[i] {
+			t.Fatalf("ep %d: overlay slack %v != fresh full %v", i, got, want[i])
+		}
+	}
+	if o.WNS() != twin.WNS() || o.TNS() != twin.TNS() {
+		t.Fatalf("overlay WNS/TNS %v/%v != fresh %v/%v", o.WNS(), o.TNS(), twin.WNS(), twin.TNS())
+	}
+	if len(o.ChangedEndpoints()) == 0 {
+		t.Fatal("perturbation changed no endpoints — test is vacuous")
+	}
+	// The base engine must be untouched by the overlay evaluation.
+	if e.TNS() != baseTNS {
+		t.Fatalf("overlay evaluation mutated base TNS: %v != %v", e.TNS(), baseTNS)
+	}
+	for arc, d := range orig {
+		if e.ArcDelay(arc, 0) != d {
+			t.Fatalf("arc %d: base annotation mutated", arc)
+		}
+	}
+}
+
+// TestOverlayCommitMatchesPreview: committing folds the deltas into the base
+// with exactly the previewed result.
+func TestOverlayCommitMatchesPreview(t *testing.T) {
+	h := buildHarness(t, testSpec(72))
+	e, err := NewEngine(h.tab, Options{TopK: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+	e.EvalSlacks()
+
+	o := NewOverlay(e)
+	applyToOverlay(o, perturb(e, 1, 53, 0.8, 1.0))
+
+	preview := make([]float64, len(e.Slacks()))
+	for i := range preview {
+		preview[i] = o.Slack(int32(i))
+	}
+	pWNS, pTNS := o.WNS(), o.TNS()
+
+	o.Commit()
+	got := e.Slacks()
+	for i := range got {
+		if got[i] != preview[i] {
+			t.Fatalf("ep %d: committed slack %v != previewed %v", i, got[i], preview[i])
+		}
+	}
+	if e.WNS() != pWNS || e.TNS() != pTNS {
+		t.Fatalf("committed WNS/TNS %v/%v != previewed %v/%v", e.WNS(), e.TNS(), pWNS, pTNS)
+	}
+	if st := o.Stats(); st.TouchedArcs != 0 || st.OverlayPins != 0 || st.ChangedEPs != 0 {
+		t.Fatalf("overlay not reset after commit: %+v", st)
+	}
+}
+
+// TestOverlayNeverFullPropagates: session evaluations must run only the
+// cone-limited overlay kernels — the full forward kernel's span count stays
+// frozen after initialization (the ISSUE acceptance criterion, checked here
+// on the same design family and in the server tests on a block preset).
+func TestOverlayNeverFullPropagates(t *testing.T) {
+	h := buildHarness(t, testSpec(73))
+	e, err := NewEngine(h.tab, Options{TopK: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	stats := e.EnableKernelStats()
+	e.Run()
+	fwdAfterInit := stats.KernelSpans(KernelForward)
+
+	o := NewOverlay(e)
+	applyToOverlay(o, perturb(e, 2, 67, 1.3, 1.2))
+	o.Reset()
+	applyToOverlay(o, perturb(e, 5, 71, 1.1, 1.0))
+	o.Commit()
+
+	if got := stats.KernelSpans(KernelForward); got != fwdAfterInit {
+		t.Fatalf("overlay/commit triggered full forward propagate: spans %d -> %d", fwdAfterInit, got)
+	}
+	if stats.KernelSpans(KernelOverlay) == 0 {
+		t.Fatal("no overlay kernel spans recorded")
+	}
+	// Cone-limited: both overlay evaluations together must touch fewer spans
+	// than a single full propagate would.
+	if ov := stats.KernelSpans(KernelOverlay); ov >= fwdAfterInit {
+		t.Fatalf("overlay spans %d not cone-limited vs one full propagate %d", ov, fwdAfterInit)
+	}
+}
+
+// TestOverlayRebase: after another writer commits under a session, Rebase +
+// Propagate must re-derive the session's view against the new base, matching
+// sequential application of both changelists.
+func TestOverlayRebase(t *testing.T) {
+	h := buildHarness(t, testSpec(74))
+	e, err := NewEngine(h.tab, Options{TopK: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+
+	dA := perturb(e, 1, 37, 1.2, 1.1) // session A: commits first
+	dB := perturb(e, 4, 43, 0.9, 1.0) // session B: rebases over A
+
+	oA, oB := NewOverlay(e), NewOverlay(e)
+	applyToOverlay(oB, dB) // B evaluates against the pre-commit base
+	applyToOverlay(oA, dA)
+	oA.Commit()
+
+	oB.Rebase()
+	oB.Propagate()
+
+	twin, err := NewEngine(h.tab, Options{TopK: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	applyToEngine(twin, dA)
+	applyToEngine(twin, dB)
+	want := twin.Run()
+	for i := range want {
+		if got := oB.Slack(int32(i)); got != want[i] {
+			t.Fatalf("ep %d after rebase: %v != sequential %v", i, got, want[i])
+		}
+	}
+
+	// And B's commit lands the sequential state in the base.
+	oB.Commit()
+	got := e.Slacks()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ep %d after rebase+commit: %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOverlayReset: rollback restores the base view bit-exactly.
+func TestOverlayReset(t *testing.T) {
+	h := buildHarness(t, testSpec(75))
+	e, err := NewEngine(h.tab, Options{TopK: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	base := e.Run()
+
+	o := NewOverlay(e)
+	applyToOverlay(o, perturb(e, 0, 29, 1.5, 1.3))
+	o.Reset()
+	for i := range base {
+		if got := o.Slack(int32(i)); got != base[i] {
+			t.Fatalf("ep %d after reset: %v != base %v", i, got, base[i])
+		}
+	}
+	if st := o.Stats(); st.TouchedArcs != 0 || st.OverlayPins != 0 {
+		t.Fatalf("reset left overlay state: %+v", st)
+	}
+}
+
+// TestOverlayEstimateECOPath drives the overlay through the reference
+// engine's estimate_eco deltas — the serving layer's actual input — and
+// cross-checks against a fresh full propagation.
+func TestOverlayEstimateECOPath(t *testing.T) {
+	h := buildHarness(t, testSpec(76))
+	e, err := NewEngine(h.tab, Options{TopK: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+	twin, err := NewEngine(h.tab, Options{TopK: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+
+	o := NewOverlay(e)
+	cl := bench.Changelist(h.b, 9, 8)
+	for _, r := range cl {
+		deltas, err := h.ref.EstimateECO(r.Cell, r.NewLib)
+		if err != nil {
+			continue
+		}
+		for _, dl := range deltas {
+			for rf := 0; rf < 2; rf++ {
+				o.SetArcDelay(dl.ArcID, rf, dl.Delay[rf])
+				twin.SetArcDelay(dl.ArcID, rf, dl.Delay[rf])
+			}
+		}
+	}
+	o.Propagate()
+	want := twin.Run()
+	for i := range want {
+		if got := o.Slack(int32(i)); got != want[i] {
+			t.Fatalf("ep %d: estimate_eco overlay %v != fresh %v", i, got, want[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"insta/internal/bench"
+	"insta/internal/core"
 	"insta/internal/num"
 )
 
@@ -55,7 +56,7 @@ func TestBuildProducesConsistentSetup(t *testing.T) {
 
 func TestTableISmoke(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := TableI(&buf, []string{"block-5"}, 8, 1)
+	rows, err := TableI(&buf, []string{"block-5"}, core.Options{TopK: 8, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,14 +73,14 @@ func TestTableISmoke(t *testing.T) {
 	if !strings.Contains(buf.String(), "block-5") {
 		t.Error("table output missing design name")
 	}
-	if _, err := TableI(nil, []string{"no-such"}, 8, 1); err == nil {
+	if _, err := TableI(nil, []string{"no-such"}, core.Options{TopK: 8, Workers: 1}); err == nil {
 		t.Error("unknown block accepted")
 	}
 }
 
 func TestFig6Smoke(t *testing.T) {
 	var buf, scatter bytes.Buffer
-	res, err := Fig6(&buf, "block-5", []int{1, 16}, 1, &scatter)
+	res, err := Fig6(&buf, "block-5", []int{1, 16}, core.Options{Workers: 1}, &scatter)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestIncrementalSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f7, f8, err := Incremental(spec, 3, 40, 8, 1)
+	f7, f8, err := Incremental(spec, 3, 40, core.Options{TopK: 8, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTableIISmoke(t *testing.T) {
 		t.Skip("sizing flow skipped in -short mode")
 	}
 	var buf bytes.Buffer
-	rows, err := TableII(&buf, []string{"des"}, 4, 1)
+	rows, err := TableII(&buf, []string{"des"}, core.Options{TopK: 4, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTableIIIAndFig9Smoke(t *testing.T) {
 		t.Skip("placement flows skipped in -short mode")
 	}
 	var buf bytes.Buffer
-	rows, err := TableIII(&buf, []string{"superblue18"}, 120, 1)
+	rows, err := TableIII(&buf, []string{"superblue18"}, 120, core.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestTableIIIAndFig9Smoke(t *testing.T) {
 	if r.Insta.HPWL > 1.3*r.DP.HPWL {
 		t.Errorf("INSTA-Place HPWL %v wildly above DP %v", r.Insta.HPWL, r.DP.HPWL)
 	}
-	f9, err := Fig9(&buf, "superblue18", 60, 1)
+	f9, err := Fig9(&buf, "superblue18", 60, core.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

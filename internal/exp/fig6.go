@@ -22,7 +22,7 @@ type Fig6Result struct {
 // block without CPPR resolution (Top-K=1) and with it (Top-K=128). When
 // scatter is non-nil, a CSV of (refSlack, instaSlack, endpointLevel) rows is
 // written per K for plotting the paper's scatter panels.
-func Fig6(w io.Writer, blockName string, ks []int, workers int, scatter io.Writer) ([]Fig6Result, error) {
+func Fig6(w io.Writer, blockName string, ks []int, opt core.Options, scatter io.Writer) ([]Fig6Result, error) {
 	spec, err := bench.BlockSpec(blockName)
 	if err != nil {
 		return nil, err
@@ -37,13 +37,16 @@ func Fig6(w io.Writer, blockName string, ks []int, workers int, scatter io.Write
 
 	var out []Fig6Result
 	for _, k := range ks {
-		e, err := core.NewEngine(s.Tab, core.Options{TopK: k, Workers: workers})
+		kOpt := opt
+		kOpt.TopK = k
+		e, err := core.NewEngine(s.Tab, kOpt)
 		if err != nil {
 			return nil, err
 		}
 		got := e.Run()
 		r, ms, _, dis, err := Correlate(refSlacks, got)
 		if err != nil {
+			e.Close()
 			return nil, err
 		}
 		res := Fig6Result{TopK: k, Corr: r, Mismatch: ms, MemoryGB: float64(e.MemoryBytes()) / (1 << 30), Disagree: dis}
@@ -59,6 +62,7 @@ func Fig6(w io.Writer, blockName string, ks []int, workers int, scatter io.Write
 				fmt.Fprintf(scatter, "%.6f,%.6f,%d\n", rs, got[i], e.Level(eps[i]))
 			}
 		}
+		e.Close()
 	}
 	return out, nil
 }

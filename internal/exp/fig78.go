@@ -50,7 +50,7 @@ type Fig8Result struct {
 // and (c) INSTA re-annotated via estimate_eco. INSTA is never
 // re-synchronized, so the final correlation shows the accumulated
 // estimate_eco drift (Fig. 8).
-func Incremental(spec bench.Spec, iterations, batch, topK, workers int) (*Fig7Result, *Fig8Result, error) {
+func Incremental(spec bench.Spec, iterations, batch int, opt core.Options) (*Fig7Result, *Fig8Result, error) {
 	// Two independent reference instances: the "in-house" full engine and
 	// the incremental signoff engine INSTA piggybacks on.
 	inhouse, err := Build(spec)
@@ -61,10 +61,11 @@ func Incremental(spec bench.Spec, iterations, batch, topK, workers int) (*Fig7Re
 	if err != nil {
 		return nil, nil, err
 	}
-	e, err := core.NewEngine(pt.Tab, core.Options{TopK: topK, Workers: workers})
+	e, err := core.NewEngine(pt.Tab, opt)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer e.Close()
 
 	f8 := &Fig8Result{}
 	got := e.Run()

@@ -27,10 +27,10 @@ type TableIRow struct {
 	Disagree int // endpoints untimed on one side only (Top-K truncation)
 }
 
-// TableI runs the correlation study over the named block presets at the
-// given Top-K (the paper uses 32).
-func TableI(w io.Writer, names []string, topK, workers int) ([]TableIRow, error) {
-	fprintf(w, "TABLE I: INSTA vs reference signoff engine (TopK=%d)\n", topK)
+// TableI runs the correlation study over the named block presets. opt carries
+// the Top-K (the paper uses 32) and the scheduler knobs.
+func TableI(w io.Writer, names []string, opt core.Options) ([]TableIRow, error) {
+	fprintf(w, "TABLE I: INSTA vs reference signoff engine (TopK=%d)\n", opt.TopK)
 	fprintf(w, "%-10s %10s %10s %8s %10s %14s %12s %9s %18s\n",
 		"design", "#cells", "#pins", "UT", "ep corr.", "INSTA runtime", "memory(GB)", "levels", "ep mismatch(avg,wst)ps")
 	var rows []TableIRow
@@ -39,7 +39,7 @@ func TableI(w io.Writer, names []string, topK, workers int) ([]TableIRow, error)
 		if err != nil {
 			return nil, err
 		}
-		row, err := tableIRow(spec, topK, workers)
+		row, err := tableIRow(spec, opt)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", name, err)
 		}
@@ -52,7 +52,7 @@ func TableI(w io.Writer, names []string, topK, workers int) ([]TableIRow, error)
 	return rows, nil
 }
 
-func tableIRow(spec bench.Spec, topK, workers int) (TableIRow, error) {
+func tableIRow(spec bench.Spec, opt core.Options) (TableIRow, error) {
 	s, err := Build(spec)
 	if err != nil {
 		return TableIRow{}, err
@@ -61,10 +61,11 @@ func tableIRow(spec bench.Spec, topK, workers int) (TableIRow, error) {
 	ut := timeIt(s.Ref.UpdateTimingFull)
 	refSlacks := s.Ref.EndpointSlacks()
 
-	e, err := core.NewEngine(s.Tab, core.Options{TopK: topK, Workers: workers})
+	e, err := core.NewEngine(s.Tab, opt)
 	if err != nil {
 		return TableIRow{}, err
 	}
+	defer e.Close()
 	var got []float64
 	instaRun := timeIt(func() { got = e.Run() })
 

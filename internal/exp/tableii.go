@@ -25,7 +25,7 @@ type TableIIRow struct {
 
 // TableII runs the sizing study over the named IWLS-like presets. Each flow
 // starts from an identical freshly generated design.
-func TableII(w io.Writer, names []string, topK, workers int) ([]TableIIRow, error) {
+func TableII(w io.Writer, names []string, opt core.Options) ([]TableIIRow, error) {
 	fprintf(w, "TABLE II: gate sizing for timing optimization (INSTA-Size vs baseline)\n")
 	fprintf(w, "%-12s %8s  %-10s %10s %14s %7s %12s\n",
 		"design", "#pins", "method", "WNS(ps)", "TNS(ps)", "#vio", "#cells sized")
@@ -35,7 +35,7 @@ func TableII(w io.Writer, names []string, topK, workers int) ([]TableIIRow, erro
 		if err != nil {
 			return nil, err
 		}
-		row, err := tableIIRow(spec, topK, workers)
+		row, err := tableIIRow(spec, opt)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", name, err)
 		}
@@ -63,7 +63,7 @@ func printTIILine(w io.Writer, design string, pins int, method string, r sizing.
 		design, pinsStr, method, r.WNS, r.TNS, r.NumViolations, sized, extra)
 }
 
-func tableIIRow(spec bench.Spec, topK, workers int) (TableIIRow, error) {
+func tableIIRow(spec bench.Spec, opt core.Options) (TableIIRow, error) {
 	// Initial state.
 	s0, err := Build(spec)
 	if err != nil {
@@ -89,10 +89,15 @@ func tableIIRow(spec bench.Spec, topK, workers int) (TableIIRow, error) {
 	if err != nil {
 		return TableIIRow{}, err
 	}
-	e, err := core.NewEngine(si.Tab, core.Options{TopK: topK, Tau: 0.01, Workers: workers})
+	// Sizing pinpoints the steepest cell, so the LSE temperature stays cold
+	// regardless of the caller's analysis settings.
+	sOpt := opt
+	sOpt.Tau = 0.01
+	e, err := core.NewEngine(si.Tab, sOpt)
 	if err != nil {
 		return TableIIRow{}, err
 	}
+	defer e.Close()
 	row.Insta = sizing.InstaSize(si.Ref, e, sizing.DefaultConfig())
 	row.BRT = row.Insta.BackwardTime
 	if row.Baseline.CellsSized > 0 {

@@ -28,7 +28,7 @@ type TableIIIRow struct {
 // TableIII runs the placement study over the named superblue-like presets.
 // Each flow starts from an identical freshly generated design and random
 // initial placement.
-func TableIII(w io.Writer, names []string, iterations, workers int) ([]TableIIIRow, error) {
+func TableIII(w io.Writer, names []string, iterations int, opt core.Options) ([]TableIIIRow, error) {
 	fprintf(w, "TABLE III: timing-driven placement after legalization\n")
 	fprintf(w, "%-12s %8s | %10s %12s | %10s %12s | %10s %12s %18s\n",
 		"benchmark", "#cells", "DP HPWL", "DP TNS", "NW HPWL", "NW TNS", "IP HPWL", "IP TNS", "IP vs NW (HPWL,TNS)")
@@ -39,7 +39,7 @@ func TableIII(w io.Writer, names []string, iterations, workers int) ([]TableIIIR
 		if err != nil {
 			return nil, err
 		}
-		row, err := tableIIIRow(spec, iterations, workers)
+		row, err := tableIIIRow(spec, iterations, opt)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", name, err)
 		}
@@ -58,7 +58,7 @@ func TableIII(w io.Writer, names []string, iterations, workers int) ([]TableIIIR
 	return rows, nil
 }
 
-func tableIIIRow(spec bench.Spec, iterations, workers int) (TableIIIRow, error) {
+func tableIIIRow(spec bench.Spec, iterations int, opt core.Options) (TableIIIRow, error) {
 	runMode := func(mode place.Mode) (place.Result, error) {
 		s, err := Build(spec)
 		if err != nil {
@@ -69,10 +69,13 @@ func tableIIIRow(spec bench.Spec, iterations, workers int) (TableIIIRow, error) 
 			// Placement uses a hot LSE temperature so gradient spreads over
 			// the whole violating cone (sizing uses tau=0.01 for pinpointing;
 			// placement wants coverage, see DESIGN.md).
-			eng, err = core.NewEngine(s.Tab, core.Options{TopK: 2, Tau: 60, Workers: workers})
+			pOpt := opt
+			pOpt.TopK, pOpt.Tau = 2, 60
+			eng, err = core.NewEngine(s.Tab, pOpt)
 			if err != nil {
 				return place.Result{}, err
 			}
+			defer eng.Close()
 		}
 		cfg := place.DefaultConfig(mode)
 		if iterations > 0 {
@@ -123,7 +126,7 @@ type Fig9Result struct {
 
 // Fig9 measures the Fig. 9 breakdown on the named benchmark (the paper uses
 // superblue10, the largest).
-func Fig9(w io.Writer, name string, iterations, workers int) (*Fig9Result, error) {
+func Fig9(w io.Writer, name string, iterations int, opt core.Options) (*Fig9Result, error) {
 	spec, err := bench.SuperblueSpec(name)
 	if err != nil {
 		return nil, err
@@ -138,10 +141,13 @@ func Fig9(w io.Writer, name string, iterations, workers int) (*Fig9Result, error
 		var eng *core.Engine
 		if mode == place.ModeInsta {
 			tab := circuitops.Extract(s.Ref)
-			eng, err = core.NewEngine(tab, core.Options{TopK: 2, Tau: 60, Workers: workers})
+			pOpt := opt
+			pOpt.TopK, pOpt.Tau = 2, 60
+			eng, err = core.NewEngine(tab, pOpt)
 			if err != nil {
 				return place.Breakdown{}, err
 			}
+			defer eng.Close()
 		}
 		cfg := place.DefaultConfig(mode)
 		if iterations > 0 {

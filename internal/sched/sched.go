@@ -21,6 +21,14 @@
 // participant computes which chunk. Kernels that write disjoint state per
 // index (all of INSTA's are) produce bit-identical results for any worker
 // count and any claiming interleaving.
+//
+// Concurrency: Run/RunTagged may be called from multiple goroutines at once —
+// the serving layer dispatches many what-if sessions onto one shared pool.
+// Launches that go parallel serialize on an internal mutex (the pool has one
+// in-flight job); launches small enough to run inline on the caller bypass
+// the lock entirely, so independent small-cone evaluations proceed fully in
+// parallel. Launches must not nest: a kernel body calling back into the same
+// pool's Run would deadlock on the launch mutex.
 package sched
 
 import (
@@ -43,12 +51,13 @@ const DefaultGrain = 64
 type Pool struct{ p *pool }
 
 type pool struct {
-	workers int // max claimers per launch, including the caller
-	grain   int
-	wake    chan struct{} // parked workers block here; buffered workers-1
-	job     job
-	stats   atomic.Pointer[Stats]
-	close   sync.Once
+	workers  int // max claimers per launch, including the caller
+	grain    int
+	wake     chan struct{} // parked workers block here; buffered workers-1
+	launchMu sync.Mutex    // serializes parallel launches from concurrent callers
+	job      job
+	stats    atomic.Pointer[Stats]
+	close    sync.Once
 }
 
 // job is the state of the in-flight launch. Run does not return until every
@@ -118,7 +127,8 @@ func (p *pool) closePool() {
 // Run distributes fn over [0, n) and returns when every index has been
 // processed exactly once. fn is called with half-open chunk ranges [lo, hi)
 // from multiple goroutines concurrently; it must not assume any chunk order.
-// Launches at most one chunk long run inline on the caller.
+// Launches at most one chunk long run inline on the caller. Run is safe for
+// concurrent use (see the package comment); launches must not nest.
 func (h *Pool) Run(n int, fn func(lo, hi int)) {
 	h.RunTagged("", -1, n, fn)
 }
@@ -153,6 +163,8 @@ func (h *Pool) RunTagged(tag string, level, n int, fn func(lo, hi int)) {
 		}
 		return
 	}
+	p.launchMu.Lock()
+	defer p.launchMu.Unlock()
 	j := &p.job
 	j.fn, j.n, j.grain = fn, int64(n), int64(grain)
 	j.cursor.Store(0)

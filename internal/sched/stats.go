@@ -91,6 +91,30 @@ func (s *Stats) record(tag string, level int, r launchRecord) {
 	}
 }
 
+// KernelSpans returns the total index count processed so far under the named
+// kernel tag (0 for a tag never launched). It is the cheap point query the
+// serving layer and tests use to assert kernel-level properties — e.g. that a
+// session evaluation ran only cone-limited overlay kernels and never a full
+// forward propagate.
+func (s *Stats) KernelSpans(tag string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k := s.kernels[tag]; k != nil {
+		return k.spans
+	}
+	return 0
+}
+
+// KernelLaunches returns the launch count recorded under the named tag.
+func (s *Stats) KernelLaunches(tag string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k := s.kernels[tag]; k != nil {
+		return k.launches
+	}
+	return 0
+}
+
 // Reset discards all recorded telemetry.
 func (s *Stats) Reset() {
 	s.mu.Lock()

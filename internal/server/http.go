@@ -1,0 +1,265 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Info describes the served design for /healthz.
+type Info struct {
+	Design    string `json:"design"`
+	Pins      int    `json:"pins"`
+	Arcs      int    `json:"arcs"`
+	Endpoints int    `json:"endpoints"`
+	Levels    int    `json:"levels"`
+	TopK      int    `json:"top_k"`
+	Workers   int    `json:"workers"`
+}
+
+// Server is the HTTP front end over a Manager.
+type Server struct {
+	mgr   *Manager
+	info  Info
+	met   *metrics
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds the HTTP layer. The design name is the only field the manager
+// cannot derive itself; everything else in Info is filled from the engine.
+func New(mgr *Manager, design string) *Server {
+	e := mgr.Engine()
+	s := &Server{
+		mgr: mgr,
+		info: Info{
+			Design:    design,
+			Pins:      e.NumPins(),
+			Arcs:      e.NumArcs(),
+			Endpoints: len(e.Endpoints()),
+			Levels:    e.NumLevels(),
+			TopK:      e.TopK(),
+			Workers:   e.Pool().Workers(),
+		},
+		met:   newMetrics(),
+		start: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /slacks", s.route("slacks", s.handleSlacks))
+	mux.HandleFunc("GET /gradients", s.route("gradients", s.handleGradients))
+	mux.HandleFunc("POST /session", s.route("session-create", s.handleCreate))
+	mux.HandleFunc("GET /session/{id}", s.route("session-get", s.withSession(s.handleGet)))
+	mux.HandleFunc("DELETE /session/{id}", s.route("session-delete", s.withSession(s.handleDelete)))
+	mux.HandleFunc("POST /session/{id}/eco", s.route("eco", s.withSession(s.handleECO)))
+	mux.HandleFunc("POST /session/{id}/commit", s.route("commit", s.withSession(s.handleCommit)))
+	mux.HandleFunc("POST /session/{id}/rollback", s.route("rollback", s.withSession(s.handleRollback)))
+	s.mux = mux
+	return s
+}
+
+// Manager returns the session manager the server fronts.
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Handler returns the root handler to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with latency/count instrumentation under a stable
+// route label (patterns with wildcards would explode the label space).
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		s.met.observe(name, sw.code, time.Since(t0))
+	}
+}
+
+// withSession resolves {id} or answers 404.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess := s.mgr.Get(r.PathValue("id"))
+		if sess == nil {
+			writeErr(w, http.StatusNotFound, errors.New("server: no such session"))
+			return
+		}
+		h(w, r, sess)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errCode maps session-layer errors to HTTP statuses.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSessionClosed):
+		return http.StatusGone
+	case errors.Is(err, ErrNoRefEngine):
+		return http.StatusNotImplemented
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+		"design":   s.info,
+		"sessions": s.mgr.NumSessions(),
+		"epoch":    s.mgr.Epoch(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.mgr)
+}
+
+// handleSlacks reports the committed base timing; ?worst=N adds the N worst
+// endpoints with their pins.
+func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
+	slacks := s.mgr.BaseSlacks()
+	resp := map[string]any{
+		"wns":       s.mgr.BaseWNS(),
+		"tns":       s.mgr.BaseTNS(),
+		"endpoints": len(slacks),
+		"epoch":     s.mgr.Epoch(),
+	}
+	viol := 0
+	for _, sl := range slacks {
+		if sl < 0 {
+			viol++
+		}
+	}
+	resp["violations"] = viol
+	if n := intQuery(r, "worst", 0); n > 0 {
+		idx := make([]int, len(slacks))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return slacks[idx[a]] < slacks[idx[b]] })
+		if n > len(idx) {
+			n = len(idx)
+		}
+		worst := make([]EndpointSlack, 0, n)
+		ref := s.mgr.Ref()
+		eps := s.mgr.Engine().Endpoints()
+		for _, i := range idx[:n] {
+			es := EndpointSlack{Endpoint: i, Slack: jsonSlack(slacks[i]), Base: jsonSlack(slacks[i])}
+			if ref != nil {
+				es.Pin = ref.D.Pins[eps[i]].Name
+			}
+			worst = append(worst, es)
+		}
+		resp["worst"] = worst
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGradients(w http.ResponseWriter, r *http.Request) {
+	top := intQuery(r, "top", 32)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":  s.mgr.Epoch(),
+		"stages": s.mgr.Gradients(top),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Create()
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": sess.ID, "epoch": s.mgr.Epoch()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, sess *Session) {
+	res, err := sess.Result()
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": sess.ID, "ecos": sess.ECOCount(), "view": res})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *Session) {
+	sess.Close()
+	writeJSON(w, http.StatusOK, map[string]string{"closed": sess.ID})
+}
+
+func (s *Server) handleECO(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var req ECORequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Resizes) == 0 && len(req.Arcs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("server: empty ECO batch"))
+		return
+	}
+	res, err := sess.ApplyECO(req)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request, sess *Session) {
+	res, err := sess.Commit()
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if err := sess.Rollback(); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rolled_back": sess.ID, "epoch": s.mgr.Epoch()})
+}
+
+func intQuery(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	var n int
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

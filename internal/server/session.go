@@ -1,0 +1,618 @@
+// Package server is the serving layer over one signoff-initialized INSTA
+// engine: a session manager that hands out copy-on-write ECO sessions
+// (core.Overlay views over the frozen propagated base) and the HTTP/JSON
+// front end cmd/insta-served mounts on it.
+//
+// Concurrency model. The base engine's propagated state is the shared
+// snapshot. Session evaluations only read it (their writes land in private
+// overlays), so they run under the manager's read lock — fully parallel
+// across sessions, serialized per session by the session's own mutex.
+// Anything that mutates the base — a session commit, a gradient pass, an
+// Exclusive caller — takes the write lock, draining every in-flight
+// evaluation first. Commits bump an epoch; a session created against an
+// older epoch transparently rebases (re-derives its overlay against the new
+// base, keeping its recorded arc deltas) on its next use, which gives every
+// session sequential-application semantics: committing N sessions in any
+// order lands the same state as applying their delta batches one after
+// another.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insta/internal/core"
+	"insta/internal/netlist"
+	"insta/internal/num"
+	"insta/internal/refsta"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	ErrTooManySessions = errors.New("server: session admission cap reached")
+	ErrSessionClosed   = errors.New("server: session closed")
+	ErrNoRefEngine     = errors.New("server: resize ECOs need a reference engine")
+)
+
+// Options tunes the session manager.
+type Options struct {
+	// MaxSessions is the admission cap: Create fails once this many sessions
+	// are live, so overload degrades by rejecting. <= 0 selects 64.
+	MaxSessions int
+	// TTL is the idle lifetime a Sweep call uses to evict abandoned
+	// sessions. <= 0 selects 5 minutes.
+	TTL time.Duration
+}
+
+// Counters is a snapshot of the manager's lifetime counters.
+type Counters struct {
+	Created   int64
+	Rejected  int64
+	Evicted   int64
+	Commits   int64
+	Rollbacks int64
+	ECOs      int64 // ECO batches evaluated
+}
+
+// Manager owns the base engine and the live session set.
+type Manager struct {
+	e   *core.Engine
+	ref *refsta.Engine // nil disables resize-form ECOs and pin names
+	opt Options
+
+	// mu is the base-state lock: RLock for overlay evaluation, Lock for
+	// anything that mutates the base engine. epoch/baseWNS/baseTNS are
+	// guarded by it.
+	mu      sync.RWMutex
+	epoch   uint64
+	baseWNS float64
+	baseTNS float64
+
+	// smu guards the session table only. Lock ordering: smu may be taken
+	// while holding neither lock or after mu; never take mu or a session's
+	// mutex while holding smu.
+	smu      sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+
+	created, rejected, evicted   atomic.Int64
+	commits, rollbacks, ecoTotal atomic.Int64
+}
+
+// NewManager wraps an initialized engine. If e has not been propagated yet
+// (no slack state), the manager runs the one-time full evaluation here; the
+// base is frozen afterwards. ref, when non-nil, provides estimate_eco
+// resolution for resize-form ECOs and design names for reports.
+func NewManager(e *core.Engine, ref *refsta.Engine, opt Options) *Manager {
+	if opt.MaxSessions <= 0 {
+		opt.MaxSessions = 64
+	}
+	if opt.TTL <= 0 {
+		opt.TTL = 5 * time.Minute
+	}
+	e.Run()
+	m := &Manager{
+		e:        e,
+		ref:      ref,
+		opt:      opt,
+		sessions: make(map[string]*Session),
+	}
+	m.baseWNS, m.baseTNS = e.WNS(), e.TNS()
+	return m
+}
+
+// Engine returns the base engine. Callers must not mutate it outside
+// Exclusive.
+func (m *Manager) Engine() *core.Engine { return m.e }
+
+// Ref returns the reference engine, or nil.
+func (m *Manager) Ref() *refsta.Engine { return m.ref }
+
+// Epoch returns the current base epoch (bumped on every commit).
+func (m *Manager) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// BaseWNS and BaseTNS report the committed base figures.
+func (m *Manager) BaseWNS() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.baseWNS
+}
+
+func (m *Manager) BaseTNS() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.baseTNS
+}
+
+// BaseSlacks returns a copy of the committed endpoint slacks.
+func (m *Manager) BaseSlacks() []float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]float64(nil), m.e.Slacks()...)
+}
+
+// Counters snapshots the lifetime counters.
+func (m *Manager) Counters() Counters {
+	return Counters{
+		Created:   m.created.Load(),
+		Rejected:  m.rejected.Load(),
+		Evicted:   m.evicted.Load(),
+		Commits:   m.commits.Load(),
+		Rollbacks: m.rollbacks.Load(),
+		ECOs:      m.ecoTotal.Load(),
+	}
+}
+
+// NumSessions returns the live session count.
+func (m *Manager) NumSessions() int {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	return len(m.sessions)
+}
+
+// Create opens a new session against the current base, or fails with
+// ErrTooManySessions at the admission cap.
+func (m *Manager) Create() (*Session, error) {
+	m.mu.RLock()
+	epoch := m.epoch
+	m.mu.RUnlock()
+
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	if len(m.sessions) >= m.opt.MaxSessions {
+		m.rejected.Add(1)
+		return nil, ErrTooManySessions
+	}
+	m.nextID++
+	s := &Session{
+		m:     m,
+		ID:    fmt.Sprintf("s%d", m.nextID),
+		ov:    core.NewOverlay(m.e),
+		epoch: epoch,
+	}
+	s.touch()
+	m.sessions[s.ID] = s
+	m.created.Add(1)
+	return s, nil
+}
+
+// Get returns the live session with the given id, or nil.
+func (m *Manager) Get(id string) *Session {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	return m.sessions[id]
+}
+
+// SessionIDs returns the live session ids, sorted.
+func (m *Manager) SessionIDs() []string {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// remove unlinks id from the table and reports whether it was present.
+func (m *Manager) remove(id string) bool {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return false
+	}
+	delete(m.sessions, id)
+	return true
+}
+
+// Sweep closes every session idle longer than the manager TTL and returns
+// how many it evicted. cmd/insta-served runs this on a ticker.
+func (m *Manager) Sweep(now time.Time) int {
+	cutoff := now.Add(-m.opt.TTL).UnixNano()
+	m.smu.Lock()
+	var idle []*Session
+	for _, s := range m.sessions {
+		if s.lastUsed.Load() < cutoff {
+			idle = append(idle, s)
+		}
+	}
+	m.smu.Unlock()
+	for _, s := range idle {
+		if s.Close() {
+			m.evicted.Add(1)
+		}
+	}
+	return len(idle)
+}
+
+// CloseAll closes every live session (shutdown drain).
+func (m *Manager) CloseAll() {
+	m.smu.Lock()
+	live := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		live = append(live, s)
+	}
+	m.smu.Unlock()
+	for _, s := range live {
+		s.Close()
+	}
+}
+
+// Exclusive runs fn with exclusive access to the base engine — no session
+// evaluates concurrently — and bumps the epoch afterwards so live sessions
+// rebase against whatever fn changed. This is the hook in-process clients
+// (the sizing driver) use for base mutations that bypass the session API,
+// e.g. a full delay resync.
+func (m *Manager) Exclusive(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn()
+	m.epoch++
+	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
+}
+
+// StageGrad is one cell's timing gradient, most negative first in Gradients'
+// output (the INSTA-Size ranking signal).
+type StageGrad struct {
+	Cell int32   `json:"cell"`
+	Name string  `json:"name,omitempty"`
+	Grad float64 `json:"grad"`
+}
+
+// Gradients runs the backward pass on the committed base and returns the top
+// stages by gradient magnitude (top <= 0 returns all). The pass writes the
+// engine's gradient tensors, so it takes the write lock; the forward state
+// is untouched, so sessions do not rebase.
+func (m *Manager) Gradients(top int) []StageGrad {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.e.Backward()
+	stages := m.e.StageGradients()
+	// Deterministic ranking: gradient magnitude, cell id on ties.
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].Grad != stages[j].Grad {
+			return stages[i].Grad < stages[j].Grad
+		}
+		return stages[i].Cell < stages[j].Cell
+	})
+	if top > 0 && len(stages) > top {
+		stages = stages[:top]
+	}
+	out := make([]StageGrad, len(stages))
+	for i, st := range stages {
+		out[i] = StageGrad{Cell: st.Cell, Grad: st.Grad}
+		if m.ref != nil {
+			out[i].Name = m.ref.D.Cells[st.Cell].Name
+		}
+	}
+	return out
+}
+
+// ResizeReq is one resize-form ECO: swap the named cell instance to the
+// named library cell. Resolved through the reference engine's estimate_eco.
+type ResizeReq struct {
+	Cell string `json:"cell"`
+	Lib  string `json:"lib"`
+}
+
+// ArcECO is one raw arc re-annotation (the in-process / pre-resolved form).
+type ArcECO struct {
+	Arc  int32    `json:"arc"`
+	Rise num.Dist `json:"rise"`
+	Fall num.Dist `json:"fall"`
+}
+
+// ECORequest is one what-if batch: resizes resolved via estimate_eco, raw
+// arc deltas, or both. The batch is validated before any of it is applied.
+type ECORequest struct {
+	Resizes []ResizeReq `json:"resizes,omitempty"`
+	Arcs    []ArcECO    `json:"arcs,omitempty"`
+}
+
+// EndpointSlack is one changed endpoint in an ECO result. Slacks are clamped
+// to ±1e30 for JSON (untimed endpoints are +Inf internally).
+type EndpointSlack struct {
+	Endpoint int     `json:"endpoint"`
+	Pin      string  `json:"pin,omitempty"`
+	Slack    float64 `json:"slack"`
+	Base     float64 `json:"base_slack"`
+}
+
+// ECOResult is the session's view after an evaluation (or the committed base
+// after Commit).
+type ECOResult struct {
+	WNS         float64         `json:"wns"`
+	TNS         float64         `json:"tns"`
+	DeltaWNS    float64         `json:"delta_wns"`
+	DeltaTNS    float64         `json:"delta_tns"`
+	Changed     []EndpointSlack `json:"changed,omitempty"`
+	TouchedArcs int             `json:"touched_arcs"`
+	OverlayPins int             `json:"overlay_pins"`
+	Epoch       uint64          `json:"epoch"`
+	Committed   bool            `json:"committed,omitempty"`
+}
+
+type resolvedResize struct {
+	cell netlist.CellID
+	lib  int32
+}
+
+// Session is one copy-on-write what-if view. All methods are safe for
+// concurrent use; calls on one session serialize on its mutex, while calls
+// on different sessions share the base under the manager's read lock.
+type Session struct {
+	m  *Manager
+	ID string
+
+	lastUsed atomic.Int64 // unix nanos of the last touch
+
+	mu      sync.Mutex
+	ov      *core.Overlay
+	epoch   uint64
+	resizes []resolvedResize // netlist changes to replay on commit
+	closed  bool
+	ecoN    int
+}
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// rebaseLocked re-derives the overlay against the current base if a commit
+// happened since this session last evaluated. Caller holds s.mu and at least
+// m.mu.RLock.
+func (s *Session) rebaseLocked() {
+	if s.epoch == s.m.epoch {
+		return
+	}
+	s.ov.Rebase()
+	s.ov.Propagate()
+	s.epoch = s.m.epoch
+}
+
+// jsonSlack clamps ±Inf (untimed endpoints) to representable JSON numbers.
+func jsonSlack(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return 1e30
+	}
+	if math.IsInf(v, -1) {
+		return -1e30
+	}
+	return v
+}
+
+// resultLocked builds the session's current view. Caller holds s.mu and at
+// least m.mu.RLock.
+func (s *Session) resultLocked() *ECOResult {
+	m := s.m
+	st := s.ov.Stats()
+	res := &ECOResult{
+		WNS:         s.ov.WNS(),
+		TNS:         s.ov.TNS(),
+		TouchedArcs: st.TouchedArcs,
+		OverlayPins: st.OverlayPins,
+		Epoch:       s.epoch,
+	}
+	res.DeltaWNS = res.WNS - m.baseWNS
+	res.DeltaTNS = res.TNS - m.baseTNS
+	base := m.e.Slacks()
+	eps := m.e.Endpoints()
+	for _, ep := range s.ov.ChangedEndpoints() {
+		es := EndpointSlack{
+			Endpoint: int(ep),
+			Slack:    jsonSlack(s.ov.Slack(ep)),
+			Base:     jsonSlack(base[ep]),
+		}
+		if m.ref != nil {
+			es.Pin = m.ref.D.Pins[eps[ep]].Name
+		}
+		res.Changed = append(res.Changed, es)
+	}
+	return res
+}
+
+// ApplyECO validates and applies one what-if batch to the session's overlay,
+// re-propagates the affected cones, and returns the session's new view
+// (ΔWNS/ΔTNS plus every endpoint whose slack the overlay re-derived). The
+// base engine is untouched. On a validation error nothing is applied.
+func (s *Session) ApplyECO(req ECORequest) (*ECOResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.touch()
+	m := s.m
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s.rebaseLocked()
+
+	// Resolve and validate the whole batch before applying any of it.
+	type resolved struct {
+		deltas []refsta.ArcDelta
+		rz     resolvedResize
+	}
+	resolvedRz := make([]resolved, 0, len(req.Resizes))
+	for _, rz := range req.Resizes {
+		if m.ref == nil {
+			return nil, ErrNoRefEngine
+		}
+		c, ok := m.ref.D.CellByName(rz.Cell)
+		if !ok {
+			return nil, fmt.Errorf("server: unknown cell %q", rz.Cell)
+		}
+		lib, ok := m.ref.Lib.CellByName(rz.Lib)
+		if !ok {
+			return nil, fmt.Errorf("server: unknown library cell %q", rz.Lib)
+		}
+		deltas, err := m.ref.EstimateECO(c, lib)
+		if err != nil {
+			return nil, fmt.Errorf("server: estimate_eco %s -> %s: %w", rz.Cell, rz.Lib, err)
+		}
+		resolvedRz = append(resolvedRz, resolved{deltas: deltas, rz: resolvedResize{cell: c, lib: lib}})
+	}
+	for _, a := range req.Arcs {
+		if a.Arc < 0 || int(a.Arc) >= m.e.NumArcs() {
+			return nil, fmt.Errorf("server: arc %d out of range [0,%d)", a.Arc, m.e.NumArcs())
+		}
+	}
+
+	for _, r := range resolvedRz {
+		for _, dl := range r.deltas {
+			s.ov.SetArcDelay(dl.ArcID, 0, dl.Delay[0])
+			s.ov.SetArcDelay(dl.ArcID, 1, dl.Delay[1])
+		}
+		s.resizes = append(s.resizes, r.rz)
+	}
+	for _, a := range req.Arcs {
+		s.ov.SetArcDelay(a.Arc, 0, a.Rise)
+		s.ov.SetArcDelay(a.Arc, 1, a.Fall)
+	}
+	s.ov.Propagate()
+	s.ecoN++
+	m.ecoTotal.Add(1)
+	return s.resultLocked(), nil
+}
+
+// ApplyDeltas is the in-process fast path ApplyECO's arc form reduces to:
+// annotate pre-computed estimate_eco deltas and re-propagate. The sizing
+// driver uses it to preview candidates without JSON round-trips.
+func (s *Session) ApplyDeltas(deltas []refsta.ArcDelta) (*ECOResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.touch()
+	m := s.m
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s.rebaseLocked()
+	for _, dl := range deltas {
+		s.ov.SetArcDelay(dl.ArcID, 0, dl.Delay[0])
+		s.ov.SetArcDelay(dl.ArcID, 1, dl.Delay[1])
+	}
+	s.ov.Propagate()
+	s.ecoN++
+	m.ecoTotal.Add(1)
+	return s.resultLocked(), nil
+}
+
+// Result returns the session's current view without applying anything
+// (rebasing first if the base moved).
+func (s *Session) Result() (*ECOResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.touch()
+	s.m.mu.RLock()
+	defer s.m.mu.RUnlock()
+	s.rebaseLocked()
+	return s.resultLocked(), nil
+}
+
+// Slacks returns the session's full endpoint slack view: the committed base
+// slacks with the overlay's re-derived endpoints applied on top.
+func (s *Session) Slacks() ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.touch()
+	s.m.mu.RLock()
+	defer s.m.mu.RUnlock()
+	s.rebaseLocked()
+	out := append([]float64(nil), s.m.e.Slacks()...)
+	for _, ep := range s.ov.ChangedEndpoints() {
+		out[ep] = s.ov.Slack(ep)
+	}
+	return out, nil
+}
+
+// Commit folds the session's recorded arc deltas into the base engine
+// (incremental propagation, full slack re-evaluation), replays its resizes
+// into the reference netlist, bumps the epoch, and leaves the session open
+// and empty against the new base. Commit order across sessions defines the
+// sequential-application order; each commit is bit-identical to applying the
+// session's deltas on whatever base it lands on.
+func (s *Session) Commit() (*ECOResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.touch()
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.ov.Commit()
+	if len(s.resizes) > 0 {
+		for _, rz := range s.resizes {
+			// Already validated by ApplyECO; a failure here means another
+			// session committed a conflicting footprint change — skip the
+			// netlist replay, the timing deltas are already in.
+			_, _ = m.ref.ResizeCell(rz.cell, rz.lib)
+		}
+		m.ref.UpdateTimingIncremental()
+		s.resizes = s.resizes[:0]
+	}
+	m.epoch++
+	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
+	s.epoch = m.epoch
+	m.commits.Add(1)
+	return &ECOResult{
+		WNS:       m.baseWNS,
+		TNS:       m.baseTNS,
+		Epoch:     m.epoch,
+		Committed: true,
+	}, nil
+}
+
+// Rollback discards the session's uncommitted deltas, re-syncing it to the
+// current base. The session stays open.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.touch()
+	s.m.mu.RLock()
+	defer s.m.mu.RUnlock()
+	s.ov.Reset()
+	s.resizes = s.resizes[:0]
+	s.epoch = s.m.epoch
+	s.m.rollbacks.Add(1)
+	return nil
+}
+
+// Close discards the session and unlinks it from the manager. It reports
+// whether this call was the one that closed it.
+func (s *Session) Close() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.ov.Reset()
+	return s.m.remove(s.ID)
+}
+
+// ECOCount returns how many batches this session has evaluated.
+func (s *Session) ECOCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ecoN
+}

@@ -13,6 +13,7 @@ import (
 	"insta/internal/core"
 	"insta/internal/netlist"
 	"insta/internal/refsta"
+	"insta/internal/server"
 )
 
 // Result summarizes one sizing run.
@@ -80,27 +81,20 @@ func neighborhood(d *netlist.Design, c netlist.CellID, hops int) []netlist.CellI
 	return out
 }
 
-// applyDeltas annotates estimate_eco deltas onto INSTA and returns an undo
-// list restoring the previous annotation.
-func applyDeltas(e *core.Engine, deltas []refsta.ArcDelta) []refsta.ArcDelta {
-	undo := make([]refsta.ArcDelta, len(deltas))
-	for i, dl := range deltas {
-		undo[i].ArcID = dl.ArcID
-		for rf := 0; rf < 2; rf++ {
-			undo[i].Delay[rf] = e.ArcDelay(dl.ArcID, rf)
-			e.SetArcDelay(dl.ArcID, rf, dl.Delay[rf])
-		}
-	}
-	return undo
-}
-
 // InstaSize runs the INSTA-Size flow: after a one-time initialization
 // (ref already extracted into e), each round backpropagates TNS, ranks
 // stages by |timing gradient|, and for each candidate stage uses
 // estimate_eco to select the drive strength whose predicted INSTA TNS is
-// best. The winning swap is committed to the reference engine and INSTA; it
-// is rolled back if the re-evaluated TNS degrades. A committed stage blocks
-// its BlockHops-neighbourhood for the round.
+// best. The winning swap is committed to the reference engine and INSTA. A
+// committed stage blocks its BlockHops-neighbourhood for the round.
+//
+// The flow is the first in-process client of the serving layer: the engine is
+// wrapped in a server.Manager and every candidate is previewed on one
+// copy-on-write session (cone-limited overlay propagation) instead of a full
+// re-propagation per alternative, with Rollback between alternatives and
+// Commit folding the winner into the base. Overlay previews are bit-identical
+// to committed state, so the accept/reject decisions are unchanged — a
+// degrading candidate is simply never committed.
 func InstaSize(ref *refsta.Engine, e *core.Engine, cfg Config) Result {
 	start := time.Now()
 	var bRT time.Duration
@@ -108,27 +102,36 @@ func InstaSize(ref *refsta.Engine, e *core.Engine, cfg Config) Result {
 	d := ref.D
 	lib := ref.Lib
 
-	e.Run()
-	curTNS := e.TNS()
-	for round := 0; round < cfg.MaxRounds; round++ {
-		// Re-synchronize INSTA with the reference engine's current arc
-		// delays at each round boundary (the cheap Fig. 2 resync), so
-		// estimate_eco drift cannot accumulate across rounds. Arcs are
-		// disjoint, so the transfer runs on the engine's scheduler pool.
-		e.Pool().RunTagged("size-resync", -1, len(ref.Arcs), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				a := &ref.Arcs[i]
-				e.SetArcDelay(int32(i), 0, a.Delay[0])
-				e.SetArcDelay(int32(i), 1, a.Delay[1])
-			}
-		})
-		e.Run()
-		curTNS = e.TNS()
+	mgr := server.NewManager(e, ref, server.Options{MaxSessions: 1})
+	sess, err := mgr.Create()
+	if err != nil {
+		panic("sizing: " + err.Error()) // cap is 1, first create cannot fail
+	}
+	defer sess.Close()
 
+	curTNS := mgr.BaseTNS()
+	for round := 0; round < cfg.MaxRounds; round++ {
+		var stages []core.StageGradient
 		t0 := time.Now()
-		e.Backward()
-		stages := e.StageGradients()
+		mgr.Exclusive(func() {
+			// Re-synchronize INSTA with the reference engine's current arc
+			// delays at each round boundary (the cheap Fig. 2 resync), so
+			// estimate_eco drift cannot accumulate across rounds. Arcs are
+			// disjoint, so the transfer runs on the engine's scheduler pool.
+			e.Pool().RunTagged("size-resync", -1, len(ref.Arcs), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a := &ref.Arcs[i]
+					e.SetArcDelay(int32(i), 0, a.Delay[0])
+					e.SetArcDelay(int32(i), 1, a.Delay[1])
+				}
+			})
+			e.Run()
+			t0 = time.Now()
+			e.Backward()
+			stages = e.StageGradients()
+		})
 		bRT += time.Since(t0)
+		curTNS = mgr.BaseTNS()
 		if len(stages) == 0 {
 			break
 		}
@@ -154,9 +157,12 @@ func InstaSize(ref *refsta.Engine, e *core.Engine, cfg Config) Result {
 			}
 			cur := d.Cells[c].LibCell
 			ladder := lib.Siblings(cur)
-			// estimate_eco pass: pick the drive with the best predicted TNS.
+			// estimate_eco pass: preview each drive on the session overlay
+			// (cone-limited propagation over the frozen base) and pick the
+			// best predicted TNS.
 			bestTNS := curTNS
 			var bestLib int32 = -1
+			var bestDeltas []refsta.ArcDelta
 			for _, alt := range ladder {
 				if alt == cur {
 					continue
@@ -165,46 +171,43 @@ func InstaSize(ref *refsta.Engine, e *core.Engine, cfg Config) Result {
 				if err != nil {
 					continue
 				}
-				undo := applyDeltas(e, deltas)
-				e.Run()
-				tns := e.TNS()
-				applyDeltas(e, undo)
-				if tns > bestTNS {
-					bestTNS = tns
+				res, err := sess.ApplyDeltas(deltas)
+				if err != nil {
+					panic("sizing: preview failed: " + err.Error())
+				}
+				if err := sess.Rollback(); err != nil {
+					panic("sizing: rollback failed: " + err.Error())
+				}
+				if res.TNS > bestTNS {
+					bestTNS = res.TNS
 					bestLib = alt
+					bestDeltas = deltas
 				}
 			}
 			if bestLib < 0 {
+				// No alternative improved TNS (paper §III-H would roll a
+				// degrading commit back; the preview rejects it up front).
 				continue
 			}
-			// Commit: estimate_eco re-annotation drives INSTA; the reference
-			// engine records the netlist change for later signoff.
-			deltas, err := ref.EstimateECO(c, bestLib)
-			if err != nil {
-				continue
+			// Commit: the winning preview is re-applied and folded into the
+			// base (bit-identical to the preview), and the reference engine
+			// records the netlist change, kept current so later estimate_eco
+			// calls see fresh loads and slews, as the host signoff tool would
+			// in a live flow.
+			if _, err := sess.ApplyDeltas(bestDeltas); err != nil {
+				panic("sizing: commit preview failed: " + err.Error())
 			}
-			old, err := ref.ResizeCell(c, bestLib)
-			if err != nil {
-				continue
-			}
-			undo := applyDeltas(e, deltas)
-			e.Run()
-			newTNS := e.TNS()
-			if newTNS <= curTNS {
-				// Rollback if TNS degraded (paper §III-H).
-				applyDeltas(e, undo)
-				if _, err := ref.ResizeCell(c, old); err != nil {
-					panic("sizing: rollback failed: " + err.Error())
+			if _, err := ref.ResizeCell(c, bestLib); err != nil {
+				if rbErr := sess.Rollback(); rbErr != nil {
+					panic("sizing: rollback failed: " + rbErr.Error())
 				}
-				ref.UpdateTimingIncremental()
-				e.Run()
 				continue
 			}
-			// Keep the reference engine's own state current so later
-			// estimate_eco calls see fresh loads and slews, as the host
-			// signoff tool would in a live flow.
 			ref.UpdateTimingIncremental()
-			curTNS = newTNS
+			if _, err := sess.Commit(); err != nil {
+				panic("sizing: commit failed: " + err.Error())
+			}
+			curTNS = bestTNS
 			sized[c] = true
 			committed++
 			improvedAny = true

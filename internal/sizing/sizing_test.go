@@ -11,6 +11,7 @@ import (
 	"insta/internal/liberty"
 	"insta/internal/netlist"
 	"insta/internal/refsta"
+	"insta/internal/server"
 )
 
 func sizingSpec(seed int64) bench.Spec {
@@ -179,12 +180,34 @@ func TestApplyDeltasRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	undo := applyDeltas(e, deltas)
-	applyDeltas(e, undo)
-	after := e.Run()
+	// Preview + rollback on a session must leave the base untouched — the
+	// invariant the candidate loop in InstaSize rests on.
+	mgr := server.NewManager(e, ref, server.Options{})
+	sess, err := mgr.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.ApplyDeltas(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TouchedArcs == 0 {
+		t.Fatal("preview touched no arcs")
+	}
+	if err := sess.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Slacks()
 	for i := range before {
 		if before[i] != after[i] {
-			t.Fatalf("ep %d changed after apply+undo: %v vs %v", i, before[i], after[i])
+			t.Fatalf("ep %d changed after preview+rollback: %v vs %v", i, before[i], after[i])
 		}
+	}
+	clean, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.TNS != mgr.BaseTNS() || len(clean.Changed) != 0 {
+		t.Fatalf("rolled-back session diverges from base: %+v", clean)
 	}
 }
