@@ -4,11 +4,14 @@
 #   1. go vet        — static analysis over every package
 #   2. go build      — everything compiles, including cmd/ and examples/
 #   3. go test       — full suite (unit + determinism + differential + bench
-#                      regression smoke, which rewrites BENCH_sched.json and
-#                      BENCH_serve.json)
+#                      regression smoke, which rewrites BENCH_sched.json,
+#                      BENCH_serve.json, and BENCH_batch.json — the last
+#                      gates the scenario-batched subsystem at >= 2x the
+#                      per-corner rebuild loop at S=3)
 #   4. go test -race — short-mode race check of the scheduler, the engine
-#                      kernels that run on it, and the serving layer's
-#                      session manager (the concurrency surface)
+#                      kernels that run on it, the scenario-batched engine,
+#                      and the serving layer's session manager (the
+#                      concurrency surface)
 #   5. load smoke    — 100 concurrent ECO requests against the HTTP serving
 #                      surface under -race must complete with zero errors
 #
@@ -24,8 +27,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core + server, short) =="
-go test -race -short ./internal/sched/... ./internal/core/... ./internal/server/...
+echo "== go test -race (sched + core + batch + server, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/...
 
 echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
 go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/

@@ -6,12 +6,19 @@
 //
 //	insta-served -design block-2 -addr :8080
 //	insta-served -dir /path/to/design -topk 16
+//	insta-served -design block-2 -corners ss,tt,ff
 //
 // Endpoints: POST /session, POST /session/{id}/eco, POST
 // /session/{id}/commit, POST /session/{id}/rollback, GET/DELETE
-// /session/{id}, GET /slacks, GET /gradients, GET /healthz, GET /metrics.
-// SIGINT/SIGTERM drains in-flight requests before exiting; idle sessions are
-// evicted past -ttl.
+// /session/{id}, GET /session/{id}/slacks, GET /slacks, GET /gradients, GET
+// /healthz, GET /metrics. SIGINT/SIGTERM drains in-flight requests before
+// exiting; idle sessions are evicted past -ttl.
+//
+// With -corners the daemon also stands up one scenario-batched engine
+// (internal/batch) over the same extraction; every session then prices its
+// what-ifs in all corners with a single cone re-propagation, ECO previews and
+// commits carry per-scenario and merged ΔWNS/ΔTNS, and ?scenario=<name|merged>
+// selects a corner on the slack endpoints.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"insta/internal/batch"
 	"insta/internal/bench"
 	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
@@ -49,6 +57,7 @@ func main() {
 	sweepEvery := flag.Duration("sweep", 30*time.Second, "eviction sweep interval")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	sf := cmdutil.SchedFlags()
+	cf := cmdutil.CornersFlag()
 	flag.Parse()
 
 	var (
@@ -92,10 +101,27 @@ func main() {
 	defer e.Close()
 	e.EnableKernelStats()
 
-	mgr := server.NewManager(e, ref, server.Options{MaxSessions: *maxSessions, TTL: *ttl})
+	srvOpt := server.Options{MaxSessions: *maxSessions, TTL: *ttl}
+	if cf.Enabled() {
+		scns, sErr := cf.Scenarios()
+		if sErr != nil {
+			fatalf("corners: %v", sErr)
+		}
+		be, bErr := batch.New(tab, scns, opt)
+		if bErr != nil {
+			fatalf("corners: %v", bErr)
+		}
+		defer be.Close()
+		srvOpt.Batch = be
+	}
+	mgr := server.NewManager(e, ref, srvOpt)
 	fmt.Fprintf(os.Stderr, "insta-served: %s ready in %s — %d pins, %d arcs, %d endpoints, WNS %.1f TNS %.1f (K=%d, workers=%d)\n",
 		name, time.Since(t0).Round(time.Millisecond), e.NumPins(), e.NumArcs(),
 		len(e.Endpoints()), mgr.BaseWNS(), mgr.BaseTNS(), *topK, e.Pool().Workers())
+	if be := mgr.Batch(); be != nil {
+		fmt.Fprintf(os.Stderr, "insta-served: multi-corner: %d scenarios in one batched engine (%.1f MB)\n",
+			be.NumScenarios(), float64(be.MemoryBytes())/1e6)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: server.New(mgr, name).Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"insta/internal/batch"
 	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
 	"insta/internal/core"
@@ -37,6 +39,7 @@ func main() {
 	hold := flag.Bool("hold", false, "also run hold analysis")
 	profile := flag.Bool("profile", false, "print per-kernel scheduler telemetry")
 	sf := cmdutil.SchedFlags()
+	cf := cmdutil.CornersFlag()
 	flag.Parse()
 
 	if *gen != "" {
@@ -96,6 +99,14 @@ func main() {
 			ref.HoldWNS(), ref.HoldTNS(), e.HoldWNS(), e.HoldTNS())
 	}
 
+	if cf.Enabled() {
+		scns, err := cf.Scenarios()
+		if err != nil {
+			fatalf("corners: %v", err)
+		}
+		reportCorners(tab, scns, opt, *hold)
+	}
+
 	if *profile {
 		e.Backward() // include the backward kernel in the profile
 		fmt.Printf("\nkernel profile (workers=%d grain=%d levels=%d):\n",
@@ -107,4 +118,49 @@ func main() {
 	ref.SlackHistogram(os.Stdout, 16)
 	fmt.Println()
 	ref.ReportTiming(os.Stdout, *paths)
+}
+
+// reportCorners runs the scenario-batched engine over the extracted tables —
+// one traversal for every corner — and prints per-corner and merged metrics
+// plus the worst-corner-per-endpoint breakdown.
+func reportCorners(tab *circuitops.Tables, scns []batch.Scenario, opt core.Options, hold bool) {
+	opt.Hold = hold
+	be, err := batch.New(tab, scns, opt)
+	if err != nil {
+		fatalf("corners: %v", err)
+	}
+	defer be.Close()
+	be.Run()
+
+	v := be.Merged()
+	fmt.Printf("\nmulti-corner (%d scenarios, one batched traversal, %.1f MB):\n",
+		be.NumScenarios(), float64(be.MemoryBytes())/1e6)
+	for s, m := range v.PerScenario {
+		line := fmt.Sprintf("  %-8s delay x%.2f sigma x%.2f rc x%.2f | WNS %8.2f ps, TNS %10.2f ps, %d violations",
+			m.Name, scns[s].DelayScale, scns[s].SigmaScale, scns[s].RCScale, m.WNS, m.TNS, m.Violations)
+		if hold {
+			line += fmt.Sprintf(" | hold WNS %.2f TNS %.2f", be.HoldWNS(s), be.HoldTNS(s))
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  %-8s %-33s | WNS %8.2f ps, TNS %10.2f ps, %d violations\n",
+		"merged", "worst corner per endpoint", v.WNS, v.TNS, v.Violations)
+
+	// Which corner dominates: endpoints per worst corner, worst first.
+	counts := map[string]int{}
+	for i := range v.WorstOf {
+		if n := v.WorstName(scns, i); n != "" {
+			counts[n]++
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return counts[names[i]] > counts[names[j]] })
+	fmt.Printf("  dominant corners:")
+	for _, n := range names {
+		fmt.Printf(" %s=%d eps", n, counts[n])
+	}
+	fmt.Println()
 }

@@ -1,0 +1,515 @@
+// Package batch is the scenario-batched propagation subsystem: one INSTA
+// engine that times S corners/modes in a single levelized traversal.
+//
+// The single-corner stack (internal/corners before this package existed)
+// paid S full refsta builds, S extractions, S engine constructions and S
+// propagations for an S-corner analysis. Here the graph topology, fan-in
+// CSR, levelization, SP/EP tables, clock network and exception table are
+// built once from the nominal extraction, and the per-pin arrival state is
+// laid out as structure-of-arrays vectors with the scenario axis innermost:
+// for every (transition, pin) the S scenarios' Top-K queues are contiguous,
+// so the forward kernel walks the fan-in list once per pin and resolves each
+// scenario's arc delay inside the inner loop from two scale factors —
+// delay/RC scaling of the arc mean (by arc kind) and sigma scaling of the
+// arc spread. Every kernel dispatches over the same internal/sched
+// chunk-claiming pool as the single-corner engine, so an S-scenario
+// propagation costs one traversal plus S× the queue arithmetic instead of S
+// full engines.
+//
+// The scenario model is the industrial derate form (set_timing_derate):
+// scenario s sees cell-arc delays scaled by DelayScale, net-arc delays by
+// RCScale and all sigmas by SigmaScale, while launch arrivals, required
+// times and the clock network are shared. ScaleTables materializes the same
+// model as a standalone extraction, and the differential tests assert that
+// every scenario of a batched engine is bit-identical to an independent
+// core.Engine built from those scaled tables — at any worker count.
+package batch
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/levelize"
+	"insta/internal/netlist"
+	"insta/internal/sched"
+	"insta/internal/sdc"
+)
+
+// Scenario is one timing scenario (corner/mode) expressed as scale factors
+// over the nominal characterization.
+type Scenario struct {
+	Name       string
+	DelayScale float64 // cell-arc delay scaling
+	SigmaScale float64 // POCV sigma scaling (cell and net arcs)
+	RCScale    float64 // net-arc (interconnect) delay scaling
+}
+
+// DefaultScenarios returns the usual slow/typical/fast trio, matching the
+// historical corners.DefaultCorners factors.
+func DefaultScenarios() []Scenario {
+	return []Scenario{
+		{Name: "ss", DelayScale: 1.18, SigmaScale: 1.25, RCScale: 1.10},
+		{Name: "tt", DelayScale: 1.00, SigmaScale: 1.00, RCScale: 1.00},
+		{Name: "ff", DelayScale: 0.86, SigmaScale: 0.90, RCScale: 0.92},
+	}
+}
+
+// ParseScenarios resolves a -corners flag value: a comma-separated list of
+// scenario names, each either a DefaultScenarios name ("ss,tt,ff") or an
+// explicit override "name:delay/sigma/rc" ("hot:1.3/1.4/1.2"). Names must be
+// unique.
+func ParseScenarios(spec string) ([]Scenario, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("batch: empty scenario spec")
+	}
+	known := make(map[string]Scenario)
+	for _, s := range DefaultScenarios() {
+		known[s.Name] = s
+	}
+	seen := make(map[string]bool)
+	var out []Scenario
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		var scn Scenario
+		if name, scales, ok := strings.Cut(field, ":"); ok {
+			parts := strings.Split(scales, "/")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("batch: scenario %q: want name:delay/sigma/rc", field)
+			}
+			vals := make([]float64, 3)
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("batch: scenario %q: bad scale %q", field, p)
+				}
+				vals[i] = v
+			}
+			scn = Scenario{Name: name, DelayScale: vals[0], SigmaScale: vals[1], RCScale: vals[2]}
+		} else {
+			var ok bool
+			if scn, ok = known[field]; !ok {
+				return nil, fmt.Errorf("batch: unknown scenario %q (defaults: ss, tt, ff; custom: name:delay/sigma/rc)", field)
+			}
+		}
+		if seen[scn.Name] {
+			return nil, fmt.Errorf("batch: duplicate scenario %q", scn.Name)
+		}
+		seen[scn.Name] = true
+		out = append(out, scn)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("batch: empty scenario spec")
+	}
+	return out, nil
+}
+
+// ScaleTables returns a copy of t with every arc annotation scaled for one
+// scenario — the standalone-extraction form of the derate model, used to
+// build the independent single-corner engines the differential tests compare
+// against. The multiplications here are the exact operations the batched
+// kernel performs inline, so the results are bit-identical.
+func ScaleTables(t *circuitops.Tables, scn Scenario) *circuitops.Tables {
+	out := *t
+	out.Arcs = make([]circuitops.ArcRow, len(t.Arcs))
+	for i, a := range t.Arcs {
+		ms := scn.DelayScale
+		if a.Kind == 1 {
+			ms = scn.RCScale
+		}
+		a.MeanRise *= ms
+		a.MeanFall *= ms
+		a.StdRise *= scn.SigmaScale
+		a.StdFall *= scn.SigmaScale
+		out.Arcs[i] = a
+	}
+	return &out
+}
+
+// noSP marks an empty Top-K queue slot (same sentinel as core).
+const noSP = int32(-1)
+
+// Kernel tags for scheduler instrumentation.
+const (
+	kForward     = "batch-forward"
+	kHold        = "batch-hold"
+	kSlack       = "batch-slack"
+	kHoldSlack   = "batch-hold-slack"
+	kIncremental = "batch-incremental"
+	// KernelOverlay and KernelOverlaySlack are exported so serving tests can
+	// assert a scenario-batched session evaluation stayed cone-limited.
+	KernelOverlay      = "batch-overlay"
+	KernelOverlaySlack = "batch-overlay-slack"
+	// KernelForward is the full batched forward tag, exported for the same
+	// no-full-propagate assertions.
+	KernelForward = kForward
+)
+
+// Engine is a scenario-batched INSTA instance: one shared graph, S
+// scenarios' arrival state propagated together.
+type Engine struct {
+	opt     core.Options
+	scns    []Scenario
+	numPins int
+	period  float64
+	nSigma  float64
+
+	// Per-kind per-scenario scale factors the inner kernel resolves arc
+	// delays through: index [arcKind][scenario].
+	scaleMean [2][]float64
+	scaleStd  [2][]float64
+
+	// Fan-in CSR over pins (shared across scenarios).
+	faninStart []int32
+	faninArc   []int32
+	faninFrom  []int32
+	faninSense []uint8
+
+	// Nominal arc annotations, indexed by arc id, per output rf.
+	arcMean [2][]float64
+	arcStd  [2][]float64
+	arcKind []uint8
+	arcFrom []int32
+	arcTo   []int32
+
+	lv *levelize.Result
+
+	// Startpoints / endpoints (shared: the derate model does not move launch
+	// arrivals or required times).
+	spPin   []int32
+	spNode  []int32
+	spMean  []float64
+	spStd   []float64
+	spOfPin []int32
+	epPin   []int32
+	epNode  []int32
+	epBase  [2][]float64
+	epOfPin []int32
+
+	clkParent []int32
+	clkCumVar []float64
+	clkDepth  []int32
+
+	exc *sdc.ExceptionTable
+
+	// Top-K state, SoA with the scenario axis innermost-but-one:
+	// index (((rf*numPins)+pin)*S + s)*K + k. One pin's S scenario queues
+	// are contiguous, so the batched kernel streams them under one fan-in
+	// walk.
+	topArr  []float64
+	topMean []float64
+	topStd  []float64
+	topSP   []int32
+
+	// Per-scenario endpoint slacks, index s*numEPs + i.
+	epSlack []float64
+
+	hold *holdState
+
+	// Fan-out CSR (incremental propagation, overlay wavefronts).
+	foStart, foAdj []int32
+
+	pool *sched.Pool
+}
+
+// New initializes a scenario-batched engine from the nominal extraction
+// tables. opt carries the same knobs as core.Options (TopK, Hold, Workers,
+// Grain); LegacySpawn is not supported here — every kernel runs on the
+// persistent pool.
+func New(t *circuitops.Tables, scns []Scenario, opt core.Options) (*Engine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(scns) == 0 {
+		return nil, fmt.Errorf("batch: no scenarios given")
+	}
+	if opt.TopK < 1 {
+		return nil, fmt.Errorf("batch: TopK must be >= 1, got %d", opt.TopK)
+	}
+	for _, s := range scns {
+		if s.DelayScale <= 0 || s.SigmaScale <= 0 || s.RCScale <= 0 {
+			return nil, fmt.Errorf("batch: scenario %q has non-positive scale", s.Name)
+		}
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
+	}
+	e := &Engine{
+		opt:     opt,
+		scns:    append([]Scenario(nil), scns...),
+		numPins: t.NumPins,
+		period:  t.Period,
+		nSigma:  t.NSigma,
+		pool:    sched.New(opt.Workers, opt.Grain),
+	}
+	S := len(scns)
+	for kind := 0; kind < 2; kind++ {
+		e.scaleMean[kind] = make([]float64, S)
+		e.scaleStd[kind] = make([]float64, S)
+	}
+	for s, scn := range scns {
+		e.scaleMean[0][s] = scn.DelayScale
+		e.scaleMean[1][s] = scn.RCScale
+		e.scaleStd[0][s] = scn.SigmaScale
+		e.scaleStd[1][s] = scn.SigmaScale
+	}
+
+	// Arc annotations and fan-in CSR, identical construction to core.
+	nArcs := len(t.Arcs)
+	for rf := 0; rf < 2; rf++ {
+		e.arcMean[rf] = make([]float64, nArcs)
+		e.arcStd[rf] = make([]float64, nArcs)
+	}
+	e.arcKind = make([]uint8, nArcs)
+	e.arcFrom = make([]int32, nArcs)
+	e.arcTo = make([]int32, nArcs)
+	counts := make([]int32, t.NumPins+1)
+	for i := range t.Arcs {
+		a := &t.Arcs[i]
+		e.arcMean[0][i] = a.MeanRise
+		e.arcStd[0][i] = a.StdRise
+		e.arcMean[1][i] = a.MeanFall
+		e.arcStd[1][i] = a.StdFall
+		e.arcKind[i] = a.Kind
+		e.arcFrom[i] = a.From
+		e.arcTo[i] = a.To
+		counts[a.To+1]++
+	}
+	e.faninStart = make([]int32, t.NumPins+1)
+	for i := 0; i < t.NumPins; i++ {
+		e.faninStart[i+1] = e.faninStart[i] + counts[i+1]
+	}
+	e.faninArc = make([]int32, nArcs)
+	e.faninFrom = make([]int32, nArcs)
+	e.faninSense = make([]uint8, nArcs)
+	cursor := make([]int32, t.NumPins)
+	for i := range t.Arcs {
+		a := &t.Arcs[i]
+		pos := e.faninStart[a.To] + cursor[a.To]
+		cursor[a.To]++
+		e.faninArc[pos] = int32(i)
+		e.faninFrom[pos] = a.From
+		e.faninSense[pos] = a.Sense
+	}
+
+	lvArcs := make([]levelize.Arc, nArcs)
+	for i := range t.Arcs {
+		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
+	}
+	lv, err := levelize.Levelize(t.NumPins, lvArcs)
+	if err != nil {
+		return nil, err
+	}
+	e.lv = lv
+
+	e.spOfPin = make([]int32, t.NumPins)
+	for i := range e.spOfPin {
+		e.spOfPin[i] = -1
+	}
+	for i, s := range t.SPs {
+		e.spPin = append(e.spPin, s.Pin)
+		e.spNode = append(e.spNode, s.ClockNode)
+		e.spMean = append(e.spMean, s.Mean)
+		e.spStd = append(e.spStd, s.Std)
+		e.spOfPin[s.Pin] = int32(i)
+	}
+	e.epBase[0] = make([]float64, len(t.EPs))
+	e.epBase[1] = make([]float64, len(t.EPs))
+	e.epOfPin = make([]int32, t.NumPins)
+	for i := range e.epOfPin {
+		e.epOfPin[i] = -1
+	}
+	for i, ep := range t.EPs {
+		e.epPin = append(e.epPin, ep.Pin)
+		e.epNode = append(e.epNode, ep.CaptureNode)
+		e.epBase[0][i] = ep.BaseReqRise
+		e.epBase[1][i] = ep.BaseReqFall
+		e.epOfPin[ep.Pin] = int32(i)
+	}
+
+	nClk := len(t.ClockNodes)
+	e.clkParent = make([]int32, nClk)
+	e.clkCumVar = make([]float64, nClk)
+	e.clkDepth = make([]int32, nClk)
+	for i, c := range t.ClockNodes {
+		e.clkParent[i] = c.Parent
+		e.clkCumVar[i] = c.CumVar
+		if c.Parent >= 0 {
+			e.clkDepth[i] = e.clkDepth[c.Parent] + 1
+		}
+	}
+
+	if e.exc, err = t.CompileExceptions(); err != nil {
+		return nil, err
+	}
+
+	k := opt.TopK
+	sz := 2 * t.NumPins * S * k
+	e.topArr = make([]float64, sz)
+	e.topMean = make([]float64, sz)
+	e.topStd = make([]float64, sz)
+	e.topSP = make([]int32, sz)
+	e.epSlack = make([]float64, S*len(t.EPs))
+	if opt.Hold {
+		holdRise := make([]float64, len(t.EPs))
+		holdFall := make([]float64, len(t.EPs))
+		for i, ep := range t.EPs {
+			holdRise[i] = ep.HoldReqRise
+			holdFall[i] = ep.HoldReqFall
+		}
+		e.initHold(holdRise, holdFall)
+	}
+	// Built eagerly for the same reason as core: overlay sessions over a
+	// shared batched base must never race on lazy construction.
+	e.fanoutCSR()
+	return e, nil
+}
+
+// kern dispatches one kernel launch over [0, n) through the engine's pool.
+func (e *Engine) kern(tag string, level, n int, fn func(lo, hi int)) {
+	e.pool.RunTagged(tag, level, n, fn)
+}
+
+// qbase returns the flat offset of (rf, pin, scenario)'s Top-K block.
+func (e *Engine) qbase(rf int, pin int32, s int) int {
+	return ((((rf * e.numPins) + int(pin)) * len(e.scns)) + s) * e.opt.TopK
+}
+
+// Close releases the engine's worker pool. Idempotent; the engine must not
+// be used afterwards.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Pool returns the engine's persistent scheduler pool.
+func (e *Engine) Pool() *sched.Pool { return e.pool }
+
+// EnableKernelStats attaches a telemetry collector to the pool and returns
+// the engine for chaining-free use; see core.Engine.EnableKernelStats.
+func (e *Engine) EnableKernelStats() *sched.Stats {
+	if e.pool.Stats() == nil {
+		e.pool.SetStats(sched.NewStats())
+	}
+	return e.pool.Stats()
+}
+
+// KernelStats snapshots the collected kernel profiles (nil before
+// EnableKernelStats).
+func (e *Engine) KernelStats() []sched.KernelProfile {
+	if s := e.pool.Stats(); s != nil {
+		return s.Snapshot()
+	}
+	return nil
+}
+
+// Scenarios returns the engine's scenario list in propagation order.
+func (e *Engine) Scenarios() []Scenario { return e.scns }
+
+// NumScenarios returns S.
+func (e *Engine) NumScenarios() int { return len(e.scns) }
+
+// ScenarioIndex resolves a scenario name, or -1.
+func (e *Engine) ScenarioIndex(name string) int {
+	for i, s := range e.scns {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumPins returns the pin count of the shared graph.
+func (e *Engine) NumPins() int { return e.numPins }
+
+// NumArcs returns the arc count of the shared graph.
+func (e *Engine) NumArcs() int { return len(e.arcFrom) }
+
+// NumLevels returns the timing level count — unchanged by S: the batched
+// traversal visits each level once regardless of scenario count.
+func (e *Engine) NumLevels() int { return e.lv.NumLevels }
+
+// TopK returns the configured K.
+func (e *Engine) TopK() int { return e.opt.TopK }
+
+// HoldEnabled reports whether the engine propagates early arrivals.
+func (e *Engine) HoldEnabled() bool { return e.hold != nil }
+
+// Endpoints returns the endpoint pin ids in extraction order.
+func (e *Engine) Endpoints() []int32 { return e.epPin }
+
+// ArcKind returns arc's annotation kind (0 = cell arc, 1 = net arc) — the
+// axis the per-scenario mean scale factor is selected on.
+func (e *Engine) ArcKind(arc int32) uint8 { return e.arcKind[arc] }
+
+// ArcDelayScale returns the mean/std scale factors scenario s applies to
+// arc's annotation — the factors the inner kernel resolves.
+func (e *Engine) ArcDelayScale(arc int32, s int) (mean, std float64) {
+	kind := e.arcKind[arc]
+	return e.scaleMean[kind][s], e.scaleStd[kind][s]
+}
+
+// SetArcDelay re-annotates one arc's *nominal* delay distribution for output
+// transition rf; every scenario sees it through its scale factors. This is
+// the ECO re-annotation entry point — deltas stay in nominal units exactly
+// like the single-corner engine's.
+func (e *Engine) SetArcDelay(arc int32, rf int, mean, std float64) {
+	e.arcMean[rf][arc] = mean
+	e.arcStd[rf][arc] = std
+}
+
+// ArcDelay returns arc's nominal annotation for transition rf.
+func (e *Engine) ArcDelay(arc int32, rf int) (mean, std float64) {
+	return e.arcMean[rf][arc], e.arcStd[rf][arc]
+}
+
+// MemoryBytes returns the resident footprint of the batched tensors and
+// shared topology — the amortization ledger: the Top-K tensors grow S×, the
+// graph does not.
+func (e *Engine) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(e.topArr)+len(e.topMean)+len(e.topStd)) * 8
+	b += int64(len(e.topSP)) * 4
+	b += int64(len(e.arcFrom)) * (8*4 + 2*4 + 1)
+	b += int64(len(e.faninArc)+len(e.faninFrom)) * 4
+	b += int64(len(e.faninSense))
+	b += int64(len(e.faninStart)+len(e.spOfPin)+len(e.epOfPin)) * 4
+	b += int64(len(e.lv.Order)+len(e.lv.Level)+len(e.lv.LevelStart)) * 4
+	b += int64(len(e.foStart)+len(e.foAdj)) * 4
+	b += int64(len(e.epSlack)) * 8
+	if e.hold != nil {
+		b += int64(len(e.hold.negArr)+len(e.hold.mean)+len(e.hold.std)) * 8
+		b += int64(len(e.hold.sp)) * 4
+	}
+	return b
+}
+
+// lca returns the lowest common ancestor of two clock nodes.
+func (e *Engine) lca(a, b int32) int32 {
+	for e.clkDepth[a] > e.clkDepth[b] {
+		a = e.clkParent[a]
+	}
+	for e.clkDepth[b] > e.clkDepth[a] {
+		b = e.clkParent[b]
+	}
+	for a != b {
+		a = e.clkParent[a]
+		b = e.clkParent[b]
+	}
+	return a
+}
+
+// credit returns the CPPR common-path credit for launch node l and capture
+// node c — shared across scenarios (the clock network is not derated).
+func (e *Engine) credit(l, c int32) float64 {
+	return 2 * e.nSigma * math.Sqrt(e.clkCumVar[e.lca(l, c)])
+}
+
+// excLookup adapts the pin-keyed sdc exception table.
+func (e *Engine) excLookup(spPin, epPin int32) sdc.Adjust {
+	return e.exc.Lookup(netlist.PinID(spPin), netlist.PinID(epPin))
+}

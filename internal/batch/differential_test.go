@@ -1,0 +1,161 @@
+package batch
+
+// Differential suite: the correctness contract of the batched subsystem is
+// that scenario s of one batched engine is *bit-identical* — queues, setup
+// slacks, hold slacks — to an independent single-corner core.Engine built
+// from ScaleTables(tab, s), at any worker count. ci.sh runs this package
+// under -race as well, so the claim covers concurrent chunk claiming.
+
+import (
+	"testing"
+
+	"insta/internal/core"
+)
+
+var diffScenarios = []Scenario{
+	{Name: "ss", DelayScale: 1.18, SigmaScale: 1.25, RCScale: 1.10},
+	{Name: "tt", DelayScale: 1.00, SigmaScale: 1.00, RCScale: 1.00},
+	{Name: "ff", DelayScale: 0.86, SigmaScale: 0.90, RCScale: 0.92},
+	{Name: "hot", DelayScale: 1.31, SigmaScale: 1.07, RCScale: 0.97},
+}
+
+func TestBatchBitIdenticalToIndependentEngines(t *testing.T) {
+	tab := buildTables(t, 21)
+	for _, workers := range []int{1, 2, 4} {
+		opt := core.Options{TopK: 8, Hold: true, Workers: workers}
+		be, err := New(tab, diffScenarios, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be.Run()
+		for s, scn := range diffScenarios {
+			se, err := core.NewEngine(ScaleTables(tab, scn), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := se.Run()
+			wantHold := se.EvalHoldSlacks()
+
+			got := be.Slacks(s)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d scenario %s ep %d: batched slack %v != independent %v",
+						workers, scn.Name, i, got[i], want[i])
+				}
+			}
+			gotHold := be.HoldSlacks(s)
+			for i := range wantHold {
+				if gotHold[i] != wantHold[i] {
+					t.Fatalf("workers=%d scenario %s ep %d: batched hold slack %v != independent %v",
+						workers, scn.Name, i, gotHold[i], wantHold[i])
+				}
+			}
+			if bw, hw := be.HoldWNS(s), se.HoldWNS(); bw != hw {
+				t.Fatalf("workers=%d scenario %s: hold WNS %v != %v", workers, scn.Name, bw, hw)
+			}
+			if bw, sw := be.WNS(s), se.WNS(); bw != sw {
+				t.Fatalf("workers=%d scenario %s: WNS %v != %v", workers, scn.Name, bw, sw)
+			}
+			if bt, st := be.TNS(s), se.TNS(); bt != st {
+				t.Fatalf("workers=%d scenario %s: TNS %v != %v", workers, scn.Name, bt, st)
+			}
+
+			// Queue-level identity on every endpoint pin (the deepest state
+			// the slack evaluation reads).
+			for _, p := range be.Endpoints() {
+				for rf := 0; rf < 2; rf++ {
+					ba, bm, bs, bsp := be.TopEntries(rf, p, s)
+					sa, sm, ss, ssp := se.TopEntries(rf, p)
+					for kk := range ba {
+						if ba[kk] != sa[kk] || bm[kk] != sm[kk] || bs[kk] != ss[kk] || bsp[kk] != ssp[kk] {
+							t.Fatalf("workers=%d scenario %s pin %d rf %d slot %d: queue mismatch",
+								workers, scn.Name, p, rf, kk)
+						}
+					}
+				}
+			}
+			se.Close()
+		}
+		be.Close()
+	}
+}
+
+func TestBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	tab := buildTables(t, 22)
+	var ref [][]float64
+	for _, workers := range []int{1, 3, 8} {
+		be, err := New(tab, diffScenarios, core.Options{TopK: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		be.Run()
+		cur := make([][]float64, len(diffScenarios))
+		for s := range diffScenarios {
+			cur[s] = be.Slacks(s)
+		}
+		be.Close()
+		if ref == nil {
+			ref = cur
+			continue
+		}
+		for s := range cur {
+			for i := range cur[s] {
+				if cur[s][i] != ref[s][i] {
+					t.Fatalf("workers=%d scenario %d ep %d: %v != workers=1's %v",
+						workers, s, i, cur[s][i], ref[s][i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchIncrementalMatchesFullPropagate(t *testing.T) {
+	tab := buildTables(t, 23)
+	opt := core.Options{TopK: 8, Hold: true, Workers: 2}
+	inc, err := New(tab, diffScenarios, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	inc.Run()
+
+	// Perturb a spread of arcs in nominal units.
+	touched := []int32{0, int32(inc.NumArcs() / 3), int32(inc.NumArcs() / 2), int32(inc.NumArcs() - 1)}
+	for _, a := range touched {
+		for rf := 0; rf < 2; rf++ {
+			m, sd := inc.ArcDelay(a, rf)
+			inc.SetArcDelay(a, rf, m*1.2+1, sd*1.1)
+		}
+	}
+	inc.PropagateIncremental(touched)
+	inc.EvalSlacks()
+	inc.EvalHoldSlacks()
+
+	full, err := New(tab, diffScenarios, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	for _, a := range touched {
+		for rf := 0; rf < 2; rf++ {
+			m, sd := inc.ArcDelay(a, rf)
+			full.SetArcDelay(a, rf, m, sd)
+		}
+	}
+	full.Run()
+
+	for s := range diffScenarios {
+		gi, gf := inc.Slacks(s), full.Slacks(s)
+		for i := range gf {
+			if gi[i] != gf[i] {
+				t.Fatalf("scenario %d ep %d: incremental %v != full %v", s, i, gi[i], gf[i])
+			}
+		}
+		hi, hf := inc.HoldSlacks(s), full.HoldSlacks(s)
+		for i := range hf {
+			if hi[i] != hf[i] {
+				t.Fatalf("scenario %d ep %d: incremental hold %v != full %v", s, i, hi[i], hf[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package batch
+
+import (
+	"math"
+
+	"insta/internal/core"
+	"insta/internal/liberty"
+)
+
+// Propagate runs the batched forward kernel: one level-synchronous traversal
+// carrying every scenario's Top-K arrival state. Pins within a level are
+// independent and are distributed over the pool by atomic chunk claiming,
+// exactly like the single-corner engine — the level count, the fan-in walks
+// and the dispatch are paid once, not S times.
+func (e *Engine) Propagate() {
+	for l := 0; l < e.lv.NumLevels; l++ {
+		pins := e.lv.Nodes(l)
+		e.kern(kForward, l, len(pins), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.propagatePin(pins[i])
+			}
+		})
+	}
+	if e.hold != nil {
+		e.propagateHold()
+	}
+}
+
+// propagatePin recomputes pin p's per-scenario Top-K queues for both
+// transitions. The fan-in CSR is walked once per transition; the scenario
+// loop sits inside the per-arc contribution, resolving each scenario's arc
+// delay from the per-kind scale factors. For a fixed scenario the insertion
+// order over (arc position, input transition, parent slot) is identical to
+// core.Engine's kernel, which is what makes the per-scenario state
+// bit-identical to an independent engine over ScaleTables output.
+func (e *Engine) propagatePin(p int32) {
+	if sp := e.spOfPin[p]; sp >= 0 {
+		e.initStartpoint(p, sp)
+		return
+	}
+	k := e.opt.TopK
+	S := len(e.scns)
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	for rf := 0; rf < 2; rf++ {
+		qb := e.qbase(rf, p, 0) // scenario 0; blocks for s=1..S-1 follow
+		clearQueues(e.topArr[qb:qb+S*k], e.topSP[qb:qb+S*k])
+
+		// Single-fan-in fast path, batched: shift every scenario's parent
+		// queue by that scenario's scaled arc delay.
+		if hi-lo == 1 && liberty.Unate(e.faninSense[lo]) != liberty.NonUnate {
+			for s := 0; s < S; s++ {
+				e.shiftCopy(rf, s, lo, p)
+			}
+			continue
+		}
+
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			kind := e.arcKind[arc]
+			am0 := e.arcMean[rf][arc]
+			as0 := e.arcStd[rf][arc]
+			inRFs, n := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < n; ri++ {
+				pb0 := e.qbase(inRFs[ri], parent, 0)
+				for s := 0; s < S; s++ {
+					am := am0 * e.scaleMean[kind][s]
+					as := as0 * e.scaleStd[kind][s]
+					pb := pb0 + s*k
+					b := qb + s*k
+					arr := e.topArr[b : b+k]
+					mean := e.topMean[b : b+k]
+					std := e.topStd[b : b+k]
+					sps := e.topSP[b : b+k]
+					for kk := 0; kk < k; kk++ {
+						psp := e.topSP[pb+kk]
+						if psp == noSP {
+							break // queues are packed: empties trail
+						}
+						m := e.topMean[pb+kk] + am
+						pstd := e.topStd[pb+kk]
+						if m+e.nSigma*(pstd+as) <= arr[k-1] {
+							continue
+						}
+						sg := math.Sqrt(pstd*pstd + as*as)
+						core.InsertTopK(arr, mean, std, sps, m+e.nSigma*sg, m, sg, psp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// initStartpoint seeds a startpoint pin's queues in every scenario with the
+// shared launch distribution (scenarios derate arcs, not launches).
+func (e *Engine) initStartpoint(p, sp int32) {
+	k := e.opt.TopK
+	S := len(e.scns)
+	for rf := 0; rf < 2; rf++ {
+		for s := 0; s < S; s++ {
+			b := e.qbase(rf, p, s)
+			clearQueues(e.topArr[b:b+k], e.topSP[b:b+k])
+			e.topMean[b] = e.spMean[sp]
+			e.topStd[b] = e.spStd[sp]
+			e.topArr[b] = e.spMean[sp] + e.nSigma*e.spStd[sp]
+			e.topSP[b] = sp
+		}
+	}
+}
+
+// shiftCopy is the batched single-parent fast path for one scenario: shift
+// the parent's queue by the scenario-scaled arc delay and restore descending
+// order with a near-sorted insertion sort — the same arithmetic and stable
+// ordering as core.Engine.shiftCopy.
+func (e *Engine) shiftCopy(rf, s int, pos, p int32) {
+	arc := e.faninArc[pos]
+	parent := e.faninFrom[pos]
+	inRFs, _ := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+	kind := e.arcKind[arc]
+	am := e.arcMean[rf][arc] * e.scaleMean[kind][s]
+	as := e.arcStd[rf][arc] * e.scaleStd[kind][s]
+	pb := e.qbase(inRFs[0], parent, s)
+	b := e.qbase(rf, p, s)
+	k := e.opt.TopK
+	arr := e.topArr[b : b+k]
+	mean := e.topMean[b : b+k]
+	std := e.topStd[b : b+k]
+	sps := e.topSP[b : b+k]
+	n := 0
+	for kk := 0; kk < k; kk++ {
+		psp := e.topSP[pb+kk]
+		if psp == noSP {
+			break
+		}
+		m := e.topMean[pb+kk] + am
+		sg := math.Sqrt(e.topStd[pb+kk]*e.topStd[pb+kk] + as*as)
+		arr[n] = m + e.nSigma*sg
+		mean[n] = m
+		std[n] = sg
+		sps[n] = psp
+		n++
+	}
+	for i := 1; i < n; i++ {
+		a, m, sg, sp := arr[i], mean[i], std[i], sps[i]
+		j := i - 1
+		for j >= 0 && arr[j] < a {
+			arr[j+1], mean[j+1], std[j+1], sps[j+1] = arr[j], mean[j], std[j], sps[j]
+			j--
+		}
+		arr[j+1], mean[j+1], std[j+1], sps[j+1] = a, m, sg, sp
+	}
+}
+
+// clearQueues resets a run of queue slots (possibly several scenarios'
+// contiguous blocks at once).
+func clearQueues(arr []float64, sps []int32) {
+	for i := range arr {
+		arr[i] = math.Inf(-1)
+		sps[i] = noSP
+	}
+}
+
+// TopEntries returns pin p's Top-K arrival entries for (transition rf,
+// scenario s), for inspection and the differential tests.
+func (e *Engine) TopEntries(rf int, p int32, s int) (arr, mean, std []float64, sps []int32) {
+	k := e.opt.TopK
+	b := e.qbase(rf, p, s)
+	return e.topArr[b : b+k], e.topMean[b : b+k], e.topStd[b : b+k], e.topSP[b : b+k]
+}

@@ -1,0 +1,182 @@
+package batch
+
+// Scenario-batched hold (early/min-delay) analysis, mirroring core's hold
+// extension: per (pin, transition, scenario) a fixed-size queue of the K
+// smallest early-corner arrival distributions with unique startpoints,
+// stored negated so core.InsertTopK's descending order yields the earliest
+// arrivals. Enabled with Options.Hold; a setup-only engine pays nothing.
+
+import (
+	"math"
+
+	"insta/internal/core"
+	"insta/internal/liberty"
+)
+
+// holdState holds the batched early-arrival buffers.
+type holdState struct {
+	// Flattened like the late queues: index (((rf*numPins)+pin)*S+s)*K + k.
+	negArr []float64
+	mean   []float64
+	std    []float64
+	sp     []int32
+
+	epHold  [2][]float64 // hold requirement (+Inf = unchecked), shared
+	epSlack []float64    // per-scenario, index s*numEPs + i
+}
+
+// initHold allocates the batched hold buffers.
+func (e *Engine) initHold(holdRise, holdFall []float64) {
+	k := e.opt.TopK
+	sz := 2 * e.numPins * len(e.scns) * k
+	e.hold = &holdState{
+		negArr:  make([]float64, sz),
+		mean:    make([]float64, sz),
+		std:     make([]float64, sz),
+		sp:      make([]int32, sz),
+		epSlack: make([]float64, len(e.scns)*len(e.epPin)),
+	}
+	e.hold.epHold[0] = holdRise
+	e.hold.epHold[1] = holdFall
+}
+
+// propagateHold runs the batched early-arrival forward pass; Propagate calls
+// it automatically when hold is enabled.
+func (e *Engine) propagateHold() {
+	for l := 0; l < e.lv.NumLevels; l++ {
+		pins := e.lv.Nodes(l)
+		e.kern(kHold, l, len(pins), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.propagatePinMin(pins[i])
+			}
+		})
+	}
+}
+
+func (e *Engine) propagatePinMin(p int32) {
+	h := e.hold
+	k := e.opt.TopK
+	S := len(e.scns)
+	if sp := e.spOfPin[p]; sp >= 0 {
+		for rf := 0; rf < 2; rf++ {
+			for s := 0; s < S; s++ {
+				b := e.qbase(rf, p, s)
+				clearQueues(h.negArr[b:b+k], h.sp[b:b+k])
+				h.mean[b] = e.spMean[sp]
+				h.std[b] = e.spStd[sp]
+				h.negArr[b] = -(e.spMean[sp] - e.nSigma*e.spStd[sp])
+				h.sp[b] = sp
+			}
+		}
+		return
+	}
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	for rf := 0; rf < 2; rf++ {
+		qb := e.qbase(rf, p, 0)
+		clearQueues(h.negArr[qb:qb+S*k], h.sp[qb:qb+S*k])
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			kind := e.arcKind[arc]
+			am0 := e.arcMean[rf][arc]
+			as0 := e.arcStd[rf][arc]
+			inRFs, n := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < n; ri++ {
+				pb0 := e.qbase(inRFs[ri], parent, 0)
+				for s := 0; s < S; s++ {
+					am := am0 * e.scaleMean[kind][s]
+					as := as0 * e.scaleStd[kind][s]
+					pb := pb0 + s*k
+					b := qb + s*k
+					negArr := h.negArr[b : b+k]
+					mean := h.mean[b : b+k]
+					std := h.std[b : b+k]
+					sps := h.sp[b : b+k]
+					for kk := 0; kk < k; kk++ {
+						psp := h.sp[pb+kk]
+						if psp == noSP {
+							break
+						}
+						m := h.mean[pb+kk] + am
+						pstd := h.std[pb+kk]
+						sg := math.Sqrt(pstd*pstd + as*as)
+						core.InsertTopK(negArr, mean, std, sps, -(m - e.nSigma*sg), m, sg, psp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// EvalHoldSlacks evaluates hold slacks per scenario from the batched early
+// arrivals: slack = earlyArrival - holdReq + credit(sp, ep), minimized over
+// startpoints and transitions. Unchecked endpoints carry +Inf. Requires
+// Options.Hold and a prior Propagate.
+func (e *Engine) EvalHoldSlacks() {
+	h := e.hold
+	k := e.opt.TopK
+	S := len(e.scns)
+	nEP := len(e.epPin)
+	e.kern(kHoldSlack, -1, nEP, func(lo, hiI int) {
+		for i := lo; i < hiI; i++ {
+			p := e.epPin[i]
+			for s := 0; s < S; s++ {
+				best := math.Inf(1)
+				for rf := 0; rf < 2; rf++ {
+					req := h.epHold[rf][i]
+					if math.IsInf(req, 1) {
+						continue
+					}
+					b := e.qbase(rf, p, s)
+					for kk := 0; kk < k; kk++ {
+						sp := h.sp[b+kk]
+						if sp == noSP {
+							break
+						}
+						adj := e.excLookup(e.spPin[sp], p)
+						if adj.False {
+							continue
+						}
+						early := -h.negArr[b+kk]
+						if sl := early - req + e.credit(e.spNode[sp], e.epNode[i]); sl < best {
+							best = sl
+						}
+					}
+				}
+				h.epSlack[s*nEP+i] = best
+			}
+		}
+	})
+}
+
+// HoldSlacks returns a copy of scenario s's hold slacks.
+func (e *Engine) HoldSlacks(s int) []float64 {
+	nEP := len(e.epPin)
+	out := make([]float64, nEP)
+	copy(out, e.hold.epSlack[s*nEP:(s+1)*nEP])
+	return out
+}
+
+// HoldWNS returns scenario s's worst negative hold slack.
+func (e *Engine) HoldWNS(s int) float64 {
+	w := 0.0
+	nEP := len(e.epPin)
+	for _, sl := range e.hold.epSlack[s*nEP : (s+1)*nEP] {
+		if sl < w {
+			w = sl
+		}
+	}
+	return w
+}
+
+// HoldTNS returns scenario s's total negative hold slack.
+func (e *Engine) HoldTNS(s int) float64 {
+	t := 0.0
+	nEP := len(e.epPin)
+	for _, sl := range e.hold.epSlack[s*nEP : (s+1)*nEP] {
+		if sl < 0 {
+			t += sl
+		}
+	}
+	return t
+}

@@ -1,0 +1,153 @@
+package batch
+
+// Incremental batched propagation: after a nominal re-annotation of a few
+// arcs (an ECO commit), only the fan-out cone of the touched arcs can change
+// — in any scenario. The wavefront walks the shared level schedule once,
+// recomputes every scenario's queues for the cone pins, and stops where all
+// S scenarios' queues come out bit-identical; one traversal folds the ECO
+// into all corners.
+
+// fanoutCSR builds the pin fan-out adjacency: slot i of
+// [foStart[p], foStart[p+1]) holds destination pin foAdj[i].
+func (e *Engine) fanoutCSR() (start, adj []int32) {
+	if e.foStart != nil {
+		return e.foStart, e.foAdj
+	}
+	n := e.numPins
+	counts := make([]int32, n+1)
+	for i := range e.arcFrom {
+		counts[e.arcFrom[i]+1]++
+	}
+	start = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + counts[i+1]
+	}
+	adj = make([]int32, len(e.arcFrom))
+	cursor := make([]int32, n)
+	for i := range e.arcFrom {
+		f := e.arcFrom[i]
+		adj[start[f]+cursor[f]] = e.arcTo[i]
+		cursor[f]++
+	}
+	e.foStart, e.foAdj = start, adj
+	return start, adj
+}
+
+// PropagateIncremental re-propagates only the fan-out cone of the given
+// arcs across all scenarios, assuming every other annotation is unchanged
+// since the last Propagate. Each level's bucket runs through the pool; the
+// wavefront expansion is serial in bucket order, so the state is
+// bit-identical to a full Propagate for any worker count. Hold queues, when
+// enabled, are updated over the same cone.
+func (e *Engine) PropagateIncremental(arcs []int32) {
+	if len(arcs) == 0 {
+		return
+	}
+	foStart, foAdj := e.fanoutCSR()
+
+	buckets := make([][]int32, e.lv.NumLevels)
+	queued := make(map[int32]bool, len(arcs)*4)
+	push := func(p int32) {
+		if !queued[p] {
+			queued[p] = true
+			buckets[e.lv.Level[p]] = append(buckets[e.lv.Level[p]], p)
+		}
+	}
+	for _, a := range arcs {
+		push(e.arcTo[a])
+	}
+
+	var changed []bool
+	for l := 0; l < len(buckets); l++ {
+		bucket := buckets[l]
+		if len(bucket) == 0 {
+			continue
+		}
+		if cap(changed) < len(bucket) {
+			changed = make([]bool, len(bucket))
+		}
+		changed = changed[:len(bucket)]
+		e.kern(kIncremental, l, len(bucket), func(lo, hi int) {
+			snap := e.newSnapshotBuf()
+			for i := lo; i < hi; i++ {
+				p := bucket[i]
+				ch := false
+				e.snapshotPin(p, snap, false)
+				e.propagatePin(p)
+				if !e.snapshotEqual(p, snap, false) {
+					ch = true
+				}
+				if e.hold != nil {
+					e.snapshotPin(p, snap, true)
+					e.propagatePinMin(p)
+					if !e.snapshotEqual(p, snap, true) {
+						ch = true
+					}
+				}
+				changed[i] = ch
+			}
+		})
+		for i, p := range bucket {
+			if changed[i] {
+				for _, to := range foAdj[foStart[p]:foStart[p+1]] {
+					push(to)
+				}
+			}
+		}
+	}
+}
+
+// snapshotBuf holds one pin's queues — all transitions and scenarios —
+// across a recompute.
+type snapshotBuf struct {
+	arr, mean, std []float64
+	sp             []int32
+}
+
+func (e *Engine) newSnapshotBuf() *snapshotBuf {
+	n := 2 * len(e.scns) * e.opt.TopK
+	return &snapshotBuf{
+		arr:  make([]float64, n),
+		mean: make([]float64, n),
+		std:  make([]float64, n),
+		sp:   make([]int32, n),
+	}
+}
+
+func (e *Engine) snapshotPin(p int32, s *snapshotBuf, early bool) {
+	span := len(e.scns) * e.opt.TopK
+	for rf := 0; rf < 2; rf++ {
+		b := e.qbase(rf, p, 0)
+		dst := rf * span
+		if early {
+			copy(s.arr[dst:dst+span], e.hold.negArr[b:b+span])
+			copy(s.sp[dst:dst+span], e.hold.sp[b:b+span])
+			continue
+		}
+		copy(s.arr[dst:dst+span], e.topArr[b:b+span])
+		copy(s.mean[dst:dst+span], e.topMean[b:b+span])
+		copy(s.std[dst:dst+span], e.topStd[b:b+span])
+		copy(s.sp[dst:dst+span], e.topSP[b:b+span])
+	}
+}
+
+func (e *Engine) snapshotEqual(p int32, s *snapshotBuf, early bool) bool {
+	span := len(e.scns) * e.opt.TopK
+	for rf := 0; rf < 2; rf++ {
+		b := e.qbase(rf, p, 0)
+		src := rf * span
+		for i := 0; i < span; i++ {
+			if early {
+				if e.hold.sp[b+i] != s.sp[src+i] || e.hold.negArr[b+i] != s.arr[src+i] {
+					return false
+				}
+				continue
+			}
+			if e.topSP[b+i] != s.sp[src+i] || e.topArr[b+i] != s.arr[src+i] ||
+				e.topMean[b+i] != s.mean[src+i] || e.topStd[b+i] != s.std[src+i] {
+				return false
+			}
+		}
+	}
+	return true
+}

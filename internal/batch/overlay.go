@@ -1,0 +1,455 @@
+package batch
+
+// Copy-on-write what-if evaluation over a scenario-batched base, the
+// multi-corner analogue of core.Overlay: a serving session re-annotates a
+// handful of arcs in nominal units and reads the resulting slacks in every
+// scenario — one cone re-propagation carries all corners, instead of S
+// per-corner overlays each walking the cone.
+//
+// The base engine's batched propagated state is the immutable snapshot; the
+// overlay holds sparse deltas (nominal arc re-annotations, recomputed
+// per-scenario pin queues over the reached cone, per-scenario slacks of the
+// endpoints inside it). Reads fall through to the base wherever the overlay
+// has no entry. Commit folds the nominal deltas into the base with a batched
+// incremental propagation, which makes committed state bit-identical to the
+// overlay's preview (same merge arithmetic, same order, same equality stop).
+//
+// Concurrency contract: an Overlay is single-threaded, but any number of
+// overlays may evaluate in parallel over one frozen base as long as nothing
+// mutates that base — the serving layer enforces this with its
+// reader/writer lock around commits, exactly as for core.Overlay.
+
+import (
+	"math"
+	"sort"
+
+	"insta/internal/core"
+	"insta/internal/liberty"
+)
+
+// Overlay is a copy-on-write what-if view over a propagated batched engine.
+type Overlay struct {
+	e *Engine
+
+	// Sparse nominal arc-delay overlay: arc id -> per-rf (mean, std).
+	arcDelta map[int32]*[2][2]float64
+	touched  []int32
+	pending  []int32
+
+	// Sparse pin-queue overlay: recomputed queues for every scenario,
+	// flattened (rf*S+s)*K + k.
+	pinQ map[int32]*pinOverlay
+
+	// Per-scenario slacks of re-evaluated endpoints (len S per entry), and
+	// the endpoints whose pins changed but are not yet re-evaluated.
+	epSlack map[int32][]float64
+	epDirty map[int32]bool
+}
+
+// pinOverlay holds one pin's recomputed queues across all scenarios.
+type pinOverlay struct {
+	arr, mean, std []float64
+	sp             []int32
+}
+
+// NewOverlay creates an empty overlay over e. The base must be fully
+// propagated and slack-evaluated (Run) and stay frozen while the overlay
+// evaluates.
+func NewOverlay(e *Engine) *Overlay {
+	return &Overlay{
+		e:        e,
+		arcDelta: make(map[int32]*[2][2]float64),
+		pinQ:     make(map[int32]*pinOverlay),
+		epSlack:  make(map[int32][]float64),
+		epDirty:  make(map[int32]bool),
+	}
+}
+
+// Base returns the batched engine this overlay shadows.
+func (o *Overlay) Base() *Engine { return o.e }
+
+// SetArcDelay annotates one arc's *nominal* delay for output transition rf
+// in the overlay only; every scenario sees it through its scale factors.
+// Call Propagate after a batch.
+func (o *Overlay) SetArcDelay(arc int32, rf int, mean, std float64) {
+	od := o.arcDelta[arc]
+	if od == nil {
+		od = &[2][2]float64{
+			{o.e.arcMean[0][arc], o.e.arcStd[0][arc]},
+			{o.e.arcMean[1][arc], o.e.arcStd[1][arc]},
+		}
+		o.arcDelta[arc] = od
+		o.touched = append(o.touched, arc)
+	}
+	od[rf] = [2]float64{mean, std}
+	for _, a := range o.pending {
+		if a == arc {
+			return
+		}
+	}
+	o.pending = append(o.pending, arc)
+}
+
+// arcDelay returns the nominal annotation of arc for rf as seen through the
+// overlay.
+func (o *Overlay) arcDelay(rf int, arc int32) (mean, std float64) {
+	if od := o.arcDelta[arc]; od != nil {
+		return od[rf][0], od[rf][1]
+	}
+	return o.e.arcMean[rf][arc], o.e.arcStd[rf][arc]
+}
+
+// queues returns pin p's Top-K queue slices for (rf, scenario s) as seen
+// through the overlay.
+func (o *Overlay) queues(rf, s int, p int32) (arr, mean, std []float64, sps []int32) {
+	k := o.e.opt.TopK
+	if q := o.pinQ[p]; q != nil {
+		b := (rf*len(o.e.scns) + s) * k
+		return q.arr[b : b+k], q.mean[b : b+k], q.std[b : b+k], q.sp[b : b+k]
+	}
+	b := o.e.qbase(rf, p, s)
+	return o.e.topArr[b : b+k], o.e.topMean[b : b+k], o.e.topStd[b : b+k], o.e.topSP[b : b+k]
+}
+
+// Propagate re-propagates the fan-out cone of every arc annotated since the
+// last call, across all scenarios at once, writing recomputed queues into
+// the overlay only. The wavefront walks the shared level schedule exactly
+// like the base's PropagateIncremental and stops where every scenario's
+// queues converge, so the preview is bit-identical to committing the same
+// deltas.
+func (o *Overlay) Propagate() {
+	arcs := o.pending
+	o.pending = o.pending[:0]
+	if len(arcs) == 0 {
+		return
+	}
+	e := o.e
+	foStart, foAdj := e.foStart, e.foAdj
+
+	buckets := make([][]int32, e.lv.NumLevels)
+	queued := make(map[int32]bool, len(arcs)*4)
+	push := func(p int32) {
+		if !queued[p] {
+			queued[p] = true
+			buckets[e.lv.Level[p]] = append(buckets[e.lv.Level[p]], p)
+		}
+	}
+	for _, a := range arcs {
+		push(e.arcTo[a])
+	}
+
+	qlen := 2 * len(e.scns) * e.opt.TopK
+	var changed []bool
+	for l := 0; l < len(buckets); l++ {
+		bucket := buckets[l]
+		if len(bucket) == 0 {
+			continue
+		}
+		// Startpoint pins reseed constants and never change; stop there.
+		live := bucket[:0]
+		for _, p := range bucket {
+			if e.spOfPin[p] < 0 {
+				live = append(live, p)
+			}
+		}
+		bucket = live
+		if len(bucket) == 0 {
+			continue
+		}
+		// Overlay queue storage is allocated serially: map writes must not
+		// run inside the kernel (lower-level parents are read concurrently
+		// through the same map).
+		for _, p := range bucket {
+			if o.pinQ[p] == nil {
+				o.pinQ[p] = &pinOverlay{
+					arr:  make([]float64, qlen),
+					mean: make([]float64, qlen),
+					std:  make([]float64, qlen),
+					sp:   make([]int32, qlen),
+				}
+			}
+		}
+		if cap(changed) < len(bucket) {
+			changed = make([]bool, len(bucket))
+		}
+		changed = changed[:len(bucket)]
+		e.kern(KernelOverlay, l, len(bucket), func(lo, hi int) {
+			snap := e.newSnapshotBuf()
+			for i := lo; i < hi; i++ {
+				changed[i] = o.recomputePin(bucket[i], snap)
+			}
+		})
+		for i, p := range bucket {
+			if !changed[i] {
+				continue
+			}
+			if ep := e.epOfPin[p]; ep >= 0 {
+				o.epDirty[ep] = true
+			}
+			for _, to := range foAdj[foStart[p]:foStart[p+1]] {
+				push(to)
+			}
+		}
+	}
+	o.evalDirtyEndpoints()
+}
+
+// recomputePin rebuilds pin p's queues for every scenario inside the
+// overlay from its fan-in as seen through the overlay, and reports whether
+// any scenario's result differs from the previously visible queues. The
+// merge is the general path of the batched forward kernel; for single-fan-in
+// pins it produces the same bits as the shiftCopy fast path, as in core.
+func (o *Overlay) recomputePin(p int32, snap *snapshotBuf) bool {
+	e := o.e
+	k := e.opt.TopK
+	S := len(e.scns)
+	for rf := 0; rf < 2; rf++ {
+		for s := 0; s < S; s++ {
+			arr, mean, std, sps := o.queues(rf, s, p)
+			d := (rf*S + s) * k
+			copy(snap.arr[d:d+k], arr)
+			copy(snap.mean[d:d+k], mean)
+			copy(snap.std[d:d+k], std)
+			copy(snap.sp[d:d+k], sps)
+		}
+	}
+
+	q := o.pinQ[p]
+	lo, hi := e.faninStart[p], e.faninStart[p+1]
+	for rf := 0; rf < 2; rf++ {
+		clearQueues(q.arr[rf*S*k:(rf+1)*S*k], q.sp[rf*S*k:(rf+1)*S*k])
+		for pos := lo; pos < hi; pos++ {
+			arc := e.faninArc[pos]
+			parent := e.faninFrom[pos]
+			kind := e.arcKind[arc]
+			am0, as0 := o.arcDelay(rf, arc)
+			inRFs, n := liberty.Unate(e.faninSense[pos]).InRFs(rf)
+			for ri := 0; ri < n; ri++ {
+				for s := 0; s < S; s++ {
+					am := am0 * e.scaleMean[kind][s]
+					as := as0 * e.scaleStd[kind][s]
+					b := (rf*S + s) * k
+					arr := q.arr[b : b+k]
+					mean := q.mean[b : b+k]
+					std := q.std[b : b+k]
+					sps := q.sp[b : b+k]
+					_, pmean, pstd, psps := o.queues(inRFs[ri], s, parent)
+					for kk := 0; kk < k; kk++ {
+						psp := psps[kk]
+						if psp == noSP {
+							break
+						}
+						m := pmean[kk] + am
+						ps := pstd[kk]
+						if m+e.nSigma*(ps+as) <= arr[k-1] {
+							continue
+						}
+						sg := math.Sqrt(ps*ps + as*as)
+						core.InsertTopK(arr, mean, std, sps, m+e.nSigma*sg, m, sg, psp)
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < 2*S*k; i++ {
+		if q.sp[i] != snap.sp[i] || q.arr[i] != snap.arr[i] ||
+			q.mean[i] != snap.mean[i] || q.std[i] != snap.std[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// evalDirtyEndpoints re-evaluates every dirty endpoint's slack in every
+// scenario through the pool, in sorted endpoint order so the state is
+// independent of map iteration order.
+func (o *Overlay) evalDirtyEndpoints() {
+	if len(o.epDirty) == 0 {
+		return
+	}
+	e := o.e
+	dirty := make([]int32, 0, len(o.epDirty))
+	for ep := range o.epDirty {
+		dirty = append(dirty, ep)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	S := len(e.scns)
+	k := e.opt.TopK
+	out := make([]float64, len(dirty)*S)
+	e.kern(KernelOverlaySlack, -1, len(dirty), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ep := dirty[i]
+			p := e.epPin[ep]
+			for s := 0; s < S; s++ {
+				best := math.Inf(1)
+				for rf := 0; rf < 2; rf++ {
+					arr, _, _, sps := o.queues(rf, s, p)
+					for kk := 0; kk < k; kk++ {
+						sp := sps[kk]
+						if sp == noSP {
+							break
+						}
+						adj := e.excLookup(e.spPin[sp], p)
+						if adj.False {
+							continue
+						}
+						req := e.epBase[rf][ep] +
+							float64(adj.CycleCount()-1)*e.period +
+							e.credit(e.spNode[sp], e.epNode[ep])
+						if sl := req - arr[kk]; sl < best {
+							best = sl
+						}
+					}
+				}
+				out[i*S+s] = best
+			}
+		}
+	})
+	for i, ep := range dirty {
+		o.epSlack[ep] = append([]float64(nil), out[i*S:(i+1)*S]...)
+		delete(o.epDirty, ep)
+	}
+}
+
+// Slack returns endpoint i's slack in scenario s as seen through the
+// overlay.
+func (o *Overlay) Slack(s int, i int32) float64 {
+	if sl, ok := o.epSlack[i]; ok {
+		return sl[s]
+	}
+	return o.e.slack(s, i)
+}
+
+// MergedSlack returns endpoint i's worst slack across scenarios as seen
+// through the overlay.
+func (o *Overlay) MergedSlack(i int32) float64 {
+	best := math.Inf(1)
+	for s := range o.e.scns {
+		if sl := o.Slack(s, i); sl < best {
+			best = sl
+		}
+	}
+	return best
+}
+
+// WNS returns scenario s's worst negative slack under the overlay, scanning
+// endpoints in index order like the base engine.
+func (o *Overlay) WNS(s int) float64 {
+	w := 0.0
+	for i := range o.e.epPin {
+		if sl := o.Slack(s, int32(i)); sl < w {
+			w = sl
+		}
+	}
+	return w
+}
+
+// TNS returns scenario s's total negative slack under the overlay.
+func (o *Overlay) TNS(s int) float64 {
+	t := 0.0
+	for i := range o.e.epPin {
+		if sl := o.Slack(s, int32(i)); sl < 0 {
+			t += sl
+		}
+	}
+	return t
+}
+
+// MergedWNS returns the merged (per-endpoint worst scenario) WNS under the
+// overlay.
+func (o *Overlay) MergedWNS() float64 {
+	w := 0.0
+	for i := range o.e.epPin {
+		if sl := o.MergedSlack(int32(i)); sl < w {
+			w = sl
+		}
+	}
+	return w
+}
+
+// MergedTNS returns the merged TNS under the overlay.
+func (o *Overlay) MergedTNS() float64 {
+	t := 0.0
+	for i := range o.e.epPin {
+		if sl := o.MergedSlack(int32(i)); sl < 0 {
+			t += sl
+		}
+	}
+	return t
+}
+
+// ChangedEndpoints returns the sorted indices of endpoints whose slacks the
+// overlay re-evaluated.
+func (o *Overlay) ChangedEndpoints() []int32 {
+	out := make([]int32, 0, len(o.epSlack))
+	for ep := range o.epSlack {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TouchedArcs returns the overlaid arc ids in first-annotation order.
+func (o *Overlay) TouchedArcs() []int32 {
+	return append([]int32(nil), o.touched...)
+}
+
+// OverlayStats summarizes the overlay's sparse footprint.
+type OverlayStats struct {
+	TouchedArcs int
+	OverlayPins int
+	ChangedEPs  int
+}
+
+// Stats reports the overlay's current sparse footprint.
+func (o *Overlay) Stats() OverlayStats {
+	return OverlayStats{
+		TouchedArcs: len(o.arcDelta),
+		OverlayPins: len(o.pinQ),
+		ChangedEPs:  len(o.epSlack),
+	}
+}
+
+// Reset discards all overlay state — the session rollback. The base is
+// untouched.
+func (o *Overlay) Reset() {
+	o.arcDelta = make(map[int32]*[2][2]float64)
+	o.touched = o.touched[:0]
+	o.pending = o.pending[:0]
+	o.pinQ = make(map[int32]*pinOverlay)
+	o.epSlack = make(map[int32][]float64)
+	o.epDirty = make(map[int32]bool)
+}
+
+// Rebase invalidates the overlay's derived state while keeping the nominal
+// arc deltas, and schedules every touched arc for re-propagation — called
+// when another session's commit moved the batched base.
+func (o *Overlay) Rebase() {
+	o.pinQ = make(map[int32]*pinOverlay)
+	o.epSlack = make(map[int32][]float64)
+	o.epDirty = make(map[int32]bool)
+	o.pending = append(o.pending[:0], o.touched...)
+}
+
+// Commit folds the overlay's nominal arc deltas into the batched base,
+// re-propagates the affected cone incrementally across all scenarios,
+// re-evaluates every scenario's slacks, and resets the overlay. The caller
+// must hold exclusive access to the base.
+func (o *Overlay) Commit() {
+	if len(o.touched) == 0 {
+		return
+	}
+	e := o.e
+	for _, arc := range o.touched {
+		od := o.arcDelta[arc]
+		for rf := 0; rf < 2; rf++ {
+			e.SetArcDelay(arc, rf, od[rf][0], od[rf][1])
+		}
+	}
+	e.PropagateIncremental(o.touched)
+	e.EvalSlacks()
+	if e.hold != nil {
+		e.EvalHoldSlacks()
+	}
+	o.Reset()
+}

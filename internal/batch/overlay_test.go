@@ -1,0 +1,181 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"insta/internal/core"
+)
+
+// pickECOArcs selects a deterministic spread of cell arcs to perturb.
+func pickECOArcs(e *Engine, n int) []int32 {
+	out := make([]int32, 0, n)
+	step := e.NumArcs() / n
+	if step == 0 {
+		step = 1
+	}
+	for a := 0; a < e.NumArcs() && len(out) < n; a += step {
+		out = append(out, int32(a))
+	}
+	return out
+}
+
+func TestOverlayPreviewMatchesCommit(t *testing.T) {
+	tab := buildTables(t, 31)
+	opt := core.Options{TopK: 8, Hold: true, Workers: 2}
+	e, err := New(tab, DefaultScenarios(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+
+	ov := NewOverlay(e)
+	for _, a := range pickECOArcs(e, 5) {
+		for rf := 0; rf < 2; rf++ {
+			m, sd := e.ArcDelay(a, rf)
+			ov.SetArcDelay(a, rf, m*1.4+2, sd*1.2)
+		}
+	}
+	ov.Propagate()
+
+	S := e.NumScenarios()
+	preview := make([][]float64, S)
+	for s := 0; s < S; s++ {
+		preview[s] = make([]float64, len(e.Endpoints()))
+		for i := range e.Endpoints() {
+			preview[s][i] = ov.Slack(s, int32(i))
+		}
+	}
+	pWNS := make([]float64, S)
+	pTNS := make([]float64, S)
+	for s := 0; s < S; s++ {
+		pWNS[s], pTNS[s] = ov.WNS(s), ov.TNS(s)
+	}
+	pmWNS, pmTNS := ov.MergedWNS(), ov.MergedTNS()
+	changed := ov.ChangedEndpoints()
+	if len(changed) == 0 {
+		t.Fatal("ECO touched no endpoints — test design is vacuous")
+	}
+
+	ov.Commit()
+	if st := ov.Stats(); st.TouchedArcs != 0 || st.OverlayPins != 0 || st.ChangedEPs != 0 {
+		t.Fatalf("commit left overlay state behind: %+v", st)
+	}
+	for s := 0; s < S; s++ {
+		got := e.Slacks(s)
+		for i := range got {
+			if got[i] != preview[s][i] {
+				t.Fatalf("scenario %d ep %d: committed %v != preview %v", s, i, got[i], preview[s][i])
+			}
+		}
+		if e.WNS(s) != pWNS[s] || e.TNS(s) != pTNS[s] {
+			t.Fatalf("scenario %d: committed WNS/TNS %v/%v != preview %v/%v",
+				s, e.WNS(s), e.TNS(s), pWNS[s], pTNS[s])
+		}
+	}
+	m := e.Merged()
+	if m.WNS != pmWNS || m.TNS != pmTNS {
+		t.Fatalf("merged WNS/TNS %v/%v != preview %v/%v", m.WNS, m.TNS, pmWNS, pmTNS)
+	}
+}
+
+func TestOverlayMatchesIndependentScaledOverlays(t *testing.T) {
+	tab := buildTables(t, 32)
+	opt := core.Options{TopK: 8, Workers: 2}
+	e, err := New(tab, diffScenarios, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+
+	arcs := pickECOArcs(e, 4)
+	ov := NewOverlay(e)
+	for _, a := range arcs {
+		m, sd := e.ArcDelay(a, 0)
+		ov.SetArcDelay(a, 0, m*1.3+1, sd)
+		m, sd = e.ArcDelay(a, 1)
+		ov.SetArcDelay(a, 1, m*1.3+1, sd)
+	}
+	ov.Propagate()
+
+	// Per scenario, a fresh single-corner engine over the scaled tables with
+	// the same ECO applied (in that scenario's units) must agree bit-for-bit.
+	for s, scn := range diffScenarios {
+		se, err := core.NewEngine(ScaleTables(tab, scn), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range arcs {
+			kind := e.ArcKind(a)
+			ms := scn.DelayScale
+			if kind == 1 {
+				ms = scn.RCScale
+			}
+			for rf := 0; rf < 2; rf++ {
+				nm, nsd := ov.arcDelay(rf, a)
+				d := se.ArcDelay(a, rf)
+				d.Mean = nm * ms
+				d.Std = nsd * scn.SigmaScale
+				se.SetArcDelay(a, rf, d)
+			}
+		}
+		want := se.Run()
+		for i := range want {
+			if got := ov.Slack(s, int32(i)); got != want[i] {
+				t.Fatalf("scenario %s ep %d: overlay %v != independent %v", scn.Name, i, got, want[i])
+			}
+		}
+		se.Close()
+	}
+}
+
+func TestOverlayRollbackAndRebase(t *testing.T) {
+	tab := buildTables(t, 33)
+	e, err := New(tab, DefaultScenarios(), core.Options{TopK: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+	base0 := e.Slacks(0)
+
+	ov := NewOverlay(e)
+	a := pickECOArcs(e, 1)[0]
+	m, sd := e.ArcDelay(a, 0)
+	ov.SetArcDelay(a, 0, m*2+5, sd)
+	ov.Propagate()
+	ov.Reset()
+	for i := range base0 {
+		if got := ov.Slack(0, int32(i)); got != base0[i] {
+			t.Fatalf("after rollback ep %d: %v != base %v", i, got, base0[i])
+		}
+	}
+
+	// Rebase: another writer moves the base; the overlay re-derives its view
+	// and must match a fresh overlay with the same deltas.
+	ov.SetArcDelay(a, 0, m*2+5, sd)
+	ov.Propagate()
+	b := pickECOArcs(e, 3)[2]
+	for rf := 0; rf < 2; rf++ {
+		bm, bsd := e.ArcDelay(b, rf)
+		e.SetArcDelay(b, rf, bm*1.5+1, bsd)
+	}
+	e.PropagateIncremental([]int32{b})
+	e.EvalSlacks()
+	ov.Rebase()
+	ov.Propagate()
+
+	fresh := NewOverlay(e)
+	fresh.SetArcDelay(a, 0, m*2+5, sd)
+	fresh.Propagate()
+	for i := range base0 {
+		if g, w := ov.Slack(0, int32(i)), fresh.Slack(0, int32(i)); g != w {
+			t.Fatalf("rebased overlay ep %d: %v != fresh overlay %v", i, g, w)
+		}
+	}
+	if !math.IsInf(ov.MergedSlack(int32(0)), 0) && ov.MergedWNS() != fresh.MergedWNS() {
+		t.Fatal("rebased merged WNS differs from fresh overlay")
+	}
+}

@@ -1,0 +1,172 @@
+package batch
+
+import "math"
+
+// EvalSlacks computes every endpoint's setup slack in every scenario from
+// the propagated batched arrivals, in one endpoint sweep: the per-startpoint
+// required times (base requirement + multicycle periods + CPPR credit) are
+// resolved once per retained startpoint and shared across the scenario loop,
+// since the derate model keeps requirements and the clock network nominal.
+// The result for scenario s lands in the s-th stripe of the slack tensor;
+// untimed endpoints carry +Inf.
+func (e *Engine) EvalSlacks() {
+	k := e.opt.TopK
+	S := len(e.scns)
+	nEP := len(e.epPin)
+	e.kern(kSlack, -1, nEP, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := e.epPin[i]
+			for s := 0; s < S; s++ {
+				best := math.Inf(1)
+				for rf := 0; rf < 2; rf++ {
+					b := e.qbase(rf, p, s)
+					for kk := 0; kk < k; kk++ {
+						sp := e.topSP[b+kk]
+						if sp == noSP {
+							break
+						}
+						adj := e.excLookup(e.spPin[sp], p)
+						if adj.False {
+							continue
+						}
+						req := e.epBase[rf][i] +
+							float64(adj.CycleCount()-1)*e.period +
+							e.credit(e.spNode[sp], e.epNode[i])
+						if sl := req - e.topArr[b+kk]; sl < best {
+							best = sl
+						}
+					}
+				}
+				e.epSlack[s*nEP+i] = best
+			}
+		}
+	})
+}
+
+// Run performs a full batched evaluation: Propagate, EvalSlacks and — when
+// hold is enabled — EvalHoldSlacks.
+func (e *Engine) Run() {
+	e.Propagate()
+	e.EvalSlacks()
+	if e.hold != nil {
+		e.EvalHoldSlacks()
+	}
+}
+
+// Slacks returns a copy of scenario s's endpoint slacks from the last
+// evaluation.
+func (e *Engine) Slacks(s int) []float64 {
+	nEP := len(e.epPin)
+	out := make([]float64, nEP)
+	copy(out, e.epSlack[s*nEP:(s+1)*nEP])
+	return out
+}
+
+// slack returns endpoint i's slack in scenario s without copying.
+func (e *Engine) slack(s int, i int32) float64 {
+	return e.epSlack[s*len(e.epPin)+int(i)]
+}
+
+// WNS returns scenario s's worst negative slack (0 when nothing violates).
+func (e *Engine) WNS(s int) float64 {
+	w := 0.0
+	nEP := len(e.epPin)
+	for _, sl := range e.epSlack[s*nEP : (s+1)*nEP] {
+		if sl < w {
+			w = sl
+		}
+	}
+	return w
+}
+
+// TNS returns scenario s's total negative slack.
+func (e *Engine) TNS(s int) float64 {
+	t := 0.0
+	nEP := len(e.epPin)
+	for _, sl := range e.epSlack[s*nEP : (s+1)*nEP] {
+		if sl < 0 {
+			t += sl
+		}
+	}
+	return t
+}
+
+// NumViolations counts scenario s's endpoints with negative slack.
+func (e *Engine) NumViolations(s int) int {
+	n := 0
+	nEP := len(e.epPin)
+	for _, sl := range e.epSlack[s*nEP : (s+1)*nEP] {
+		if sl < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ScenarioMetrics is one scenario's summary line in a merged view.
+type ScenarioMetrics struct {
+	Name       string
+	WNS, TNS   float64
+	Violations int
+}
+
+// MergedView is the multi-scenario signoff picture: the worst slack per
+// endpoint across scenarios, which scenario set it, and WNS/TNS both per
+// scenario and merged (per-endpoint worst corner).
+type MergedView struct {
+	Slacks      []float64 // per endpoint: min over scenarios
+	WorstOf     []int     // per endpoint: scenario index of the minimum, -1 if untimed everywhere
+	WNS, TNS    float64   // over the merged slacks
+	Violations  int
+	PerScenario []ScenarioMetrics
+}
+
+// WorstName returns the scenario name behind endpoint i's merged slack, or
+// "" when the endpoint is untimed in every scenario.
+func (v *MergedView) WorstName(names []Scenario, i int) string {
+	if v.WorstOf[i] < 0 {
+		return ""
+	}
+	return names[v.WorstOf[i]].Name
+}
+
+// Merged builds the merged view from the last evaluation. Ties between
+// scenarios resolve to the lowest scenario index, so the view is
+// deterministic for any worker count.
+func (e *Engine) Merged() *MergedView {
+	nEP := len(e.epPin)
+	S := len(e.scns)
+	v := &MergedView{
+		Slacks:  make([]float64, nEP),
+		WorstOf: make([]int, nEP),
+	}
+	for i := 0; i < nEP; i++ {
+		best := math.Inf(1)
+		worst := -1
+		for s := 0; s < S; s++ {
+			if sl := e.epSlack[s*nEP+i]; sl < best {
+				best = sl
+				worst = s
+			}
+		}
+		v.Slacks[i] = best
+		v.WorstOf[i] = worst
+		if best < 0 {
+			v.Violations++
+			v.TNS += best
+			if best < v.WNS {
+				v.WNS = best
+			}
+		}
+	}
+	v.PerScenario = make([]ScenarioMetrics, S)
+	for s := 0; s < S; s++ {
+		v.PerScenario[s] = ScenarioMetrics{
+			Name:       e.scns[s].Name,
+			WNS:        e.WNS(s),
+			TNS:        e.TNS(s),
+			Violations: e.NumViolations(s),
+		}
+	}
+	return v
+}

@@ -1,7 +1,8 @@
 // Package cmdutil holds the small pieces every cmd tool shares: the
-// scheduler flags (-workers/-grain), preset-name resolution across the three
-// benchmark suites, and loading/generating a design directory in the repo's
-// file formats (design.lib/.v/.sdc/.spef).
+// scheduler flags (-workers/-grain), the multi-corner flag (-corners),
+// preset-name resolution across the three benchmark suites, and
+// loading/generating a design directory in the repo's file formats
+// (design.lib/.v/.sdc/.spef).
 package cmdutil
 
 import (
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"insta/internal/batch"
 	"insta/internal/bench"
 	"insta/internal/core"
 	"insta/internal/liberty"
@@ -39,6 +41,30 @@ func SchedFlags() *Sched {
 // fills the analysis knobs (TopK, Tau, Hold).
 func (s *Sched) Options() core.Options {
 	return core.Options{Workers: s.Workers, Grain: s.Grain}
+}
+
+// Corners carries the -corners flag after flag.Parse.
+type Corners struct {
+	Spec string
+}
+
+// CornersFlag registers -corners on the default flag set. The value is a
+// scenario spec in batch.ParseScenarios grammar: named presets ("ss,tt,ff")
+// and/or explicit derates ("hot:1.3/1.1/0.95" = delay/sigma/RC scale over
+// nominal). Empty means single-corner (nominal) analysis.
+func CornersFlag() *Corners {
+	c := &Corners{}
+	flag.StringVar(&c.Spec, "corners", "",
+		"corner scenarios: preset names and/or name:delay/sigma/rc derates, comma-separated (e.g. ss,tt,ff); empty = nominal only")
+	return c
+}
+
+// Enabled reports whether multi-corner analysis was requested.
+func (c *Corners) Enabled() bool { return c.Spec != "" }
+
+// Scenarios parses the flag value into batched-engine scenarios.
+func (c *Corners) Scenarios() ([]batch.Scenario, error) {
+	return batch.ParseScenarios(c.Spec)
 }
 
 // SpecByName resolves a preset name across the block (Table I), IWLS-like

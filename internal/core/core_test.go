@@ -291,7 +291,7 @@ func TestInsertTopKMatchesBruteForce(t *testing.T) {
 			a := math.Round(rng.Float64()*1000) / 10 // coarse grid avoids fp ties
 			sp := int32(rng.Intn(8))
 			fed = append(fed, qEntry{arr: a, sp: sp})
-			insertTopK(arr, mean, std, sps, a, a, 0, sp)
+			InsertTopK(arr, mean, std, sps, a, a, 0, sp)
 		}
 		want := bruteTopK(fed, k)
 		// Collect non-empty queue entries.
@@ -336,15 +336,15 @@ func TestInsertTopKUpdateExisting(t *testing.T) {
 	std := make([]float64, 3)
 	sps := make([]int32, 3)
 	clearQueue(arr, sps)
-	insertTopK(arr, mean, std, sps, 10, 10, 0, 1)
-	insertTopK(arr, mean, std, sps, 20, 20, 0, 2)
+	InsertTopK(arr, mean, std, sps, 10, 10, 0, 1)
+	InsertTopK(arr, mean, std, sps, 20, 20, 0, 2)
 	// Update sp 1 upward past sp 2: must bubble to front.
-	insertTopK(arr, mean, std, sps, 30, 30, 0, 1)
+	InsertTopK(arr, mean, std, sps, 30, 30, 0, 1)
 	if sps[0] != 1 || arr[0] != 30 || sps[1] != 2 || arr[1] != 20 {
 		t.Fatalf("queue after bubble: arr=%v sps=%v", arr, sps)
 	}
 	// Downward "update" must be ignored.
-	insertTopK(arr, mean, std, sps, 5, 5, 0, 1)
+	InsertTopK(arr, mean, std, sps, 5, 5, 0, 1)
 	if arr[0] != 30 {
 		t.Fatal("smaller arrival overwrote existing startpoint")
 	}
@@ -356,13 +356,13 @@ func TestInsertTopKEviction(t *testing.T) {
 	std := make([]float64, 2)
 	sps := make([]int32, 2)
 	clearQueue(arr, sps)
-	insertTopK(arr, mean, std, sps, 10, 10, 0, 1)
-	insertTopK(arr, mean, std, sps, 20, 20, 0, 2)
-	insertTopK(arr, mean, std, sps, 5, 5, 0, 3) // below min: rejected
+	InsertTopK(arr, mean, std, sps, 10, 10, 0, 1)
+	InsertTopK(arr, mean, std, sps, 20, 20, 0, 2)
+	InsertTopK(arr, mean, std, sps, 5, 5, 0, 3) // below min: rejected
 	if sps[0] != 2 || sps[1] != 1 {
 		t.Fatalf("unexpected queue %v", sps)
 	}
-	insertTopK(arr, mean, std, sps, 15, 15, 0, 4) // evicts sp 1
+	InsertTopK(arr, mean, std, sps, 15, 15, 0, 4) // evicts sp 1
 	if sps[0] != 2 || sps[1] != 4 || arr[1] != 15 {
 		t.Fatalf("eviction failed: arr=%v sps=%v", arr, sps)
 	}

@@ -71,7 +71,7 @@ func (e *Engine) propagatePin(p int32) {
 					}
 					s := math.Sqrt(pstd*pstd + as*as)
 					a := m + e.nSigma*s
-					insertTopK(arr, mean, std, sps, a, m, s, psp)
+					InsertTopK(arr, mean, std, sps, a, m, s, psp)
 				}
 			}
 		}
@@ -138,11 +138,14 @@ func clearQueue(arr []float64, sps []int32) {
 	}
 }
 
-// insertTopK is Algorithm 2: maintain a descending fixed-size list of
+// InsertTopK is Algorithm 2: maintain a descending fixed-size list of
 // arrival distributions keyed by unique startpoints. Step 1 updates an
 // existing startpoint in place (bubbling it up to restore order); Step 2
 // inserts a new startpoint by shifting if it beats the current minimum.
-func insertTopK(arr, mean, std []float64, sps []int32, a, m, s float64, sp int32) {
+// Exported so internal/batch's scenario-batched kernels share the exact
+// queue arithmetic (its differential tests assert per-scenario bit-identity
+// against this engine). Empty slots carry sp == -1 and arr == -Inf.
+func InsertTopK(arr, mean, std []float64, sps []int32, a, m, s float64, sp int32) {
 	k := len(arr)
 	// Fast reject: a contribution at or below the current minimum can change
 	// nothing — if its startpoint is already queued that entry is at least

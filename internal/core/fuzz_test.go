@@ -42,7 +42,7 @@ func FuzzInsertTopK(f *testing.F) {
 			a := float64(data[i])
 			sp := int32(data[i+1] % 10)
 			fed = append(fed, qEntry{arr: a, sp: sp})
-			insertTopK(arr, mean, std, sps, a, a, 0, sp)
+			InsertTopK(arr, mean, std, sps, a, a, 0, sp)
 		}
 
 		// Invariant: packed empties trailing.

@@ -8,7 +8,7 @@ package core
 // The queues reuse Algorithm 2's linear insert by negating the ordering key
 // (early corner), so all of its invariants — packed slots, unique
 // startpoints, strict ordering — carry over, as do the unit properties
-// tested on insertTopK.
+// tested on InsertTopK.
 
 import (
 	"math"
@@ -99,7 +99,7 @@ func (e *Engine) propagatePinMin(p int32) {
 					pstd := h.std[pb+kk]
 					s := math.Sqrt(pstd*pstd + as*as)
 					// Negated early corner: -(m - nSigma*s).
-					insertTopK(negArr, mean, std, sps, -(m - e.nSigma*s), m, s, psp)
+					InsertTopK(negArr, mean, std, sps, -(m - e.nSigma*s), m, s, psp)
 				}
 			}
 		}

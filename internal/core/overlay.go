@@ -267,7 +267,7 @@ func (o *Overlay) recomputePin(p int32, snap *snapshotBuf) bool {
 						continue
 					}
 					s := math.Sqrt(ps*ps + as*as)
-					insertTopK(arr, mean, std, sps, m+e.nSigma*s, m, s, psp)
+					InsertTopK(arr, mean, std, sps, m+e.nSigma*s, m, s, psp)
 				}
 			}
 		}

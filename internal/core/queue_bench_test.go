@@ -110,7 +110,7 @@ func TestHeapAndLinearQueuesAgree(t *testing.T) {
 		clearQueue(arr, sps)
 		hq := newHeapTopK(k)
 		for _, e := range in {
-			insertTopK(arr, mean, std, sps, e.arr, e.mean, e.std, e.sp)
+			InsertTopK(arr, mean, std, sps, e.arr, e.mean, e.std, e.sp)
 			hq.insert(e.arr, e.mean, e.std, e.sp)
 		}
 		want := hq.sorted()
@@ -142,7 +142,7 @@ func benchQueue(b *testing.B, k int, heapBased bool) {
 			sps := make([]int32, k)
 			clearQueue(arr, sps)
 			for _, e := range in {
-				insertTopK(arr, mean, std, sps, e.arr, e.mean, e.std, e.sp)
+				InsertTopK(arr, mean, std, sps, e.arr, e.mean, e.std, e.sp)
 			}
 		}
 	}

@@ -1,15 +1,23 @@
-// Package corners adds multi-corner analysis on top of the single-corner
-// engines: each process corner scales the library's delay/sigma surfaces and
-// the wire RC, gets its own reference engine and INSTA instance, and the
-// merged view takes the worst slack per endpoint across corners — the
-// standard multi-corner signoff setup the paper's single-corner experiments
-// sit inside.
+// Package corners provides multi-corner analysis as a thin wrapper over the
+// scenario-batched engine in internal/batch: each PVT corner is expressed as
+// derate factors over the nominal extraction (the industrial
+// set_timing_derate form), and one batched propagation carries every corner
+// through the shared graph in a single traversal. One nominal reference
+// engine is kept for reporting and validation; there are no per-corner
+// engines to build or leak — the old per-corner construction rebuilt the
+// reference timer, extraction, and INSTA instance S times over and never
+// released the worker pools.
+//
+// ScaleLibrary and ScaleParasitics survive as characterization utilities:
+// they produce fully re-characterized corner libraries/parasitics for
+// reference-grade validation, while the analysis path derates extracted
+// annotations directly (see batch.ScaleTables for the exact arithmetic).
 package corners
 
 import (
 	"fmt"
-	"math"
 
+	"insta/internal/batch"
 	"insta/internal/circuitops"
 	"insta/internal/core"
 	"insta/internal/liberty"
@@ -35,6 +43,36 @@ func DefaultCorners() []Corner {
 		{Name: "tt", DelayScale: 1.00, SigmaScale: 1.00, RCScale: 1.00},
 		{Name: "ff", DelayScale: 0.86, SigmaScale: 0.90, RCScale: 0.92},
 	}
+}
+
+// Scenario converts the corner to the batched engine's scenario form.
+func (c Corner) Scenario() batch.Scenario {
+	return batch.Scenario{
+		Name:       c.Name,
+		DelayScale: c.DelayScale,
+		SigmaScale: c.SigmaScale,
+		RCScale:    c.RCScale,
+	}
+}
+
+// Scenarios converts a corner list to the batched engine's scenario form.
+func Scenarios(crns []Corner) []batch.Scenario {
+	out := make([]batch.Scenario, len(crns))
+	for i, c := range crns {
+		out[i] = c.Scenario()
+	}
+	return out
+}
+
+// FromScenarios converts parsed scenarios back to corners (for callers that
+// take a -corners flag via batch.ParseScenarios but report through this
+// package).
+func FromScenarios(scns []batch.Scenario) []Corner {
+	out := make([]Corner, len(scns))
+	for i, s := range scns {
+		out[i] = Corner{Name: s.Name, DelayScale: s.DelayScale, SigmaScale: s.SigmaScale, RCScale: s.RCScale}
+	}
+	return out
 }
 
 // ScaleLibrary returns a deep copy of lib with every delay, transition and
@@ -102,99 +140,76 @@ func ScaleParasitics(par *rc.Parasitics, f float64) *rc.Parasitics {
 	return out
 }
 
-// View is one corner's engine pair.
-type View struct {
-	Corner Corner
-	Ref    *refsta.Engine
-	Insta  *core.Engine
-}
-
-// Analysis holds the per-corner views over one design.
+// Analysis is the multi-corner view over one design: a nominal reference
+// engine plus one scenario-batched INSTA engine holding every corner.
 type Analysis struct {
-	Views []View
+	Corners []Corner
+	Ref     *refsta.Engine // nominal (tt-unit) reference timer
+	Tables  *circuitops.Tables
+	Eng     *batch.Engine // batched engine, all corners in one traversal
 }
 
-// New builds a reference engine and an INSTA instance per corner. The views
-// share the netlist; libraries and parasitics are scaled copies.
+// New builds the nominal reference once, extracts its tables, and stands up
+// one batched engine spanning every corner. The result is fully propagated
+// and slack-evaluated. Callers own the returned Analysis and must Close it
+// to release the engine's worker pool.
 func New(d *netlist.Design, lib *liberty.Library, con *sdc.Constraints, par *rc.Parasitics, crns []Corner, opt core.Options) (*Analysis, error) {
 	if len(crns) == 0 {
 		return nil, fmt.Errorf("corners: no corners given")
 	}
-	a := &Analysis{}
-	for _, c := range crns {
-		scaledLib := ScaleLibrary(lib, c)
-		scaledPar := ScaleParasitics(par, c.RCScale)
-		ref, err := refsta.New(d, scaledLib, con, scaledPar, refsta.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("corners: %s: %w", c.Name, err)
-		}
-		e, err := core.NewEngine(circuitops.Extract(ref), opt)
-		if err != nil {
-			return nil, fmt.Errorf("corners: %s: %w", c.Name, err)
-		}
-		e.Run()
-		a.Views = append(a.Views, View{Corner: c, Ref: ref, Insta: e})
+	ref, err := refsta.New(d, lib, con, par, refsta.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("corners: %w", err)
 	}
-	return a, nil
+	tab := circuitops.Extract(ref)
+	eng, err := batch.New(tab, Scenarios(crns), opt)
+	if err != nil {
+		return nil, fmt.Errorf("corners: %w", err)
+	}
+	eng.Run()
+	return &Analysis{Corners: append([]Corner(nil), crns...), Ref: ref, Tables: tab, Eng: eng}, nil
 }
 
-// MergedSlacks returns the per-endpoint worst slack across corners from the
-// INSTA views (endpoint order is shared: same netlist, same extraction
-// order).
+// Close releases the batched engine's worker pool. Safe to call once; the
+// Analysis must not be used afterwards.
+func (a *Analysis) Close() {
+	if a.Eng != nil {
+		a.Eng.Close()
+		a.Eng = nil
+	}
+}
+
+// CornerIndex resolves a corner name to its scenario index, -1 if absent.
+func (a *Analysis) CornerIndex(name string) int { return a.Eng.ScenarioIndex(name) }
+
+// Slacks returns a copy of the named corner's per-endpoint slacks.
+func (a *Analysis) Slacks(name string) ([]float64, error) {
+	s := a.Eng.ScenarioIndex(name)
+	if s < 0 {
+		return nil, fmt.Errorf("corners: unknown corner %q", name)
+	}
+	return a.Eng.Slacks(s), nil
+}
+
+// MergedSlacks returns the per-endpoint worst slack across corners.
 func (a *Analysis) MergedSlacks() []float64 {
-	n := len(a.Views[0].Insta.Slacks())
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Inf(1)
-	}
-	for _, v := range a.Views {
-		for i, s := range v.Insta.Slacks() {
-			if s < out[i] {
-				out[i] = s
-			}
-		}
-	}
-	return out
+	return a.Eng.Merged().Slacks
 }
 
 // WorstCornerPerEndpoint reports which corner sets each endpoint's merged
-// slack.
+// slack ("" for untimed endpoints).
 func (a *Analysis) WorstCornerPerEndpoint() []string {
-	n := len(a.Views[0].Insta.Slacks())
-	out := make([]string, n)
-	worst := make([]float64, n)
-	for i := range worst {
-		worst[i] = math.Inf(1)
-	}
-	for _, v := range a.Views {
-		for i, s := range v.Insta.Slacks() {
-			if s < worst[i] {
-				worst[i] = s
-				out[i] = v.Corner.Name
-			}
-		}
+	v := a.Eng.Merged()
+	out := make([]string, len(v.WorstOf))
+	scns := a.Eng.Scenarios()
+	for i := range v.WorstOf {
+		out[i] = v.WorstName(scns, i)
 	}
 	return out
 }
 
 // WNS returns the merged worst negative slack.
-func (a *Analysis) WNS() float64 {
-	w := 0.0
-	for _, s := range a.MergedSlacks() {
-		if s < w {
-			w = s
-		}
-	}
-	return w
-}
+func (a *Analysis) WNS() float64 { return a.Eng.Merged().WNS }
 
 // TNS returns the merged total negative slack (per-endpoint worst corner).
-func (a *Analysis) TNS() float64 {
-	t := 0.0
-	for _, s := range a.MergedSlacks() {
-		if s < 0 {
-			t += s
-		}
-	}
-	return t
-}
+func (a *Analysis) TNS() float64 { return a.Eng.Merged().TNS }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"insta/internal/batch"
 	"insta/internal/bench"
 	"insta/internal/core"
 	"insta/internal/exp"
@@ -31,6 +32,7 @@ func buildAnalysis(t testing.TB) *Analysis {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(a.Close)
 	return a
 }
 
@@ -66,22 +68,12 @@ func TestScaleLibraryScalesEverything(t *testing.T) {
 
 func TestSlowCornerIsWorse(t *testing.T) {
 	a := buildAnalysis(t)
-	var ss, tt, ff *View
-	for i := range a.Views {
-		switch a.Views[i].Corner.Name {
-		case "ss":
-			ss = &a.Views[i]
-		case "tt":
-			tt = &a.Views[i]
-		case "ff":
-			ff = &a.Views[i]
-		}
-	}
-	if ss == nil || tt == nil || ff == nil {
+	ss, tt, ff := a.CornerIndex("ss"), a.CornerIndex("tt"), a.CornerIndex("ff")
+	if ss < 0 || tt < 0 || ff < 0 {
 		t.Fatal("missing corner views")
 	}
 	// Every timed endpoint: ss slack <= tt slack <= ff slack.
-	sSS, sTT, sFF := ss.Insta.Slacks(), tt.Insta.Slacks(), ff.Insta.Slacks()
+	sSS, sTT, sFF := a.Eng.Slacks(ss), a.Eng.Slacks(tt), a.Eng.Slacks(ff)
 	for i := range sTT {
 		if math.IsInf(sTT[i], 0) {
 			continue
@@ -89,9 +81,6 @@ func TestSlowCornerIsWorse(t *testing.T) {
 		if sSS[i] > sTT[i]+1e-9 || sTT[i] > sFF[i]+1e-9 {
 			t.Fatalf("ep %d: corner ordering broken ss=%v tt=%v ff=%v", i, sSS[i], sTT[i], sFF[i])
 		}
-	}
-	if ss.Ref.TNS() > tt.Ref.TNS() {
-		t.Errorf("reference ss TNS %v better than tt %v", ss.Ref.TNS(), tt.Ref.TNS())
 	}
 }
 
@@ -101,9 +90,9 @@ func TestMergedIsWorstPerEndpoint(t *testing.T) {
 	worstOf := a.WorstCornerPerEndpoint()
 	for i := range merged {
 		min := math.Inf(1)
-		for _, v := range a.Views {
-			if s := v.Insta.Slacks()[i]; s < min {
-				min = s
+		for s := range a.Corners {
+			if sl := a.Eng.Slacks(s)[i]; sl < min {
+				min = sl
 			}
 		}
 		if merged[i] != min {
@@ -114,30 +103,53 @@ func TestMergedIsWorstPerEndpoint(t *testing.T) {
 		}
 	}
 	// Merged metrics are at least as bad as any single corner's.
-	for _, v := range a.Views {
-		if a.TNS() > v.Insta.TNS() {
-			t.Errorf("merged TNS %v better than corner %s TNS %v", a.TNS(), v.Corner.Name, v.Insta.TNS())
+	for s, c := range a.Corners {
+		if a.TNS() > a.Eng.TNS(s) {
+			t.Errorf("merged TNS %v better than corner %s TNS %v", a.TNS(), c.Name, a.Eng.TNS(s))
 		}
-		if a.WNS() > v.Insta.WNS() {
-			t.Errorf("merged WNS %v better than corner %s WNS %v", a.WNS(), v.Corner.Name, v.Insta.WNS())
+		if a.WNS() > a.Eng.WNS(s) {
+			t.Errorf("merged WNS %v better than corner %s WNS %v", a.WNS(), c.Name, a.Eng.WNS(s))
 		}
 	}
 }
 
-func TestPerCornerInstaMatchesReference(t *testing.T) {
+// TestPerCornerMatchesDeratedEngine pins the analysis path's contract: each
+// corner of the batched Analysis is bit-identical to a standalone
+// single-corner engine over the derated tables.
+func TestPerCornerMatchesDeratedEngine(t *testing.T) {
+	a := buildAnalysis(t)
+	for s, c := range a.Corners {
+		se, err := core.NewEngine(batch.ScaleTables(a.Tables, c.Scenario()), core.Options{TopK: 8, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := se.Run()
+		got := a.Eng.Slacks(s)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("corner %s ep %d: %v != %v", c.Name, i, got[i], want[i])
+			}
+		}
+		se.Close()
+	}
+}
+
+// TestNominalCornerMatchesReference keeps the reference-grade anchor: the tt
+// corner (all scales 1) must correlate with the nominal reference timer.
+func TestNominalCornerMatchesReference(t *testing.T) {
 	b := genDesign(t)
 	a, err := New(b.D, b.Lib, b.Con, b.Par, DefaultCorners(), core.Options{TopK: 64, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range a.Views {
-		r, ms, _, _, err := exp.Correlate(v.Ref.EndpointSlacks(), v.Insta.Slacks())
-		if err != nil {
-			t.Fatal(err)
-		}
-		if r < 0.999999 || ms.Worst > 1e-6 {
-			t.Errorf("corner %s: corr %v worst %v", v.Corner.Name, r, ms.Worst)
-		}
+	defer a.Close()
+	tt := a.CornerIndex("tt")
+	r, ms, _, _, err := exp.Correlate(a.Ref.EndpointSlacks(), a.Eng.Slacks(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.999999 || ms.Worst > 1e-6 {
+		t.Errorf("tt corner vs reference: corr %v worst %v", r, ms.Worst)
 	}
 }
 
@@ -146,4 +158,14 @@ func TestNewRejectsEmptyCorners(t *testing.T) {
 	if _, err := New(b.D, b.Lib, b.Con, b.Par, nil, core.Options{TopK: 2}); err == nil {
 		t.Error("empty corner list accepted")
 	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	b := genDesign(t)
+	a, err := New(b.D, b.Lib, b.Con, b.Par, DefaultCorners(), core.Options{TopK: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	a.Close() // second close must not panic
 }

@@ -10,13 +10,14 @@ import (
 
 // Info describes the served design for /healthz.
 type Info struct {
-	Design    string `json:"design"`
-	Pins      int    `json:"pins"`
-	Arcs      int    `json:"arcs"`
-	Endpoints int    `json:"endpoints"`
-	Levels    int    `json:"levels"`
-	TopK      int    `json:"top_k"`
-	Workers   int    `json:"workers"`
+	Design    string   `json:"design"`
+	Pins      int      `json:"pins"`
+	Arcs      int      `json:"arcs"`
+	Endpoints int      `json:"endpoints"`
+	Levels    int      `json:"levels"`
+	TopK      int      `json:"top_k"`
+	Workers   int      `json:"workers"`
+	Corners   []string `json:"corners,omitempty"` // multi-corner servers only
 }
 
 // Server is the HTTP front end over a Manager.
@@ -46,6 +47,11 @@ func New(mgr *Manager, design string) *Server {
 		met:   newMetrics(),
 		start: time.Now(),
 	}
+	if be := mgr.Batch(); be != nil {
+		for _, scn := range be.Scenarios() {
+			s.info.Corners = append(s.info.Corners, scn.Name)
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
@@ -53,6 +59,7 @@ func New(mgr *Manager, design string) *Server {
 	mux.HandleFunc("GET /gradients", s.route("gradients", s.handleGradients))
 	mux.HandleFunc("POST /session", s.route("session-create", s.handleCreate))
 	mux.HandleFunc("GET /session/{id}", s.route("session-get", s.withSession(s.handleGet)))
+	mux.HandleFunc("GET /session/{id}/slacks", s.route("session-slacks", s.withSession(s.handleSessionSlacks)))
 	mux.HandleFunc("DELETE /session/{id}", s.route("session-delete", s.withSession(s.handleDelete)))
 	mux.HandleFunc("POST /session/{id}/eco", s.route("eco", s.withSession(s.handleECO)))
 	mux.HandleFunc("POST /session/{id}/commit", s.route("commit", s.withSession(s.handleCommit)))
@@ -120,8 +127,10 @@ func errCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrSessionClosed):
 		return http.StatusGone
-	case errors.Is(err, ErrNoRefEngine):
+	case errors.Is(err, ErrNoRefEngine), errors.Is(err, ErrNoCorners):
 		return http.StatusNotImplemented
+	case errors.Is(err, ErrUnknownScenario):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
@@ -143,7 +152,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSlacks reports the committed base timing; ?worst=N adds the N worst
-// endpoints with their pins.
+// endpoints with their pins, ?scenario=<name|merged> switches the slack set
+// to one corner of the batched engine (multi-corner servers only).
 func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 	slacks := s.mgr.BaseSlacks()
 	resp := map[string]any{
@@ -151,6 +161,26 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 		"tns":       s.mgr.BaseTNS(),
 		"endpoints": len(slacks),
 		"epoch":     s.mgr.Epoch(),
+	}
+	if scn := r.URL.Query().Get("scenario"); scn != "" {
+		var err error
+		if slacks, err = s.mgr.BaseScenarioSlacks(scn); err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+		wns, tns := 0.0, 0.0
+		for _, sl := range slacks {
+			if sl < 0 {
+				tns += sl
+				if sl < wns {
+					wns = sl
+				}
+			}
+		}
+		resp["scenario"], resp["wns"], resp["tns"] = scn, wns, tns
+	}
+	if corners := s.mgr.Corners(); corners != nil {
+		resp["corners"] = corners
 	}
 	viol := 0
 	for _, sl := range slacks {
@@ -207,6 +237,48 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, sess *Session
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": sess.ID, "ecos": sess.ECOCount(), "view": res})
+}
+
+// handleSessionSlacks reports the session's full slack view. Default is the
+// nominal engine; ?scenario=<name|merged> selects a corner of the batched
+// view, priced through the session's uncommitted deltas.
+func (s *Server) handleSessionSlacks(w http.ResponseWriter, r *http.Request, sess *Session) {
+	scn := r.URL.Query().Get("scenario")
+	var (
+		slacks []float64
+		err    error
+	)
+	if scn == "" {
+		slacks, err = sess.Slacks()
+	} else {
+		slacks, err = sess.ScenarioSlacks(scn)
+	}
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	wns, tns, viol := 0.0, 0.0, 0
+	for i, sl := range slacks {
+		slacks[i] = jsonSlack(sl)
+		if sl < 0 {
+			viol++
+			tns += sl
+			if sl < wns {
+				wns = sl
+			}
+		}
+	}
+	resp := map[string]any{
+		"id":         sess.ID,
+		"wns":        wns,
+		"tns":        tns,
+		"violations": viol,
+		"slacks":     slacks,
+	}
+	if scn != "" {
+		resp["scenario"] = scn
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *Session) {

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"insta/internal/batch"
 	"insta/internal/core"
 	"insta/internal/netlist"
 	"insta/internal/num"
@@ -37,6 +38,8 @@ var (
 	ErrTooManySessions = errors.New("server: session admission cap reached")
 	ErrSessionClosed   = errors.New("server: session closed")
 	ErrNoRefEngine     = errors.New("server: resize ECOs need a reference engine")
+	ErrNoCorners       = errors.New("server: multi-corner queries need a -corners engine")
+	ErrUnknownScenario = errors.New("server: unknown scenario")
 )
 
 // Options tunes the session manager.
@@ -47,6 +50,12 @@ type Options struct {
 	// TTL is the idle lifetime a Sweep call uses to evict abandoned
 	// sessions. <= 0 selects 5 minutes.
 	TTL time.Duration
+	// Batch, when non-nil, adds multi-corner serving: every session carries a
+	// scenario-batched overlay alongside its nominal one, so each what-if is
+	// priced in every corner with one cone re-propagation, and commits fold
+	// into the batched base the same way. The manager owns Run/epoch
+	// handling; the caller owns Close.
+	Batch *batch.Engine
 }
 
 // Counters is a snapshot of the manager's lifetime counters.
@@ -63,15 +72,17 @@ type Counters struct {
 type Manager struct {
 	e   *core.Engine
 	ref *refsta.Engine // nil disables resize-form ECOs and pin names
+	be  *batch.Engine  // nil disables multi-corner serving
 	opt Options
 
 	// mu is the base-state lock: RLock for overlay evaluation, Lock for
-	// anything that mutates the base engine. epoch/baseWNS/baseTNS are
-	// guarded by it.
+	// anything that mutates the base engine(s). epoch/baseWNS/baseTNS and the
+	// per-scenario base metrics are guarded by it.
 	mu      sync.RWMutex
 	epoch   uint64
 	baseWNS float64
 	baseTNS float64
+	baseScn []ScenarioView // committed per-scenario + merged figures (be != nil)
 
 	// smu guards the session table only. Lock ordering: smu may be taken
 	// while holding neither lock or after mu; never take mu or a session's
@@ -99,11 +110,28 @@ func NewManager(e *core.Engine, ref *refsta.Engine, opt Options) *Manager {
 	m := &Manager{
 		e:        e,
 		ref:      ref,
+		be:       opt.Batch,
 		opt:      opt,
 		sessions: make(map[string]*Session),
 	}
 	m.baseWNS, m.baseTNS = e.WNS(), e.TNS()
+	if m.be != nil {
+		m.be.Run()
+		m.baseScn = scenarioBaseViews(m.be)
+	}
 	return m
+}
+
+// scenarioBaseViews snapshots the batched engine's committed figures: one row
+// per scenario plus a trailing "merged" row (per-endpoint worst corner).
+func scenarioBaseViews(be *batch.Engine) []ScenarioView {
+	v := be.Merged()
+	out := make([]ScenarioView, 0, len(v.PerScenario)+1)
+	for _, m := range v.PerScenario {
+		out = append(out, ScenarioView{Name: m.Name, WNS: m.WNS, TNS: m.TNS, Violations: m.Violations})
+	}
+	out = append(out, ScenarioView{Name: "merged", WNS: v.WNS, TNS: v.TNS, Violations: v.Violations})
+	return out
 }
 
 // Engine returns the base engine. Callers must not mutate it outside
@@ -112,6 +140,36 @@ func (m *Manager) Engine() *core.Engine { return m.e }
 
 // Ref returns the reference engine, or nil.
 func (m *Manager) Ref() *refsta.Engine { return m.ref }
+
+// Batch returns the scenario-batched engine, or nil when the server was
+// started single-corner. Callers must not mutate it outside Exclusive.
+func (m *Manager) Batch() *batch.Engine { return m.be }
+
+// Corners reports the committed per-scenario figures (nil when
+// single-corner). The last row is the merged view.
+func (m *Manager) Corners() []ScenarioView {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]ScenarioView(nil), m.baseScn...)
+}
+
+// BaseScenarioSlacks returns the committed endpoint slacks of one scenario,
+// or the per-endpoint worst across scenarios for "merged".
+func (m *Manager) BaseScenarioSlacks(name string) ([]float64, error) {
+	if m.be == nil {
+		return nil, ErrNoCorners
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if name == "merged" {
+		return m.be.Merged().Slacks, nil
+	}
+	s := m.be.ScenarioIndex(name)
+	if s < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
+	}
+	return m.be.Slacks(s), nil
+}
 
 // Epoch returns the current base epoch (bumped on every commit).
 func (m *Manager) Epoch() uint64 {
@@ -178,6 +236,9 @@ func (m *Manager) Create() (*Session, error) {
 		ID:    fmt.Sprintf("s%d", m.nextID),
 		ov:    core.NewOverlay(m.e),
 		epoch: epoch,
+	}
+	if m.be != nil {
+		s.bov = batch.NewOverlay(m.be)
 	}
 	s.touch()
 	m.sessions[s.ID] = s
@@ -259,6 +320,9 @@ func (m *Manager) Exclusive(fn func()) {
 	fn()
 	m.epoch++
 	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
+	if m.be != nil {
+		m.baseScn = scenarioBaseViews(m.be)
+	}
 }
 
 // StageGrad is one cell's timing gradient, most negative first in Gradients'
@@ -328,14 +392,29 @@ type EndpointSlack struct {
 	Base     float64 `json:"base_slack"`
 }
 
+// ScenarioView is one corner's figures in a multi-corner result; the last
+// entry of a Scenarios list is always the "merged" row (per-endpoint worst
+// corner). Deltas are against the committed base of the same scenario.
+type ScenarioView struct {
+	Name       string  `json:"name"`
+	WNS        float64 `json:"wns"`
+	TNS        float64 `json:"tns"`
+	DeltaWNS   float64 `json:"delta_wns,omitempty"`
+	DeltaTNS   float64 `json:"delta_tns,omitempty"`
+	Violations int     `json:"violations,omitempty"`
+}
+
 // ECOResult is the session's view after an evaluation (or the committed base
-// after Commit).
+// after Commit). Scenarios is present when the server runs multi-corner: one
+// row per corner plus the merged row, each priced by the same cone
+// re-propagation that produced the nominal figures.
 type ECOResult struct {
 	WNS         float64         `json:"wns"`
 	TNS         float64         `json:"tns"`
 	DeltaWNS    float64         `json:"delta_wns"`
 	DeltaTNS    float64         `json:"delta_tns"`
 	Changed     []EndpointSlack `json:"changed,omitempty"`
+	Scenarios   []ScenarioView  `json:"scenarios,omitempty"`
 	TouchedArcs int             `json:"touched_arcs"`
 	OverlayPins int             `json:"overlay_pins"`
 	Epoch       uint64          `json:"epoch"`
@@ -358,6 +437,7 @@ type Session struct {
 
 	mu      sync.Mutex
 	ov      *core.Overlay
+	bov     *batch.Overlay // nil when the server runs single-corner
 	epoch   uint64
 	resizes []resolvedResize // netlist changes to replay on commit
 	closed  bool
@@ -375,6 +455,10 @@ func (s *Session) rebaseLocked() {
 	}
 	s.ov.Rebase()
 	s.ov.Propagate()
+	if s.bov != nil {
+		s.bov.Rebase()
+		s.bov.Propagate()
+	}
 	s.epoch = s.m.epoch
 }
 
@@ -403,6 +487,9 @@ func (s *Session) resultLocked() *ECOResult {
 	}
 	res.DeltaWNS = res.WNS - m.baseWNS
 	res.DeltaTNS = res.TNS - m.baseTNS
+	if s.bov != nil {
+		res.Scenarios = s.scenarioViewsLocked()
+	}
 	base := m.e.Slacks()
 	eps := m.e.Endpoints()
 	for _, ep := range s.ov.ChangedEndpoints() {
@@ -417,6 +504,50 @@ func (s *Session) resultLocked() *ECOResult {
 		res.Changed = append(res.Changed, es)
 	}
 	return res
+}
+
+// scenarioViewsLocked prices the session's overlay in every corner: one row
+// per scenario with ΔWNS/ΔTNS against that scenario's committed base, plus
+// the merged row. Caller holds s.mu and at least m.mu.RLock.
+func (s *Session) scenarioViewsLocked() []ScenarioView {
+	m := s.m
+	out := make([]ScenarioView, 0, len(m.baseScn))
+	for i, b := range m.baseScn {
+		var wns, tns float64
+		if b.Name == "merged" {
+			wns, tns = s.bov.MergedWNS(), s.bov.MergedTNS()
+		} else {
+			wns, tns = s.bov.WNS(i), s.bov.TNS(i)
+		}
+		out = append(out, ScenarioView{
+			Name:     b.Name,
+			WNS:      wns,
+			TNS:      tns,
+			DeltaWNS: wns - b.WNS,
+			DeltaTNS: tns - b.TNS,
+		})
+	}
+	return out
+}
+
+// applyArcLocked mirrors one arc re-annotation into both overlays (the
+// batched overlay takes the same nominal units; scenarios see them through
+// their scale factors).
+func (s *Session) applyArcLocked(arc int32, rise, fall num.Dist) {
+	s.ov.SetArcDelay(arc, 0, rise)
+	s.ov.SetArcDelay(arc, 1, fall)
+	if s.bov != nil {
+		s.bov.SetArcDelay(arc, 0, rise.Mean, rise.Std)
+		s.bov.SetArcDelay(arc, 1, fall.Mean, fall.Std)
+	}
+}
+
+// propagateLocked re-propagates both overlays after a delta batch.
+func (s *Session) propagateLocked() {
+	s.ov.Propagate()
+	if s.bov != nil {
+		s.bov.Propagate()
+	}
 }
 
 // ApplyECO validates and applies one what-if batch to the session's overlay,
@@ -467,16 +598,14 @@ func (s *Session) ApplyECO(req ECORequest) (*ECOResult, error) {
 
 	for _, r := range resolvedRz {
 		for _, dl := range r.deltas {
-			s.ov.SetArcDelay(dl.ArcID, 0, dl.Delay[0])
-			s.ov.SetArcDelay(dl.ArcID, 1, dl.Delay[1])
+			s.applyArcLocked(dl.ArcID, dl.Delay[0], dl.Delay[1])
 		}
 		s.resizes = append(s.resizes, r.rz)
 	}
 	for _, a := range req.Arcs {
-		s.ov.SetArcDelay(a.Arc, 0, a.Rise)
-		s.ov.SetArcDelay(a.Arc, 1, a.Fall)
+		s.applyArcLocked(a.Arc, a.Rise, a.Fall)
 	}
-	s.ov.Propagate()
+	s.propagateLocked()
 	s.ecoN++
 	m.ecoTotal.Add(1)
 	return s.resultLocked(), nil
@@ -497,10 +626,9 @@ func (s *Session) ApplyDeltas(deltas []refsta.ArcDelta) (*ECOResult, error) {
 	defer m.mu.RUnlock()
 	s.rebaseLocked()
 	for _, dl := range deltas {
-		s.ov.SetArcDelay(dl.ArcID, 0, dl.Delay[0])
-		s.ov.SetArcDelay(dl.ArcID, 1, dl.Delay[1])
+		s.applyArcLocked(dl.ArcID, dl.Delay[0], dl.Delay[1])
 	}
-	s.ov.Propagate()
+	s.propagateLocked()
 	s.ecoN++
 	m.ecoTotal.Add(1)
 	return s.resultLocked(), nil
@@ -540,6 +668,41 @@ func (s *Session) Slacks() ([]float64, error) {
 	return out, nil
 }
 
+// ScenarioSlacks returns the session's full endpoint slack view in one
+// scenario ("merged" = per-endpoint worst corner): the scenario's committed
+// base slacks with the overlay's re-derived endpoints applied on top.
+func (s *Session) ScenarioSlacks(name string) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.bov == nil {
+		return nil, ErrNoCorners
+	}
+	s.touch()
+	m := s.m
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s.rebaseLocked()
+	if name == "merged" {
+		out := m.be.Merged().Slacks
+		for _, ep := range s.bov.ChangedEndpoints() {
+			out[ep] = s.bov.MergedSlack(ep)
+		}
+		return out, nil
+	}
+	sc := m.be.ScenarioIndex(name)
+	if sc < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
+	}
+	out := m.be.Slacks(sc)
+	for _, ep := range s.bov.ChangedEndpoints() {
+		out[ep] = s.bov.Slack(sc, ep)
+	}
+	return out, nil
+}
+
 // Commit folds the session's recorded arc deltas into the base engine
 // (incremental propagation, full slack re-evaluation), replays its resizes
 // into the reference netlist, bumps the epoch, and leaves the session open
@@ -557,6 +720,9 @@ func (s *Session) Commit() (*ECOResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s.ov.Commit()
+	if s.bov != nil {
+		s.bov.Commit()
+	}
 	if len(s.resizes) > 0 {
 		for _, rz := range s.resizes {
 			// Already validated by ApplyECO; a failure here means another
@@ -569,14 +735,25 @@ func (s *Session) Commit() (*ECOResult, error) {
 	}
 	m.epoch++
 	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
-	s.epoch = m.epoch
-	m.commits.Add(1)
-	return &ECOResult{
+	res := &ECOResult{
 		WNS:       m.baseWNS,
 		TNS:       m.baseTNS,
 		Epoch:     m.epoch,
 		Committed: true,
-	}, nil
+	}
+	if m.be != nil {
+		prev := m.baseScn
+		m.baseScn = scenarioBaseViews(m.be)
+		res.Scenarios = make([]ScenarioView, len(m.baseScn))
+		for i, v := range m.baseScn {
+			v.DeltaWNS = v.WNS - prev[i].WNS
+			v.DeltaTNS = v.TNS - prev[i].TNS
+			res.Scenarios[i] = v
+		}
+	}
+	s.epoch = m.epoch
+	m.commits.Add(1)
+	return res, nil
 }
 
 // Rollback discards the session's uncommitted deltas, re-syncing it to the
@@ -591,6 +768,9 @@ func (s *Session) Rollback() error {
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
 	s.ov.Reset()
+	if s.bov != nil {
+		s.bov.Reset()
+	}
 	s.resizes = s.resizes[:0]
 	s.epoch = s.m.epoch
 	s.m.rollbacks.Add(1)
@@ -607,6 +787,9 @@ func (s *Session) Close() bool {
 	}
 	s.closed = true
 	s.ov.Reset()
+	if s.bov != nil {
+		s.bov.Reset()
+	}
 	return s.m.remove(s.ID)
 }
 
