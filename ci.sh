@@ -10,10 +10,13 @@
 #                      per-corner rebuild loop at S=3)
 #   4. go test -race — short-mode race check of the scheduler, the engine
 #                      kernels that run on it, the scenario-batched engine,
-#                      and the serving layer's session manager (the
-#                      concurrency surface)
+#                      the serving layer's session manager, and the telemetry
+#                      layer (tracer/registry, the concurrency surface)
 #   5. load smoke    — 100 concurrent ECO requests against the HTTP serving
 #                      surface under -race must complete with zero errors
+#   6. obs gate      — the disabled-tracer overhead bench re-runs with the
+#                      strict < 1% bound (INSTA_OBS_GATE=1), rewriting
+#                      BENCH_obs.json
 #
 # Run from the repo root: ./ci.sh
 set -eu
@@ -27,10 +30,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core + batch + server, short) =="
-go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/...
+echo "== go test -race (sched + core + batch + server + obs, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/... ./internal/obs/...
 
 echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
 go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/
+
+echo "== obs overhead gate (disabled tracer < 1%) =="
+INSTA_OBS_GATE=1 go test -run TestObsBenchRegression .
 
 echo "ci.sh: all checks passed"

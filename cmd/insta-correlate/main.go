@@ -14,6 +14,7 @@ import (
 	"insta/internal/bench"
 	"insta/internal/cmdutil"
 	"insta/internal/exp"
+	"insta/internal/obs"
 )
 
 func main() {
@@ -24,10 +25,16 @@ func main() {
 	scatterPath := flag.String("scatter", "", "optional CSV path for the Figure 6 scatter data")
 	blocks := flag.String("blocks", strings.Join(bench.BlockNames(), ","), "comma-separated block presets")
 	sf := cmdutil.SchedFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
 
 	opt := sf.Options()
 	opt.TopK = *topK
+	opt.Tracer = ob.Setup("insta-correlate")
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
+		m.AddExtra("blocks", *blocks)
+	})
 	names := strings.Split(*blocks, ",")
 	if _, err := exp.TableI(os.Stdout, names, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "table I:", err)

@@ -12,6 +12,7 @@ import (
 	"insta/internal/bench"
 	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
+	"insta/internal/obs"
 	"insta/internal/refsta"
 )
 
@@ -21,24 +22,37 @@ func main() {
 	// Extraction itself is sequential; the flags are accepted so every tool
 	// shares one CLI surface.
 	cmdutil.SchedFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
+	tr := ob.Setup("insta-extract")
 
 	spec, err := cmdutil.SpecByName(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	gsp := tr.Start("generate")
 	b, err := bench.Generate(spec)
+	gsp.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	rsp := tr.Start("refsta")
 	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	rsp.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	xsp := tr.Start("extract")
 	tab := circuitops.Extract(ref)
+	xsp.End()
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.Design = spec.Name
+		m.Pins, m.Arcs, m.Endpoints = tab.NumPins, len(tab.Arcs), len(tab.EPs)
+		m.WNSAfter, m.TNSAfter = ref.WNS(), ref.TNS()
+	})
 
 	w := os.Stdout
 	if *out != "" {
@@ -50,10 +64,12 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	wsp := tr.Start("write")
 	if err := tab.Write(w); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	wsp.End()
 	fmt.Fprintf(os.Stderr, "extracted %s: %d pins, %d arcs, %d SPs, %d EPs, WNS=%.1f TNS=%.1f\n",
 		spec.Name, tab.NumPins, len(tab.Arcs), len(tab.SPs), len(tab.EPs), ref.WNS(), ref.TNS())
 }

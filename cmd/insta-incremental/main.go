@@ -13,6 +13,7 @@ import (
 	"insta/internal/bench"
 	"insta/internal/cmdutil"
 	"insta/internal/exp"
+	"insta/internal/obs"
 )
 
 func main() {
@@ -21,6 +22,7 @@ func main() {
 	batch := flag.Int("batch", 120, "cells resized per iteration")
 	topK := flag.Int("topk", 32, "INSTA Top-K")
 	sf := cmdutil.SchedFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
 
 	spec, err := bench.BlockSpec(*block)
@@ -30,6 +32,13 @@ func main() {
 	}
 	opt := sf.Options()
 	opt.TopK = *topK
+	opt.Tracer = ob.Setup("insta-incremental")
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.Design = spec.Name
+		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
+		m.AddExtra("iterations", *n)
+		m.AddExtra("batch", *batch)
+	})
 	f7, f8, err := exp.Incremental(spec, *n, *batch, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -12,6 +12,7 @@ import (
 	"insta/internal/bench"
 	"insta/internal/cmdutil"
 	"insta/internal/exp"
+	"insta/internal/obs"
 )
 
 func main() {
@@ -20,9 +21,15 @@ func main() {
 	fig9 := flag.Bool("fig9", true, "also run the Figure 9 breakdown")
 	fig9Design := flag.String("fig9-design", "superblue10", "benchmark for Figure 9")
 	sf := cmdutil.SchedFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
 
 	opt := sf.Options()
+	opt.Tracer = ob.Setup("insta-place")
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.Workers, m.Grain = sf.Workers, sf.Grain
+		m.AddExtra("designs", *designs)
+	})
 	if _, err := exp.TableIII(os.Stdout, strings.Split(*designs, ","), *iters, opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -11,8 +11,10 @@
 // Endpoints: POST /session, POST /session/{id}/eco, POST
 // /session/{id}/commit, POST /session/{id}/rollback, GET/DELETE
 // /session/{id}, GET /session/{id}/slacks, GET /slacks, GET /gradients, GET
-// /healthz, GET /metrics. SIGINT/SIGTERM drains in-flight requests before
-// exiting; idle sessions are evicted past -ttl.
+// /healthz, GET /metrics, plus the debug surface: GET /debug/pprof/* and
+// GET /debug/trace?dur= (windowed Chrome trace capture). SIGINT/SIGTERM
+// drains in-flight requests before exiting; idle sessions are evicted past
+// -ttl.
 //
 // With -corners the daemon also stands up one scenario-batched engine
 // (internal/batch) over the same extraction; every session then prices its
@@ -26,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +40,7 @@ import (
 	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
 	"insta/internal/core"
+	"insta/internal/obs"
 	"insta/internal/refsta"
 	"insta/internal/server"
 )
@@ -58,7 +62,16 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	sf := cmdutil.SchedFlags()
 	cf := cmdutil.CornersFlag()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
+	tr := ob.Setup("insta-served")
+	if tr == nil {
+		// No always-on capture requested: keep a disabled tracer around anyway
+		// so /debug/trace?dur= can open capture windows on demand at zero
+		// steady-state cost.
+		tr = obs.NewTracer()
+		tr.Disable()
+	}
 
 	var (
 		b    *bench.Design
@@ -94,6 +107,7 @@ func main() {
 	tab := circuitops.Extract(ref)
 	opt := sf.Options()
 	opt.TopK = *topK
+	opt.Tracer = tr
 	e, err := core.NewEngine(tab, opt)
 	if err != nil {
 		fatalf("insta: %v", err)
@@ -101,7 +115,11 @@ func main() {
 	defer e.Close()
 	e.EnableKernelStats()
 
-	srvOpt := server.Options{MaxSessions: *maxSessions, TTL: *ttl}
+	srvOpt := server.Options{MaxSessions: *maxSessions, TTL: *ttl, Design: name}
+	if ob.Manifest {
+		// Per-commit manifests: every session commit writes one JSON record.
+		srvOpt.ManifestDir = obs.ManifestDir()
+	}
 	if cf.Enabled() {
 		scns, sErr := cf.Scenarios()
 		if sErr != nil {
@@ -115,15 +133,23 @@ func main() {
 		srvOpt.Batch = be
 	}
 	mgr := server.NewManager(e, ref, srvOpt)
-	fmt.Fprintf(os.Stderr, "insta-served: %s ready in %s — %d pins, %d arcs, %d endpoints, WNS %.1f TNS %.1f (K=%d, workers=%d)\n",
-		name, time.Since(t0).Round(time.Millisecond), e.NumPins(), e.NumArcs(),
-		len(e.Endpoints()), mgr.BaseWNS(), mgr.BaseTNS(), *topK, e.Pool().Workers())
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.Design = name
+		m.Pins, m.Arcs, m.Endpoints, m.Levels = e.NumPins(), e.NumArcs(), len(e.Endpoints()), e.NumLevels()
+		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
+		m.WNSAfter, m.TNSAfter = mgr.BaseWNS(), mgr.BaseTNS()
+	})
+	slog.Info("ready", "design", name, "init", time.Since(t0).Round(time.Millisecond).String(),
+		"pins", e.NumPins(), "arcs", e.NumArcs(), "endpoints", len(e.Endpoints()),
+		"wns_ps", mgr.BaseWNS(), "tns_ps", mgr.BaseTNS(), "topk", *topK, "workers", e.Pool().Workers())
 	if be := mgr.Batch(); be != nil {
-		fmt.Fprintf(os.Stderr, "insta-served: multi-corner: %d scenarios in one batched engine (%.1f MB)\n",
-			be.NumScenarios(), float64(be.MemoryBytes())/1e6)
+		slog.Info("multi-corner", "scenarios", be.NumScenarios(),
+			"mem_mb", float64(be.MemoryBytes())/1e6)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.New(mgr, name).Handler()}
+	srv := server.New(mgr, name)
+	srv.EnableDebug(tr) // /debug/pprof/* and windowed /debug/trace?dur=
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -137,7 +163,7 @@ func main() {
 				return
 			case now := <-tick.C:
 				if n := mgr.Sweep(now); n > 0 {
-					fmt.Fprintf(os.Stderr, "insta-served: evicted %d idle session(s)\n", n)
+					slog.Info("evicted idle sessions", "count", n)
 				}
 			}
 		}
@@ -145,7 +171,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "insta-served: listening on %s\n", *addr)
+		slog.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -157,13 +183,13 @@ func main() {
 	case <-ctx.Done():
 		// Graceful drain: stop accepting, finish in-flight requests, then
 		// release the sessions.
-		fmt.Fprintf(os.Stderr, "insta-served: draining (%s budget)\n", *drain)
+		slog.Info("draining", "budget", drain.String())
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
-			fmt.Fprintf(os.Stderr, "insta-served: drain incomplete: %v\n", err)
+			slog.Warn("drain incomplete", "err", err)
 		}
 		mgr.CloseAll()
-		fmt.Fprintf(os.Stderr, "insta-served: bye\n")
+		slog.Info("bye")
 	}
 }

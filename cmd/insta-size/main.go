@@ -12,16 +12,23 @@ import (
 	"insta/internal/bench"
 	"insta/internal/cmdutil"
 	"insta/internal/exp"
+	"insta/internal/obs"
 )
 
 func main() {
 	designs := flag.String("designs", strings.Join(bench.IWLSNames(), ","), "comma-separated IWLS presets")
 	topK := flag.Int("topk", 4, "INSTA Top-K during sizing evaluation")
 	sf := cmdutil.SchedFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
 
 	opt := sf.Options()
 	opt.TopK = *topK
+	opt.Tracer = ob.Setup("insta-size")
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
+		m.AddExtra("designs", *designs)
+	})
 	if _, err := exp.TableII(os.Stdout, strings.Split(*designs, ","), opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

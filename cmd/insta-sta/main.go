@@ -21,6 +21,7 @@ import (
 	"insta/internal/cmdutil"
 	"insta/internal/core"
 	"insta/internal/exp"
+	"insta/internal/obs"
 	"insta/internal/refsta"
 	"insta/internal/sched"
 )
@@ -40,7 +41,14 @@ func main() {
 	profile := flag.Bool("profile", false, "print per-kernel scheduler telemetry")
 	sf := cmdutil.SchedFlags()
 	cf := cmdutil.CornersFlag()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
+	tr := ob.Setup("insta-sta")
+	man := &obs.Manifest{TopK: *topK, Workers: sf.Workers, Grain: sf.Grain}
+	defer ob.Finish(func(m *obs.Manifest) {
+		man.Tool, man.StartedAt, man.WallMS, man.Phases = m.Tool, m.StartedAt, m.WallMS, m.Phases
+		*m = *man
+	})
 
 	if *gen != "" {
 		spec, err := cmdutil.SpecByName(*gen)
@@ -56,12 +64,16 @@ func main() {
 		return
 	}
 
+	lsp := tr.Start("load")
 	b, err := cmdutil.LoadDir(*dir, *tech)
+	lsp.End()
 	if err != nil {
 		fatalf("load %s: %v", *dir, err)
 	}
+	man.Design = b.D.Name
 
 	// Reference signoff.
+	rsp := tr.Start("refsta")
 	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
 	if err != nil {
 		fatalf("refsta: %v", err)
@@ -69,15 +81,19 @@ func main() {
 	if *hold {
 		ref.EnableHoldAnalysis()
 	}
+	rsp.End()
 	fmt.Printf("%s: %d cells, %d pins, %d arcs, %d endpoints\n",
 		b.D.Name, b.D.NumCells(), b.D.NumPins(), ref.NumArcs(), len(ref.Endpoints()))
 	fmt.Printf("reference: WNS %.2f ps, TNS %.2f ps, %d violations\n",
 		ref.WNS(), ref.TNS(), ref.NumViolations())
 
 	// INSTA.
+	xsp := tr.Start("extract")
 	tab := circuitops.Extract(ref)
+	xsp.End()
 	opt := sf.Options()
 	opt.TopK, opt.Hold = *topK, *hold
+	opt.Tracer = tr
 	e, err := core.NewEngine(tab, opt)
 	if err != nil {
 		fatalf("insta: %v", err)
@@ -91,6 +107,9 @@ func main() {
 	if err != nil {
 		fatalf("correlate: %v", err)
 	}
+	man.Pins, man.Arcs, man.Endpoints, man.Levels = e.NumPins(), e.NumArcs(), len(e.Endpoints()), e.NumLevels()
+	man.WNSAfter, man.TNSAfter = e.WNS(), e.TNS()
+	man.AddExtra("corr", r)
 	fmt.Printf("INSTA(K=%d): WNS %.2f ps, TNS %.2f ps | corr %.6f over %d eps (mismatch avg %.2e, wst %.2f ps, %d disagree)\n",
 		*topK, e.WNS(), e.TNS(), r, n, ms.Avg, ms.Worst, dis)
 	if *hold {
@@ -104,6 +123,9 @@ func main() {
 		if err != nil {
 			fatalf("corners: %v", err)
 		}
+		for _, s := range scns {
+			man.Scenarios = append(man.Scenarios, s.Name)
+		}
 		reportCorners(tab, scns, opt, *hold)
 	}
 
@@ -114,10 +136,12 @@ func main() {
 		sched.WriteTable(os.Stdout, e.KernelStats(), 3)
 	}
 
+	psp := tr.Start("report")
 	fmt.Println()
 	ref.SlackHistogram(os.Stdout, 16)
 	fmt.Println()
 	ref.ReportTiming(os.Stdout, *paths)
+	psp.End()
 }
 
 // reportCorners runs the scenario-batched engine over the extracted tables —

@@ -14,6 +14,7 @@ import (
 	"insta/internal/cmdutil"
 	"insta/internal/exp"
 	"insta/internal/mc"
+	"insta/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,13 @@ func main() {
 	// Monte Carlo runs single-threaded for reproducibility; the flags are
 	// accepted so every tool shares one CLI surface.
 	cmdutil.SchedFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
+	tr := ob.Setup("insta-validate")
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.AddExtra("designs", *designs)
+		m.AddExtra("samples", *samples)
+	})
 
 	fmt.Printf("POCV validation: empirical 3-sigma quantile vs analytic corner (%d samples)\n", *samples)
 	fmt.Printf("%-12s %10s %12s %22s %12s\n", "design", "#eps", "corr", "rel err (avg, wst)", "bias(ps)")
@@ -33,12 +40,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dsp := tr.Start("validate-" + name)
 		s, err := exp.Build(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		res, err := mc.ValidatePOCV(s.Tab, *samples, *seed)
+		dsp.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

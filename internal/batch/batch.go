@@ -36,6 +36,7 @@ import (
 	"insta/internal/core"
 	"insta/internal/levelize"
 	"insta/internal/netlist"
+	"insta/internal/obs"
 	"insta/internal/sched"
 	"insta/internal/sdc"
 )
@@ -216,7 +217,8 @@ type Engine struct {
 	// Fan-out CSR (incremental propagation, overlay wavefronts).
 	foStart, foAdj []int32
 
-	pool *sched.Pool
+	pool   *sched.Pool
+	tracer *obs.Tracer // phase/level span recording; nil is a free no-op
 }
 
 // New initializes a scenario-batched engine from the nominal extraction
@@ -248,7 +250,10 @@ func New(t *circuitops.Tables, scns []Scenario, opt core.Options) (*Engine, erro
 		period:  t.Period,
 		nSigma:  t.NSigma,
 		pool:    sched.New(opt.Workers, opt.Grain),
+		tracer:  opt.Tracer,
 	}
+	build := e.tracer.StartArg("batch-engine-build", "pins", int64(t.NumPins))
+	defer build.End()
 	S := len(scns)
 	for kind := 0; kind < 2; kind++ {
 		e.scaleMean[kind] = make([]float64, S)
@@ -299,6 +304,7 @@ func New(t *circuitops.Tables, scns []Scenario, opt core.Options) (*Engine, erro
 		e.faninSense[pos] = a.Sense
 	}
 
+	lsp := build.Child("levelize")
 	lvArcs := make([]levelize.Arc, nArcs)
 	for i := range t.Arcs {
 		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
@@ -308,6 +314,7 @@ func New(t *circuitops.Tables, scns []Scenario, opt core.Options) (*Engine, erro
 		return nil, err
 	}
 	e.lv = lv
+	lsp.End()
 
 	e.spOfPin = make([]int32, t.NumPins)
 	for i := range e.spOfPin {
@@ -406,6 +413,14 @@ func (e *Engine) KernelStats() []sched.KernelProfile {
 	}
 	return nil
 }
+
+// SetTracer attaches (or detaches, with nil) a span tracer recording the
+// engine's phase and per-level timings. Safe to call between passes; not
+// concurrently with one.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached span tracer (nil when none).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Scenarios returns the engine's scenario list in propagation order.
 func (e *Engine) Scenarios() []Scenario { return e.scns }

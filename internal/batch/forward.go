@@ -13,14 +13,18 @@ import (
 // exactly like the single-corner engine — the level count, the fan-in walks
 // and the dispatch are paid once, not S times.
 func (e *Engine) Propagate() {
+	sp := e.tracer.StartArg(kForward, "scenarios", int64(len(e.scns)))
 	for l := 0; l < e.lv.NumLevels; l++ {
 		pins := e.lv.Nodes(l)
+		lsp := sp.ChildArg("level", "level", int64(l))
 		e.kern(kForward, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.propagatePin(pins[i])
 			}
 		})
+		lsp.End()
 	}
+	sp.End()
 	if e.hold != nil {
 		e.propagateHold()
 	}

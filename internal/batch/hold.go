@@ -43,14 +43,18 @@ func (e *Engine) initHold(holdRise, holdFall []float64) {
 // propagateHold runs the batched early-arrival forward pass; Propagate calls
 // it automatically when hold is enabled.
 func (e *Engine) propagateHold() {
+	sp := e.tracer.StartArg(kHold, "scenarios", int64(len(e.scns)))
 	for l := 0; l < e.lv.NumLevels; l++ {
 		pins := e.lv.Nodes(l)
+		lsp := sp.ChildArg("level", "level", int64(l))
 		e.kern(kHold, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.propagatePinMin(pins[i])
 			}
 		})
+		lsp.End()
 	}
+	sp.End()
 }
 
 func (e *Engine) propagatePinMin(p int32) {
@@ -113,6 +117,8 @@ func (e *Engine) propagatePinMin(p int32) {
 // startpoints and transitions. Unchecked endpoints carry +Inf. Requires
 // Options.Hold and a prior Propagate.
 func (e *Engine) EvalHoldSlacks() {
+	sp := e.tracer.StartArg(kHoldSlack, "scenarios", int64(len(e.scns)))
+	defer sp.End()
 	h := e.hold
 	k := e.opt.TopK
 	S := len(e.scns)

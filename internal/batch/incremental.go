@@ -43,6 +43,8 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 	if len(arcs) == 0 {
 		return
 	}
+	sp := e.tracer.StartArg(kIncremental, "arcs", int64(len(arcs)))
+	defer sp.End()
 	foStart, foAdj := e.fanoutCSR()
 
 	buckets := make([][]int32, e.lv.NumLevels)

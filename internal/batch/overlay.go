@@ -124,6 +124,8 @@ func (o *Overlay) Propagate() {
 		return
 	}
 	e := o.e
+	sp := e.tracer.StartArg(KernelOverlay, "arcs", int64(len(arcs)))
+	defer sp.End()
 	foStart, foAdj := e.foStart, e.foAdj
 
 	buckets := make([][]int32, e.lv.NumLevels)
@@ -273,6 +275,8 @@ func (o *Overlay) evalDirtyEndpoints() {
 		dirty = append(dirty, ep)
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	ssp := e.tracer.StartArg(KernelOverlaySlack, "endpoints", int64(len(dirty)))
+	defer ssp.End()
 	S := len(e.scns)
 	k := e.opt.TopK
 	out := make([]float64, len(dirty)*S)
@@ -440,6 +444,8 @@ func (o *Overlay) Commit() {
 		return
 	}
 	e := o.e
+	sp := e.tracer.StartArg("batch-overlay-commit", "arcs", int64(len(o.touched)))
+	defer sp.End()
 	for _, arc := range o.touched {
 		od := o.arcDelta[arc]
 		for rf := 0; rf < 2; rf++ {

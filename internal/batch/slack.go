@@ -10,6 +10,8 @@ import "math"
 // The result for scenario s lands in the s-th stripe of the slack tensor;
 // untimed endpoints carry +Inf.
 func (e *Engine) EvalSlacks() {
+	sp := e.tracer.StartArg(kSlack, "scenarios", int64(len(e.scns)))
+	defer sp.End()
 	k := e.opt.TopK
 	S := len(e.scns)
 	nEP := len(e.epPin)

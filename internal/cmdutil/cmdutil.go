@@ -8,15 +8,19 @@ package cmdutil
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"time"
 
 	"insta/internal/batch"
 	"insta/internal/bench"
 	"insta/internal/core"
 	"insta/internal/liberty"
 	"insta/internal/libertyio"
+	"insta/internal/obs"
 	"insta/internal/sdcio"
 	"insta/internal/spef"
 	"insta/internal/vlog"
@@ -65,6 +69,104 @@ func (c *Corners) Enabled() bool { return c.Spec != "" }
 // Scenarios parses the flag value into batched-engine scenarios.
 func (c *Corners) Scenarios() ([]batch.Scenario, error) {
 	return batch.ParseScenarios(c.Spec)
+}
+
+// Obs carries the observability flags after flag.Parse: -trace (Chrome
+// trace_event export), -manifest (JSON run record under results/manifests/),
+// and -log-level (slog threshold for the default logger).
+type Obs struct {
+	TracePath string
+	Manifest  bool
+	LogLevel  string
+
+	tool    string
+	started time.Time
+	tracer  *obs.Tracer
+}
+
+// ObsFlags registers -trace, -manifest and -log-level on the default flag
+// set. Call before flag.Parse, then Setup right after it.
+func ObsFlags() *Obs {
+	o := &Obs{}
+	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON of the run to this path")
+	flag.BoolVar(&o.Manifest, "manifest", false, "write a JSON run manifest under "+obs.DefaultManifestDir+" (or $INSTA_MANIFEST_DIR)")
+	flag.StringVar(&o.LogLevel, "log-level", "info", "slog threshold: debug, info, warn or error")
+	return o
+}
+
+// Setup applies -log-level to the process-default slog logger and, when
+// -trace or -manifest was requested, returns an enabled tracer to hand to the
+// engines (nil otherwise — engines take a nil tracer at zero cost). Call once
+// after flag.Parse; pair with a deferred Finish.
+func (o *Obs) Setup(tool string) *obs.Tracer {
+	o.tool, o.started = tool, time.Now()
+	var lvl slog.Level
+	switch strings.ToLower(o.LogLevel) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "bad -log-level %q: want debug, info, warn or error\n", o.LogLevel)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	if o.TracePath != "" || o.Manifest {
+		o.tracer = obs.NewTracer()
+	}
+	return o.tracer
+}
+
+// Tracer returns the tracer Setup created, or nil when neither -trace nor
+// -manifest was requested.
+func (o *Obs) Tracer() *obs.Tracer { return o.tracer }
+
+// Finish flushes the requested telemetry: the Chrome trace to -trace, and a
+// run manifest (tool, wall time, git describe, phase rollup) with -manifest.
+// fill customizes the manifest — design name, engine shape, WNS/TNS — before
+// it is written; pass nil to record just the run skeleton. Safe to defer
+// unconditionally: it is a no-op when neither flag was set.
+func (o *Obs) Finish(fill func(*obs.Manifest)) {
+	if o.tracer == nil {
+		return
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			slog.Error("trace export", "err", err)
+		} else {
+			err = o.tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				slog.Error("trace export", "path", o.TracePath, "err", err)
+			} else {
+				slog.Info("trace written", "path", o.TracePath, "spans", o.tracer.NumSpans())
+			}
+		}
+	}
+	if o.Manifest {
+		m := &obs.Manifest{
+			Tool:      o.tool,
+			StartedAt: o.started,
+			WallMS:    float64(time.Since(o.started).Nanoseconds()) / 1e6,
+		}
+		m.FillPhases(o.tracer)
+		if fill != nil {
+			fill(m)
+		}
+		path, err := obs.WriteManifest(obs.ManifestDir(), m)
+		if err != nil {
+			slog.Error("manifest write", "err", err)
+		} else {
+			slog.Info("manifest written", "path", path)
+		}
+	}
 }
 
 // SpecByName resolves a preset name across the block (Table I), IWLS-like

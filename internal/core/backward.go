@@ -46,6 +46,8 @@ func (e *Engine) Backward() { e.BackwardWeighted(nil) }
 // WNSWeights this yields ∂(soft-WNS)/∂(arc delay) — the paper's "gradients
 // of WNS and TNS with respect to leaf variables".
 func (e *Engine) BackwardWeighted(w []float64) {
+	sp := e.tracer.StartArg(kBackward, "levels", int64(e.lv.NumLevels))
+	defer sp.End()
 	n := e.numPins
 	nArcs := len(e.arcFrom)
 	if e.gradArr[0] == nil {
@@ -76,11 +78,13 @@ func (e *Engine) BackwardWeighted(w []float64) {
 	// arcs' flow slots, then distributes it to its fan-in arcs and parents.
 	for l := e.lv.NumLevels - 1; l >= 0; l-- {
 		pins := e.lv.Nodes(l)
+		lsp := sp.ChildArg("level", "level", int64(l))
 		e.kern(kBackward, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.backpropPin(pins[i])
 			}
 		})
+		lsp.End()
 	}
 }
 

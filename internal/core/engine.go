@@ -28,6 +28,7 @@ import (
 	"insta/internal/liberty"
 	"insta/internal/netlist"
 	"insta/internal/num"
+	"insta/internal/obs"
 	"insta/internal/sched"
 	"insta/internal/sdc"
 )
@@ -55,6 +56,10 @@ type Options struct {
 	// with the seed strategy (fresh goroutines per launch, fixed even splits,
 	// n < 256 serial cliff). Ablation/benchmark knob — see sched.Spawn.
 	LegacySpawn bool
+	// Tracer, when non-nil, records hierarchical phase/kernel/level spans for
+	// every engine pass (see internal/obs). A nil or disabled tracer costs
+	// nothing on the hot paths.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions mirrors the paper's Table I configuration.
@@ -144,8 +149,9 @@ type Engine struct {
 	// slot i holds destination pin foAdj[i] reached through arc foArc[i].
 	foStart, foAdj, foArc []int32
 
-	pool  *sched.Pool // persistent kernel scheduler, created with the engine
-	stats *sched.Stats
+	pool   *sched.Pool // persistent kernel scheduler, created with the engine
+	stats  *sched.Stats
+	tracer *obs.Tracer // phase/level span recording; nil is a free no-op
 }
 
 // NewEngine initializes INSTA from extracted circuitops tables — the
@@ -169,7 +175,10 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 		period:  t.Period,
 		nSigma:  t.NSigma,
 		pool:    sched.New(opt.Workers, opt.Grain),
+		tracer:  opt.Tracer,
 	}
+	build := e.tracer.StartArg("engine-build", "pins", int64(t.NumPins))
+	defer build.End()
 
 	// Arc annotations and fan-in CSR.
 	nArcs := len(t.Arcs)
@@ -214,6 +223,7 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 	}
 
 	// Levelize — INSTA's own topological sort (paper §III-A).
+	lsp := build.Child("levelize")
 	lvArcs := make([]levelize.Arc, nArcs)
 	for i := range t.Arcs {
 		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
@@ -223,6 +233,7 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 		return nil, err
 	}
 	e.lv = lv
+	lsp.End()
 
 	// Startpoints / endpoints.
 	e.spOfPin = make([]int32, t.NumPins)
@@ -343,6 +354,14 @@ func (e *Engine) EnableKernelStats() *sched.Stats {
 	}
 	return e.stats
 }
+
+// SetTracer attaches (or detaches, with nil) a span tracer recording the
+// engine's phase and per-level timings. Safe to call between passes; not
+// concurrently with one.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached span tracer (nil when none).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // KernelStats snapshots the collected kernel profiles (nil before
 // EnableKernelStats).

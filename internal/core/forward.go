@@ -12,14 +12,18 @@ import (
 // persistent scheduler pool by atomic chunk claiming — the goroutine
 // analogue of one CUDA thread per output pin (Fig. 3).
 func (e *Engine) Propagate() {
+	sp := e.tracer.StartArg(kForward, "levels", int64(e.lv.NumLevels))
 	for l := 0; l < e.lv.NumLevels; l++ {
 		pins := e.lv.Nodes(l)
+		lsp := sp.ChildArg("level", "level", int64(l))
 		e.kern(kForward, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.propagatePin(pins[i])
 			}
 		})
+		lsp.End()
 	}
+	sp.End()
 	if e.hold != nil {
 		e.propagateHold()
 	}

@@ -50,14 +50,18 @@ func (e *Engine) HoldEnabled() bool { return e.hold != nil }
 // propagateHold runs the early-arrival forward pass. Propagate calls it
 // automatically when hold is enabled.
 func (e *Engine) propagateHold() {
+	sp := e.tracer.StartArg(kHold, "levels", int64(e.lv.NumLevels))
 	for l := 0; l < e.lv.NumLevels; l++ {
 		pins := e.lv.Nodes(l)
+		lsp := sp.ChildArg("level", "level", int64(l))
 		e.kern(kHold, l, len(pins), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e.propagatePinMin(pins[i])
 			}
 		})
+		lsp.End()
 	}
+	sp.End()
 }
 
 func (e *Engine) propagatePinMin(p int32) {
@@ -113,6 +117,8 @@ func (e *Engine) propagatePinMin(p int32) {
 // minimized over startpoints and transitions. Unchecked endpoints (primary
 // outputs) carry +Inf. Requires Options.Hold and a prior Propagate.
 func (e *Engine) EvalHoldSlacks() []float64 {
+	sp := e.tracer.StartArg(kHoldSlack, "endpoints", int64(len(e.epPin)))
+	defer sp.End()
 	h := e.hold
 	k := e.opt.TopK
 	e.kern(kHoldSlack, -1, len(e.epPin), func(lo, hiI int) {

@@ -8,6 +8,8 @@ import "math"
 // wins. False-path pairs are skipped. The result is cached and returned;
 // untimed endpoints carry +Inf.
 func (e *Engine) EvalSlacks() []float64 {
+	sp := e.tracer.StartArg(kSlack, "endpoints", int64(len(e.epPin)))
+	defer sp.End()
 	k := e.opt.TopK
 	e.kern(kSlack, -1, len(e.epPin), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

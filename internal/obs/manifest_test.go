@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer()
+	sp := tr.Start("forward")
+	sp.End()
+
+	m := &Manifest{
+		Tool:      "insta-sta",
+		Design:    "block-2",
+		StartedAt: time.Unix(0, 1234567890).UTC(),
+		WallMS:    42.5,
+		Pins:      1000,
+		Workers:   8,
+		WNSAfter:  -12.5,
+		TNSAfter:  -300,
+	}
+	m.FillPhases(tr)
+	m.AddExtra("ecos", 3)
+
+	path, err := WriteManifest(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "insta-sta-block-2-") || !strings.HasSuffix(base, ".json") {
+		t.Fatalf("unexpected manifest filename %q", base)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if got.Tool != "insta-sta" || got.Design != "block-2" || got.WNSAfter != -12.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.Phases) != 1 || got.Phases[0].Name != "forward" {
+		t.Fatalf("phases not filled: %+v", got.Phases)
+	}
+	if got.Extra["ecos"] != float64(3) {
+		t.Fatalf("extra not preserved: %+v", got.Extra)
+	}
+}
+
+func TestManifestFilenameSanitized(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{Tool: "insta sta", Design: "a/b:c", StartedAt: time.Unix(1, 0)}
+	path, err := WriteManifest(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if strings.ContainsAny(base, " /:") {
+		t.Fatalf("filename not sanitized: %q", base)
+	}
+}
+
+func TestManifestDirEnvOverride(t *testing.T) {
+	t.Setenv("INSTA_MANIFEST_DIR", "/tmp/x")
+	if got := ManifestDir(); got != "/tmp/x" {
+		t.Fatalf("ManifestDir with env = %q", got)
+	}
+	t.Setenv("INSTA_MANIFEST_DIR", "")
+	if got := ManifestDir(); got != DefaultManifestDir {
+		t.Fatalf("ManifestDir default = %q", got)
+	}
+}

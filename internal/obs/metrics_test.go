@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+)
+
+// latBounds mirrors the serving layer's request-latency buckets so the
+// quantile pins below exercise the exact bucket geometry the bug report
+// referenced (single 0.3 ms observation reporting p50 = 0.5 ms).
+var latBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 13,
+}
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+// TestQuantileInterpolates pins the satellite fix: a single 0.3 ms sample
+// falls in the (0.25 ms, 0.5 ms] bucket, and p50 must interpolate inside the
+// bucket — rank 0.5 of 1 observation maps halfway to the lower half of the
+// bucket, 0.25ms + 0.25ms*0.5 = 0.375 ms — not the 0.5 ms upper bound the old
+// implementation returned.
+func TestQuantileInterpolates(t *testing.T) {
+	h := NewHistogram(latBounds)
+	h.Observe(0.0003)
+	approx(t, h.Quantile(0.5), 0.000375, 1e-12, "p50 of single 0.3ms sample")
+	if up := h.Quantile(1.0); up != 0.0005 {
+		t.Fatalf("p100 = %g, want bucket upper bound 0.0005", up)
+	}
+}
+
+func TestQuantileKnownDistribution(t *testing.T) {
+	// 10 observations in (0.001, 0.0025]: ranks spread linearly across the
+	// bucket. p50 -> rank 5 of 10 -> halfway through the bucket.
+	h := NewHistogram(latBounds)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.002)
+	}
+	approx(t, h.Quantile(0.5), 0.001+(0.0025-0.001)*0.5, 1e-12, "p50 uniform bucket")
+	approx(t, h.Quantile(0.1), 0.001+(0.0025-0.001)*0.1, 1e-12, "p10 uniform bucket")
+
+	// Split across two buckets: 5 fast (first bucket), 5 slow. p50 lands at
+	// the boundary of the fast bucket; p90 interpolates 80% into the slow one.
+	h2 := NewHistogram([]float64{0.001, 0.01})
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.0005)
+	}
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.005)
+	}
+	approx(t, h2.Quantile(0.5), 0.001, 1e-12, "p50 at bucket boundary")
+	approx(t, h2.Quantile(0.9), 0.001+(0.01-0.001)*0.8, 1e-12, "p90 split buckets")
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram(latBounds)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+	// Overflow observations clamp to the highest bound.
+	h.Observe(100)
+	if got := h.Quantile(0.5); got != latBounds[len(latBounds)-1] {
+		t.Fatalf("overflow quantile = %g, want %g", got, latBounds[len(latBounds)-1])
+	}
+}
+
+// TestHistogramPrometheusFormat pins the exposition bytes the serving layer
+// depends on staying scrape-compatible: cumulative buckets with %g bounds,
+// +Inf, _sum, _count.
+func TestHistogramPrometheusFormat(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(5) // overflow
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "x_seconds")
+	want := "# TYPE x_seconds histogram\n" +
+		"x_seconds_bucket{le=\"0.5\"} 1\n" +
+		"x_seconds_bucket{le=\"1\"} 2\n" +
+		"x_seconds_bucket{le=\"+Inf\"} 3\n" +
+		"x_seconds_sum 6\n" +
+		"x_seconds_count 3\n"
+	if buf.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRegistryRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total")
+	cv := r.CounterVec("b_total", "route", "code")
+	h := r.Histogram("c_seconds", []float64{1})
+	c.Add(2)
+	cv.With("/v1/eco", "200").Inc()
+	cv.With("/healthz", "200").Add(3)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	want := "# TYPE a_total counter\n" +
+		"a_total 2\n" +
+		"# TYPE b_total counter\n" +
+		"b_total{route=\"/healthz\",code=\"200\"} 3\n" +
+		"b_total{route=\"/v1/eco\",code=\"200\"} 1\n" +
+		"# TYPE c_seconds histogram\n" +
+		"c_seconds_bucket{le=\"1\"} 1\n" +
+		"c_seconds_bucket{le=\"+Inf\"} 1\n" +
+		"c_seconds_sum 0.5\n" +
+		"c_seconds_count 1\n"
+	if out != want {
+		t.Fatalf("registry render mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total")
+}
+
+func TestCollectorRendersInPlace(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("first_total").Inc()
+	r.Collector("live_gauge", func(w io.Writer) {
+		fmt.Fprintf(w, "# TYPE live_gauge gauge\nlive_gauge 7\n")
+	})
+	r.Counter("last_total").Add(9)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := "# TYPE first_total counter\n" +
+		"first_total 1\n" +
+		"# TYPE live_gauge gauge\n" +
+		"live_gauge 7\n" +
+		"# TYPE last_total counter\n" +
+		"last_total 9\n"
+	if buf.String() != want {
+		t.Fatalf("collector render mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -3,9 +3,14 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"time"
+
+	"insta/internal/obs"
 )
 
 // Info describes the served design for /healthz.
@@ -27,6 +32,7 @@ type Server struct {
 	met   *metrics
 	mux   *http.ServeMux
 	start time.Time
+	log   *slog.Logger
 }
 
 // New builds the HTTP layer. The design name is the only field the manager
@@ -44,9 +50,10 @@ func New(mgr *Manager, design string) *Server {
 			TopK:      e.TopK(),
 			Workers:   e.Pool().Workers(),
 		},
-		met:   newMetrics(),
 		start: time.Now(),
+		log:   slog.Default(),
 	}
+	s.met = newMetrics(mgr)
 	if be := mgr.Batch(); be != nil {
 		for _, scn := range be.Scenarios() {
 			s.info.Corners = append(s.info.Corners, scn.Name)
@@ -74,6 +81,59 @@ func (s *Server) Manager() *Manager { return s.mgr }
 // Handler returns the root handler to mount on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetLogger replaces the request logger (slog.Default() until then).
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// EnableDebug mounts the profiling surface: the net/http/pprof handlers under
+// /debug/pprof/ and, when tr is non-nil, GET /debug/trace?dur=SECONDS — a
+// windowed capture that enables the tracer for the requested duration
+// (default 1s, capped at 60s) and streams the spans recorded in that window
+// as Chrome trace_event JSON. Call before serving; the debug surface is
+// opt-in so embedded/test servers don't expose it by accident.
+func (s *Server) EnableDebug(tr *obs.Tracer) {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	if tr == nil {
+		return
+	}
+	s.mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		dur := time.Second
+		if v := r.URL.Query().Get("dur"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				// Bare numbers are seconds, the curl-friendly spelling.
+				if n := intQuery(r, "dur", 0); n > 0 {
+					d, err = time.Duration(n)*time.Second, nil
+				}
+			}
+			if err != nil || d <= 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad dur %q", v))
+				return
+			}
+			dur = d
+		}
+		if dur > time.Minute {
+			dur = time.Minute
+		}
+		mark := tr.Mark()
+		wasEnabled := tr.Enabled()
+		tr.Enable()
+		select {
+		case <-time.After(dur):
+		case <-r.Context().Done():
+		}
+		if !wasEnabled {
+			tr.Disable()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", "attachment; filename=insta-trace.json")
+		_ = tr.WriteChromeTraceSince(w, mark)
+	})
+}
+
 // statusWriter captures the response code for the request counters.
 type statusWriter struct {
 	http.ResponseWriter
@@ -86,13 +146,27 @@ func (sw *statusWriter) WriteHeader(code int) {
 }
 
 // route wraps a handler with latency/count instrumentation under a stable
-// route label (patterns with wildcards would explode the label space).
+// route label (patterns with wildcards would explode the label space) and
+// structured request logging: successes at Debug so production log volume is
+// opt-in via the level, error statuses at Warn.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
 		h(sw, r)
-		s.met.observe(name, sw.code, time.Since(t0))
+		d := time.Since(t0)
+		s.met.observe(name, sw.code, d)
+		level := slog.LevelDebug
+		if sw.code >= 400 {
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", name),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", d),
+		)
 	}
 }
 
@@ -137,18 +211,26 @@ func errCode(err error) int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
 		"design":   s.info,
 		"sessions": s.mgr.NumSessions(),
 		"epoch":    s.mgr.Epoch(),
-	})
+	}
+	if s.met.latency.Count() > 0 {
+		resp["latency_s"] = map[string]float64{
+			"p50": s.met.latency.Quantile(0.50),
+			"p95": s.met.latency.Quantile(0.95),
+			"p99": s.met.latency.Quantile(0.99),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.mgr)
+	s.met.write(w)
 }
 
 // handleSlacks reports the committed base timing; ?worst=N adds the N worst

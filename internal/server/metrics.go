@@ -3,9 +3,10 @@ package server
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
+	"strconv"
 	"time"
+
+	"insta/internal/obs"
 )
 
 // latBounds are the latency histogram bucket upper bounds in seconds,
@@ -16,141 +17,67 @@ var latBounds = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 13,
 }
 
-// histogram is a fixed-bound latency histogram. Cheap enough to guard with a
-// mutex: one observation per HTTP request.
-type histogram struct {
-	mu     sync.Mutex
-	counts []int64 // len(latBounds)+1; last is the overflow bucket
-	sum    float64
-	n      int64
-}
-
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(latBounds, seconds)
-	h.mu.Lock()
-	if h.counts == nil {
-		h.counts = make([]int64, len(latBounds)+1)
-	}
-	h.counts[i]++
-	h.sum += seconds
-	h.n++
-	h.mu.Unlock()
-}
-
-// quantile returns an upper-bound estimate of the q-quantile (the bucket
-// boundary the q-th observation falls under).
-func (h *histogram) quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.n))
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
-		if cum > rank {
-			if i < len(latBounds) {
-				return latBounds[i]
-			}
-			return latBounds[len(latBounds)-1]
-		}
-	}
-	return latBounds[len(latBounds)-1]
-}
-
-// reqKey identifies one request-counter series.
-type reqKey struct {
-	route string
-	code  int
-}
-
-// metrics aggregates the serving telemetry /metrics renders.
+// metrics is the serving telemetry, built on the shared obs registry: request
+// counters and latency histograms are stored series, while the session
+// lifecycle gauges and the engine's kernel telemetry render live through
+// collectors. Family registration order fixes the /metrics exposition order,
+// which server_test.go pins byte-for-byte against the pre-obs output.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[reqKey]int64
-
-	latency histogram // all routes
-	ecoLat  histogram // POST /session/{id}/eco only
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.Histogram // all routes
+	ecoLat   *obs.Histogram // POST /session/{id}/eco only
 }
 
-func newMetrics() *metrics {
-	return &metrics{requests: make(map[reqKey]int64)}
-}
-
-func (mt *metrics) observe(route string, code int, d time.Duration) {
-	sec := d.Seconds()
-	mt.mu.Lock()
-	mt.requests[reqKey{route, code}]++
-	mt.mu.Unlock()
-	mt.latency.observe(sec)
-	if route == "eco" {
-		mt.ecoLat.observe(sec)
+func newMetrics(m *Manager) *metrics {
+	reg := obs.NewRegistry()
+	mt := &metrics{
+		reg:      reg,
+		requests: reg.CounterVec("insta_requests_total", "route", "code"),
+		latency:  reg.Histogram("insta_request_seconds", latBounds),
+		ecoLat:   reg.Histogram("insta_eco_seconds", latBounds),
 	}
-}
-
-// write renders the telemetry in the Prometheus text exposition format:
-// request counts by route and status, the latency histogram, session
-// lifecycle counters, and the engine's kernel telemetry (spans, launches and
-// wall time per kernel tag) when kernel stats are enabled.
-func (mt *metrics) write(w io.Writer, m *Manager) {
-	mt.mu.Lock()
-	keys := make([]reqKey, 0, len(mt.requests))
-	for k := range mt.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].route != keys[j].route {
-			return keys[i].route < keys[j].route
-		}
-		return keys[i].code < keys[j].code
+	reg.Collector("insta_sessions", func(w io.Writer) {
+		c := m.Counters()
+		fmt.Fprintf(w, "# TYPE insta_sessions gauge\n")
+		fmt.Fprintf(w, "insta_sessions_live %d\n", m.NumSessions())
+		fmt.Fprintf(w, "insta_sessions_created_total %d\n", c.Created)
+		fmt.Fprintf(w, "insta_sessions_rejected_total %d\n", c.Rejected)
+		fmt.Fprintf(w, "insta_sessions_evicted_total %d\n", c.Evicted)
+		fmt.Fprintf(w, "insta_commits_total %d\n", c.Commits)
+		fmt.Fprintf(w, "insta_rollbacks_total %d\n", c.Rollbacks)
+		fmt.Fprintf(w, "insta_eco_batches_total %d\n", c.ECOs)
+		fmt.Fprintf(w, "insta_base_epoch %d\n", m.Epoch())
+		fmt.Fprintf(w, "insta_base_wns_ps %g\n", m.BaseWNS())
+		fmt.Fprintf(w, "insta_base_tns_ps %g\n", m.BaseTNS())
 	})
-	fmt.Fprintf(w, "# TYPE insta_requests_total counter\n")
-	for _, k := range keys {
-		fmt.Fprintf(w, "insta_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, mt.requests[k])
-	}
-	mt.mu.Unlock()
-
-	writeHist := func(name string, h *histogram) {
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		counts := h.counts
-		if counts == nil {
-			counts = make([]int64, len(latBounds)+1)
+	reg.Collector("insta_kernel", func(w io.Writer) {
+		stats := m.Engine().Pool().Stats()
+		if stats == nil {
+			return
 		}
-		fmt.Fprintf(w, "# TYPE %s_seconds histogram\n", name)
-		var cum int64
-		for i, b := range latBounds {
-			cum += counts[i]
-			fmt.Fprintf(w, "%s_seconds_bucket{le=\"%g\"} %d\n", name, b, cum)
-		}
-		cum += counts[len(latBounds)]
-		fmt.Fprintf(w, "%s_seconds_bucket{le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "%s_seconds_sum %g\n", name, h.sum)
-		fmt.Fprintf(w, "%s_seconds_count %d\n", name, h.n)
-	}
-	writeHist("insta_request", &mt.latency)
-	writeHist("insta_eco", &mt.ecoLat)
-
-	c := m.Counters()
-	fmt.Fprintf(w, "# TYPE insta_sessions gauge\n")
-	fmt.Fprintf(w, "insta_sessions_live %d\n", m.NumSessions())
-	fmt.Fprintf(w, "insta_sessions_created_total %d\n", c.Created)
-	fmt.Fprintf(w, "insta_sessions_rejected_total %d\n", c.Rejected)
-	fmt.Fprintf(w, "insta_sessions_evicted_total %d\n", c.Evicted)
-	fmt.Fprintf(w, "insta_commits_total %d\n", c.Commits)
-	fmt.Fprintf(w, "insta_rollbacks_total %d\n", c.Rollbacks)
-	fmt.Fprintf(w, "insta_eco_batches_total %d\n", c.ECOs)
-	fmt.Fprintf(w, "insta_base_epoch %d\n", m.Epoch())
-	fmt.Fprintf(w, "insta_base_wns_ps %g\n", m.BaseWNS())
-	fmt.Fprintf(w, "insta_base_tns_ps %g\n", m.BaseTNS())
-
-	if stats := m.Engine().Pool().Stats(); stats != nil {
 		fmt.Fprintf(w, "# TYPE insta_kernel gauge\n")
 		for _, p := range stats.Snapshot() {
 			fmt.Fprintf(w, "insta_kernel_launches_total{kernel=%q} %d\n", p.Kernel, p.Launches)
 			fmt.Fprintf(w, "insta_kernel_spans_total{kernel=%q} %d\n", p.Kernel, p.Spans)
 			fmt.Fprintf(w, "insta_kernel_wall_seconds_total{kernel=%q} %g\n", p.Kernel, p.Wall.Seconds())
 		}
+	})
+	return mt
+}
+
+func (mt *metrics) observe(route string, code int, d time.Duration) {
+	sec := d.Seconds()
+	mt.requests.With(route, strconv.Itoa(code)).Inc()
+	mt.latency.Observe(sec)
+	if route == "eco" {
+		mt.ecoLat.Observe(sec)
 	}
+}
+
+// write renders the full exposition: request counts by route and status, the
+// latency histograms, session lifecycle counters, and the engine's kernel
+// telemetry when kernel stats are enabled.
+func (mt *metrics) write(w io.Writer) {
+	mt.reg.WritePrometheus(w)
 }

@@ -20,6 +20,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"insta/internal/core"
 	"insta/internal/netlist"
 	"insta/internal/num"
+	"insta/internal/obs"
 	"insta/internal/refsta"
 )
 
@@ -56,6 +58,12 @@ type Options struct {
 	// into the batched base the same way. The manager owns Run/epoch
 	// handling; the caller owns Close.
 	Batch *batch.Engine
+	// ManifestDir, when non-empty, writes one obs run manifest per session
+	// commit under this directory (WNS/TNS before/after, session id, eco
+	// count) so the serving trajectory stays attributable offline.
+	ManifestDir string
+	// Design names the served design in commit manifests and log lines.
+	Design string
 }
 
 // Counters is a snapshot of the manager's lifetime counters.
@@ -93,6 +101,8 @@ type Manager struct {
 
 	created, rejected, evicted   atomic.Int64
 	commits, rollbacks, ecoTotal atomic.Int64
+
+	log *slog.Logger
 }
 
 // NewManager wraps an initialized engine. If e has not been propagated yet
@@ -113,6 +123,7 @@ func NewManager(e *core.Engine, ref *refsta.Engine, opt Options) *Manager {
 		be:       opt.Batch,
 		opt:      opt,
 		sessions: make(map[string]*Session),
+		log:      slog.Default(),
 	}
 	m.baseWNS, m.baseTNS = e.WNS(), e.TNS()
 	if m.be != nil {
@@ -133,6 +144,10 @@ func scenarioBaseViews(be *batch.Engine) []ScenarioView {
 	out = append(out, ScenarioView{Name: "merged", WNS: v.WNS, TNS: v.TNS, Violations: v.Violations})
 	return out
 }
+
+// SetLogger replaces the manager's structured logger (slog.Default() until
+// then). Session lifecycle events log at Debug, commits at Info.
+func (m *Manager) SetLogger(l *slog.Logger) { m.log = l }
 
 // Engine returns the base engine. Callers must not mutate it outside
 // Exclusive.
@@ -243,6 +258,7 @@ func (m *Manager) Create() (*Session, error) {
 	s.touch()
 	m.sessions[s.ID] = s
 	m.created.Add(1)
+	m.log.Debug("session created", "session", s.ID, "epoch", epoch)
 	return s, nil
 }
 
@@ -291,6 +307,7 @@ func (m *Manager) Sweep(now time.Time) int {
 	for _, s := range idle {
 		if s.Close() {
 			m.evicted.Add(1)
+			m.log.Debug("session evicted", "session", s.ID)
 		}
 	}
 	return len(idle)
@@ -608,6 +625,8 @@ func (s *Session) ApplyECO(req ECORequest) (*ECOResult, error) {
 	s.propagateLocked()
 	s.ecoN++
 	m.ecoTotal.Add(1)
+	m.log.Debug("eco applied", "session", s.ID, "eco", s.ecoN,
+		"resizes", len(req.Resizes), "arcs", len(req.Arcs))
 	return s.resultLocked(), nil
 }
 
@@ -717,8 +736,10 @@ func (s *Session) Commit() (*ECOResult, error) {
 	}
 	s.touch()
 	m := s.m
+	t0 := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	prevWNS, prevTNS := m.baseWNS, m.baseTNS
 	s.ov.Commit()
 	if s.bov != nil {
 		s.bov.Commit()
@@ -753,6 +774,40 @@ func (s *Session) Commit() (*ECOResult, error) {
 	}
 	s.epoch = m.epoch
 	m.commits.Add(1)
+	m.log.Info("session committed", "session", s.ID, "ecos", s.ecoN,
+		"epoch", m.epoch, "wns", m.baseWNS, "tns", m.baseTNS,
+		"duration", time.Since(t0))
+	if m.opt.ManifestDir != "" {
+		man := &obs.Manifest{
+			Tool:      "insta-served-commit",
+			Design:    m.opt.Design,
+			StartedAt: t0,
+			WallMS:    float64(time.Since(t0).Nanoseconds()) / 1e6,
+			Pins:      m.e.NumPins(),
+			Arcs:      m.e.NumArcs(),
+			Endpoints: len(m.e.Endpoints()),
+			Levels:    m.e.NumLevels(),
+			TopK:      m.e.TopK(),
+			Workers:   m.e.Pool().Workers(),
+			WNSBefore: prevWNS,
+			TNSBefore: prevTNS,
+			WNSAfter:  m.baseWNS,
+			TNSAfter:  m.baseTNS,
+		}
+		if m.be != nil {
+			for _, scn := range m.be.Scenarios() {
+				man.Scenarios = append(man.Scenarios, scn.Name)
+			}
+		}
+		man.AddExtra("session", s.ID)
+		man.AddExtra("ecos", s.ecoN)
+		man.AddExtra("epoch", m.epoch)
+		if path, err := obs.WriteManifest(m.opt.ManifestDir, man); err != nil {
+			m.log.Warn("commit manifest write failed", "err", err)
+		} else {
+			m.log.Debug("commit manifest written", "path", path)
+		}
+	}
 	return res, nil
 }
 
