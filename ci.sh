@@ -5,13 +5,18 @@
 #   2. go build      — everything compiles, including cmd/ and examples/
 #   3. go test       — full suite (unit + determinism + differential + bench
 #                      regression smoke, which rewrites BENCH_sched.json,
-#                      BENCH_serve.json, and BENCH_batch.json — the last
-#                      gates the scenario-batched subsystem at >= 2x the
-#                      per-corner rebuild loop at S=3)
+#                      BENCH_serve.json, BENCH_batch.json, and
+#                      BENCH_snap.json — BENCH_batch gates the
+#                      scenario-batched subsystem at >= 2x the per-corner
+#                      rebuild loop at S=3, and BENCH_snap gates warm
+#                      snapshot boot (snap.Open) at >= 10x faster than the
+#                      cold parse+signoff+extract+compile build)
 #   4. go test -race — short-mode race check of the scheduler, the engine
 #                      kernels that run on it, the scenario-batched engine,
-#                      the serving layer's session manager, and the telemetry
-#                      layer (tracer/registry, the concurrency surface)
+#                      the serving layer's session manager, the telemetry
+#                      layer, and the snapshot codec/cache (tracer/registry
+#                      and concurrent cache store/load, the concurrency
+#                      surface)
 #   5. load smoke    — 100 concurrent ECO requests against the HTTP serving
 #                      surface under -race must complete with zero errors
 #   6. obs gate      — the disabled-tracer overhead bench re-runs with the
@@ -30,8 +35,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core + batch + server + obs, short) =="
-go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/... ./internal/obs/...
+echo "== go test -race (sched + core + batch + server + obs + snap, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/... ./internal/obs/... ./internal/snap/...
 
 echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
 go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/

@@ -25,12 +25,16 @@ func main() {
 	scatterPath := flag.String("scatter", "", "optional CSV path for the Figure 6 scatter data")
 	blocks := flag.String("blocks", strings.Join(bench.BlockNames(), ","), "comma-separated block presets")
 	sf := cmdutil.SchedFlags()
+	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
 	flag.Parse()
 
 	opt := sf.Options()
 	opt.TopK = *topK
 	opt.Tracer = ob.Setup("insta-correlate")
+	if c := sn.Cache(); c != nil {
+		exp.UseSnapshots(c)
+	}
 	defer ob.Finish(func(m *obs.Manifest) {
 		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
 		m.AddExtra("blocks", *blocks)

@@ -9,11 +9,8 @@ import (
 	"fmt"
 	"os"
 
-	"insta/internal/bench"
-	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
 	"insta/internal/obs"
-	"insta/internal/refsta"
 )
 
 func main() {
@@ -22,6 +19,7 @@ func main() {
 	// Extraction itself is sequential; the flags are accepted so every tool
 	// shares one CLI surface.
 	cmdutil.SchedFlags()
+	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
 	flag.Parse()
 	tr := ob.Setup("insta-extract")
@@ -31,27 +29,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	gsp := tr.Start("generate")
-	b, err := bench.Generate(spec)
-	gsp.End()
+	// Warm boots reconstruct the tables from the cached compiled state — the
+	// serialization is a lossless inverse — without generating the design or
+	// running the reference engine.
+	bt, err := sn.BootPreset(spec, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rsp := tr.Start("refsta")
-	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
-	rsp.End()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	xsp := tr.Start("extract")
-	tab := circuitops.Extract(ref)
-	xsp.End()
+	tab := bt.Tables()
 	defer ob.Finish(func(m *obs.Manifest) {
 		m.Design = spec.Name
 		m.Pins, m.Arcs, m.Endpoints = tab.NumPins, len(tab.Arcs), len(tab.EPs)
-		m.WNSAfter, m.TNSAfter = ref.WNS(), ref.TNS()
+		if bt.Ref != nil {
+			m.WNSAfter, m.TNSAfter = bt.Ref.WNS(), bt.Ref.TNS()
+		}
+		bt.FillManifest(m)
 	})
 
 	w := os.Stdout
@@ -70,6 +63,11 @@ func main() {
 		os.Exit(1)
 	}
 	wsp.End()
-	fmt.Fprintf(os.Stderr, "extracted %s: %d pins, %d arcs, %d SPs, %d EPs, WNS=%.1f TNS=%.1f\n",
-		spec.Name, tab.NumPins, len(tab.Arcs), len(tab.SPs), len(tab.EPs), ref.WNS(), ref.TNS())
+	if bt.Warm {
+		fmt.Fprintf(os.Stderr, "extracted %s (warm, snapshot %.12s): %d pins, %d arcs, %d SPs, %d EPs\n",
+			spec.Name, bt.Key, tab.NumPins, len(tab.Arcs), len(tab.SPs), len(tab.EPs))
+	} else {
+		fmt.Fprintf(os.Stderr, "extracted %s: %d pins, %d arcs, %d SPs, %d EPs, WNS=%.1f TNS=%.1f\n",
+			spec.Name, tab.NumPins, len(tab.Arcs), len(tab.SPs), len(tab.EPs), bt.Ref.WNS(), bt.Ref.TNS())
+	}
 }

@@ -7,6 +7,16 @@
 //	insta-served -design block-2 -addr :8080
 //	insta-served -dir /path/to/design -topk 16
 //	insta-served -design block-2 -corners ss,tt,ff
+//	insta-served -design block-2 -snapshot-dir ~/.cache/insta
+//
+// With -snapshot-dir the daemon boots through the content-addressed snapshot
+// cache (internal/snap): the first start cold-builds and writes a compiled
+// snapshot back; every later start with the same inputs decodes it from disk
+// in milliseconds, skipping the reference signoff entirely (warm boots serve
+// without a reference engine — resize-form ECOs answer 501 until a cold
+// start). POST /admin/snapshot persists the current committed base — after a
+// session of committed ECOs, the next boot warm-starts into the ECO'd state.
+// /healthz reports the boot mode, snapshot key and load/build wall time.
 //
 // Endpoints: POST /session, POST /session/{id}/eco, POST
 // /session/{id}/commit, POST /session/{id}/rollback, GET/DELETE
@@ -36,12 +46,9 @@ import (
 	"time"
 
 	"insta/internal/batch"
-	"insta/internal/bench"
-	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
 	"insta/internal/core"
 	"insta/internal/obs"
-	"insta/internal/refsta"
 	"insta/internal/server"
 )
 
@@ -62,6 +69,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	sf := cmdutil.SchedFlags()
 	cf := cmdutil.CornersFlag()
+	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
 	flag.Parse()
 	tr := ob.Setup("insta-served")
@@ -73,10 +81,10 @@ func main() {
 		tr.Disable()
 	}
 
+	t0 := time.Now()
 	var (
-		b    *bench.Design
-		name string
-		err  error
+		bt  *cmdutil.Boot
+		err error
 	)
 	switch {
 	case *design != "" && *dir != "":
@@ -86,29 +94,23 @@ func main() {
 		if sErr != nil {
 			fatalf("%v", sErr)
 		}
-		if b, err = bench.Generate(spec); err != nil {
+		if bt, err = sn.BootPreset(spec, tr); err != nil {
 			fatalf("generate: %v", err)
 		}
-		name = spec.Name
+		bt.Design = spec.Name
 	case *dir != "":
-		if b, err = cmdutil.LoadDir(*dir, *tech); err != nil {
+		if bt, err = sn.BootDir(*dir, *tech, tr); err != nil {
 			fatalf("load %s: %v", *dir, err)
 		}
-		name = b.D.Name
 	default:
 		fatalf("pass -design <preset> or -dir <design directory>")
 	}
+	name := bt.Design
 
-	t0 := time.Now()
-	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
-	if err != nil {
-		fatalf("refsta: %v", err)
-	}
-	tab := circuitops.Extract(ref)
 	opt := sf.Options()
 	opt.TopK = *topK
 	opt.Tracer = tr
-	e, err := core.NewEngine(tab, opt)
+	e, err := core.NewEngineFromState(bt.State, opt)
 	if err != nil {
 		fatalf("insta: %v", err)
 	}
@@ -116,6 +118,13 @@ func main() {
 	e.EnableKernelStats()
 
 	srvOpt := server.Options{MaxSessions: *maxSessions, TTL: *ttl, Design: name}
+	srvOpt.Boot = &server.BootInfo{
+		Mode:        bt.Mode(),
+		SnapshotKey: bt.Key,
+		SnapLoadMS:  float64(bt.Load.Nanoseconds()) / 1e6,
+		ColdBuildMS: float64(bt.Build.Nanoseconds()) / 1e6,
+	}
+	srvOpt.Snapshots = bt.Cache
 	if ob.Manifest {
 		// Per-commit manifests: every session commit writes one JSON record.
 		srvOpt.ManifestDir = obs.ManifestDir()
@@ -125,23 +134,29 @@ func main() {
 		if sErr != nil {
 			fatalf("corners: %v", sErr)
 		}
-		be, bErr := batch.New(tab, scns, opt)
+		be, bErr := batch.NewFromState(bt.State, scns, opt)
 		if bErr != nil {
 			fatalf("corners: %v", bErr)
 		}
 		defer be.Close()
 		srvOpt.Batch = be
 	}
-	mgr := server.NewManager(e, ref, srvOpt)
+	// Warm boots run without the reference engine: resize-form ECOs and pin
+	// names answer 501/blank until a cold start rebuilds it.
+	mgr := server.NewManager(e, bt.Ref, srvOpt)
 	defer ob.Finish(func(m *obs.Manifest) {
 		m.Design = name
 		m.Pins, m.Arcs, m.Endpoints, m.Levels = e.NumPins(), e.NumArcs(), len(e.Endpoints()), e.NumLevels()
 		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
 		m.WNSAfter, m.TNSAfter = mgr.BaseWNS(), mgr.BaseTNS()
+		bt.FillManifest(m)
 	})
-	slog.Info("ready", "design", name, "init", time.Since(t0).Round(time.Millisecond).String(),
+	slog.Info("ready", "design", name, "boot", bt.Mode(), "init", time.Since(t0).Round(time.Millisecond).String(),
 		"pins", e.NumPins(), "arcs", e.NumArcs(), "endpoints", len(e.Endpoints()),
 		"wns_ps", mgr.BaseWNS(), "tns_ps", mgr.BaseTNS(), "topk", *topK, "workers", e.Pool().Workers())
+	if bt.Warm {
+		slog.Info("warm boot: reference engine disabled (resize ECOs answer 501; POST /admin/snapshot persists the current base)")
+	}
 	if be := mgr.Batch(); be != nil {
 		slog.Info("multi-corner", "scenarios", be.NumScenarios(),
 			"mem_mb", float64(be.MemoryBytes())/1e6)

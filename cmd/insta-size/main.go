@@ -19,12 +19,16 @@ func main() {
 	designs := flag.String("designs", strings.Join(bench.IWLSNames(), ","), "comma-separated IWLS presets")
 	topK := flag.Int("topk", 4, "INSTA Top-K during sizing evaluation")
 	sf := cmdutil.SchedFlags()
+	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
 	flag.Parse()
 
 	opt := sf.Options()
 	opt.TopK = *topK
 	opt.Tracer = ob.Setup("insta-size")
+	if c := sn.Cache(); c != nil {
+		exp.UseSnapshots(c)
+	}
 	defer ob.Finish(func(m *obs.Manifest) {
 		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
 		m.AddExtra("designs", *designs)

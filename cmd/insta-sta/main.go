@@ -8,6 +8,12 @@
 //
 //	insta-sta -gen block-5 -dir /tmp/b5
 //	insta-sta -dir /tmp/b5 -paths 3 -hold
+//
+// With -snapshot-dir the compiled timing state is cached content-addressed
+// (internal/snap): the first run cold-builds and writes a snapshot keyed by
+// the input file contents; later runs over unchanged inputs warm-start from
+// it in milliseconds, skipping the parser and the reference engine (and with
+// them the correlation and path-report sections, which need the reference).
 package main
 
 import (
@@ -15,14 +21,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"insta/internal/batch"
-	"insta/internal/circuitops"
 	"insta/internal/cmdutil"
 	"insta/internal/core"
 	"insta/internal/exp"
 	"insta/internal/obs"
-	"insta/internal/refsta"
 	"insta/internal/sched"
 )
 
@@ -41,6 +46,7 @@ func main() {
 	profile := flag.Bool("profile", false, "print per-kernel scheduler telemetry")
 	sf := cmdutil.SchedFlags()
 	cf := cmdutil.CornersFlag()
+	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
 	flag.Parse()
 	tr := ob.Setup("insta-sta")
@@ -64,37 +70,30 @@ func main() {
 		return
 	}
 
-	lsp := tr.Start("load")
-	b, err := cmdutil.LoadDir(*dir, *tech)
-	lsp.End()
+	// Boot: warm from a -snapshot-dir cache hit (no parsing, no reference
+	// engine), cold otherwise (parse, signoff, extract, compile, write-back).
+	bt, err := sn.BootDir(*dir, *tech, tr)
 	if err != nil {
 		fatalf("load %s: %v", *dir, err)
 	}
-	man.Design = b.D.Name
-
-	// Reference signoff.
-	rsp := tr.Start("refsta")
-	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
-	if err != nil {
-		fatalf("refsta: %v", err)
+	man.Design = bt.Design
+	bt.FillManifest(man)
+	ref := bt.Ref // nil on warm boots
+	if ref != nil {
+		if *hold {
+			ref.EnableHoldAnalysis()
+		}
+		fmt.Printf("%s: %d cells, %d pins, %d arcs, %d endpoints\n",
+			bt.Design, bt.B.D.NumCells(), bt.B.D.NumPins(), ref.NumArcs(), len(ref.Endpoints()))
+		fmt.Printf("reference: WNS %.2f ps, TNS %.2f ps, %d violations\n",
+			ref.WNS(), ref.TNS(), ref.NumViolations())
 	}
-	if *hold {
-		ref.EnableHoldAnalysis()
-	}
-	rsp.End()
-	fmt.Printf("%s: %d cells, %d pins, %d arcs, %d endpoints\n",
-		b.D.Name, b.D.NumCells(), b.D.NumPins(), ref.NumArcs(), len(ref.Endpoints()))
-	fmt.Printf("reference: WNS %.2f ps, TNS %.2f ps, %d violations\n",
-		ref.WNS(), ref.TNS(), ref.NumViolations())
 
 	// INSTA.
-	xsp := tr.Start("extract")
-	tab := circuitops.Extract(ref)
-	xsp.End()
 	opt := sf.Options()
 	opt.TopK, opt.Hold = *topK, *hold
 	opt.Tracer = tr
-	e, err := core.NewEngine(tab, opt)
+	e, err := core.NewEngineFromState(bt.State, opt)
 	if err != nil {
 		fatalf("insta: %v", err)
 	}
@@ -103,19 +102,29 @@ func main() {
 		e.EnableKernelStats()
 	}
 	slacks := e.Run()
-	r, ms, n, dis, err := exp.Correlate(ref.EndpointSlacks(), slacks)
-	if err != nil {
-		fatalf("correlate: %v", err)
-	}
 	man.Pins, man.Arcs, man.Endpoints, man.Levels = e.NumPins(), e.NumArcs(), len(e.Endpoints()), e.NumLevels()
 	man.WNSAfter, man.TNSAfter = e.WNS(), e.TNS()
-	man.AddExtra("corr", r)
-	fmt.Printf("INSTA(K=%d): WNS %.2f ps, TNS %.2f ps | corr %.6f over %d eps (mismatch avg %.2e, wst %.2f ps, %d disagree)\n",
-		*topK, e.WNS(), e.TNS(), r, n, ms.Avg, ms.Worst, dis)
+	if bt.Warm {
+		fmt.Printf("%s: warm start from snapshot %.12s in %s (%d pins, %d arcs, %d endpoints)\n",
+			bt.Design, bt.Key, bt.Load.Round(time.Microsecond), e.NumPins(), e.NumArcs(), len(e.Endpoints()))
+		fmt.Printf("INSTA(K=%d): WNS %.2f ps, TNS %.2f ps\n", *topK, e.WNS(), e.TNS())
+	} else {
+		r, ms, n, dis, err := exp.Correlate(ref.EndpointSlacks(), slacks)
+		if err != nil {
+			fatalf("correlate: %v", err)
+		}
+		man.AddExtra("corr", r)
+		fmt.Printf("INSTA(K=%d): WNS %.2f ps, TNS %.2f ps | corr %.6f over %d eps (mismatch avg %.2e, wst %.2f ps, %d disagree)\n",
+			*topK, e.WNS(), e.TNS(), r, n, ms.Avg, ms.Worst, dis)
+	}
 	if *hold {
 		e.EvalHoldSlacks()
-		fmt.Printf("hold: reference WNS %.2f / TNS %.2f ps | INSTA WNS %.2f / TNS %.2f ps\n",
-			ref.HoldWNS(), ref.HoldTNS(), e.HoldWNS(), e.HoldTNS())
+		if ref != nil {
+			fmt.Printf("hold: reference WNS %.2f / TNS %.2f ps | INSTA WNS %.2f / TNS %.2f ps\n",
+				ref.HoldWNS(), ref.HoldTNS(), e.HoldWNS(), e.HoldTNS())
+		} else {
+			fmt.Printf("hold: INSTA WNS %.2f / TNS %.2f ps\n", e.HoldWNS(), e.HoldTNS())
+		}
 	}
 
 	if cf.Enabled() {
@@ -126,7 +135,7 @@ func main() {
 		for _, s := range scns {
 			man.Scenarios = append(man.Scenarios, s.Name)
 		}
-		reportCorners(tab, scns, opt, *hold)
+		reportCorners(bt.State, scns, opt, *hold)
 	}
 
 	if *profile {
@@ -136,20 +145,24 @@ func main() {
 		sched.WriteTable(os.Stdout, e.KernelStats(), 3)
 	}
 
-	psp := tr.Start("report")
-	fmt.Println()
-	ref.SlackHistogram(os.Stdout, 16)
-	fmt.Println()
-	ref.ReportTiming(os.Stdout, *paths)
-	psp.End()
+	// The slack histogram and path report come from the reference engine, so
+	// warm starts skip them (a warm boot has no reference engine by design).
+	if ref != nil {
+		psp := tr.Start("report")
+		fmt.Println()
+		ref.SlackHistogram(os.Stdout, 16)
+		fmt.Println()
+		ref.ReportTiming(os.Stdout, *paths)
+		psp.End()
+	}
 }
 
-// reportCorners runs the scenario-batched engine over the extracted tables —
-// one traversal for every corner — and prints per-corner and merged metrics
-// plus the worst-corner-per-endpoint breakdown.
-func reportCorners(tab *circuitops.Tables, scns []batch.Scenario, opt core.Options, hold bool) {
+// reportCorners runs the scenario-batched engine over the compiled state —
+// one traversal for every corner, warm or cold — and prints per-corner and
+// merged metrics plus the worst-corner-per-endpoint breakdown.
+func reportCorners(st *core.State, scns []batch.Scenario, opt core.Options, hold bool) {
 	opt.Hold = hold
-	be, err := batch.New(tab, scns, opt)
+	be, err := batch.NewFromState(st, scns, opt)
 	if err != nil {
 		fatalf("corners: %v", err)
 	}

@@ -24,9 +24,13 @@ func main() {
 	// Monte Carlo runs single-threaded for reproducibility; the flags are
 	// accepted so every tool shares one CLI surface.
 	cmdutil.SchedFlags()
+	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
 	flag.Parse()
 	tr := ob.Setup("insta-validate")
+	if c := sn.Cache(); c != nil {
+		exp.UseSnapshots(c)
+	}
 	defer ob.Finish(func(m *obs.Manifest) {
 		m.AddExtra("designs", *designs)
 		m.AddExtra("samples", *samples)

@@ -224,36 +224,67 @@ type Engine struct {
 // New initializes a scenario-batched engine from the nominal extraction
 // tables. opt carries the same knobs as core.Options (TopK, Hold, Workers,
 // Grain); LegacySpawn is not supported here — every kernel runs on the
-// persistent pool.
+// persistent pool. Like the single-corner NewEngine it is compiled-state
+// construction (core.Compile) followed by NewFromState, so warm-started
+// batched engines (internal/snap) are bit-identical to cold-built ones.
 func New(t *circuitops.Tables, scns []Scenario, opt core.Options) (*Engine, error) {
-	if err := t.Validate(); err != nil {
+	if err := validateBatch(scns, opt); err != nil {
 		return nil, err
 	}
+	build := opt.Tracer.StartArg("batch-engine-build", "pins", int64(t.NumPins))
+	defer build.End()
+	st, err := core.CompileTraced(t, build)
+	if err != nil {
+		return nil, err
+	}
+	return newFromState(st, scns, opt)
+}
+
+// NewFromState stands up a scenario-batched engine over an already compiled
+// state — the warm-start constructor (see core.NewEngineFromState). The
+// state's skeleton is shared read-only; the nominal arc annotations are
+// copied so SetArcDelay stays private to this engine.
+func NewFromState(st *core.State, scns []Scenario, opt core.Options) (*Engine, error) {
+	if err := validateBatch(scns, opt); err != nil {
+		return nil, err
+	}
+	sp := opt.Tracer.StartArg("batch-engine-restore", "pins", int64(st.NumPins))
+	defer sp.End()
+	return newFromState(st, scns, opt)
+}
+
+// validateBatch checks the scenario list and analysis knobs shared by both
+// constructors.
+func validateBatch(scns []Scenario, opt core.Options) error {
 	if len(scns) == 0 {
-		return nil, fmt.Errorf("batch: no scenarios given")
+		return fmt.Errorf("batch: no scenarios given")
 	}
 	if opt.TopK < 1 {
-		return nil, fmt.Errorf("batch: TopK must be >= 1, got %d", opt.TopK)
+		return fmt.Errorf("batch: TopK must be >= 1, got %d", opt.TopK)
 	}
 	for _, s := range scns {
 		if s.DelayScale <= 0 || s.SigmaScale <= 0 || s.RCScale <= 0 {
-			return nil, fmt.Errorf("batch: scenario %q has non-positive scale", s.Name)
+			return fmt.Errorf("batch: scenario %q has non-positive scale", s.Name)
 		}
 	}
+	return nil
+}
+
+// newFromState builds the batched engine body over a compiled state; both
+// constructors funnel here after validation and span setup.
+func newFromState(st *core.State, scns []Scenario, opt core.Options) (*Engine, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.NumCPU()
 	}
 	e := &Engine{
 		opt:     opt,
 		scns:    append([]Scenario(nil), scns...),
-		numPins: t.NumPins,
-		period:  t.Period,
-		nSigma:  t.NSigma,
+		numPins: st.NumPins,
+		period:  st.Period,
+		nSigma:  st.NSigma,
 		pool:    sched.New(opt.Workers, opt.Grain),
 		tracer:  opt.Tracer,
 	}
-	build := e.tracer.StartArg("batch-engine-build", "pins", int64(t.NumPins))
-	defer build.End()
 	S := len(scns)
 	for kind := 0; kind < 2; kind++ {
 		e.scaleMean[kind] = make([]float64, S)
@@ -266,116 +297,43 @@ func New(t *circuitops.Tables, scns []Scenario, opt core.Options) (*Engine, erro
 		e.scaleStd[1][s] = scn.SigmaScale
 	}
 
-	// Arc annotations and fan-in CSR, identical construction to core.
-	nArcs := len(t.Arcs)
+	// Shared skeleton: topology, schedule, SP/EP, clock. The nominal arc
+	// annotations are copied — SetArcDelay must not leak across engines
+	// sharing one compiled state.
+	e.faninStart, e.faninArc, e.faninFrom, e.faninSense =
+		st.FaninStart, st.FaninArc, st.FaninFrom, st.FaninSense
 	for rf := 0; rf < 2; rf++ {
-		e.arcMean[rf] = make([]float64, nArcs)
-		e.arcStd[rf] = make([]float64, nArcs)
+		e.arcMean[rf] = append([]float64(nil), st.ArcMean[rf]...)
+		e.arcStd[rf] = append([]float64(nil), st.ArcStd[rf]...)
 	}
-	e.arcKind = make([]uint8, nArcs)
-	e.arcFrom = make([]int32, nArcs)
-	e.arcTo = make([]int32, nArcs)
-	counts := make([]int32, t.NumPins+1)
-	for i := range t.Arcs {
-		a := &t.Arcs[i]
-		e.arcMean[0][i] = a.MeanRise
-		e.arcStd[0][i] = a.StdRise
-		e.arcMean[1][i] = a.MeanFall
-		e.arcStd[1][i] = a.StdFall
-		e.arcKind[i] = a.Kind
-		e.arcFrom[i] = a.From
-		e.arcTo[i] = a.To
-		counts[a.To+1]++
+	e.arcKind, e.arcFrom, e.arcTo = st.ArcKind, st.ArcFrom, st.ArcTo
+	e.lv = &levelize.Result{
+		Level:      st.LvLevel,
+		NumLevels:  st.NumLevels,
+		Order:      st.LvOrder,
+		LevelStart: st.LvLevelStart,
 	}
-	e.faninStart = make([]int32, t.NumPins+1)
-	for i := 0; i < t.NumPins; i++ {
-		e.faninStart[i+1] = e.faninStart[i] + counts[i+1]
-	}
-	e.faninArc = make([]int32, nArcs)
-	e.faninFrom = make([]int32, nArcs)
-	e.faninSense = make([]uint8, nArcs)
-	cursor := make([]int32, t.NumPins)
-	for i := range t.Arcs {
-		a := &t.Arcs[i]
-		pos := e.faninStart[a.To] + cursor[a.To]
-		cursor[a.To]++
-		e.faninArc[pos] = int32(i)
-		e.faninFrom[pos] = a.From
-		e.faninSense[pos] = a.Sense
-	}
+	e.spPin, e.spNode, e.spMean, e.spStd, e.spOfPin =
+		st.SpPin, st.SpNode, st.SpMean, st.SpStd, st.SpOfPin
+	e.epPin, e.epNode, e.epBase, e.epOfPin = st.EpPin, st.EpNode, st.EpBase, st.EpOfPin
+	e.clkParent, e.clkCumVar, e.clkDepth = st.ClkParent, st.ClkCumVar, st.ClkDepth
+	e.foStart, e.foAdj = st.FoStart, st.FoAdj
 
-	lsp := build.Child("levelize")
-	lvArcs := make([]levelize.Arc, nArcs)
-	for i := range t.Arcs {
-		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
-	}
-	lv, err := levelize.Levelize(t.NumPins, lvArcs)
-	if err != nil {
-		return nil, err
-	}
-	e.lv = lv
-	lsp.End()
-
-	e.spOfPin = make([]int32, t.NumPins)
-	for i := range e.spOfPin {
-		e.spOfPin[i] = -1
-	}
-	for i, s := range t.SPs {
-		e.spPin = append(e.spPin, s.Pin)
-		e.spNode = append(e.spNode, s.ClockNode)
-		e.spMean = append(e.spMean, s.Mean)
-		e.spStd = append(e.spStd, s.Std)
-		e.spOfPin[s.Pin] = int32(i)
-	}
-	e.epBase[0] = make([]float64, len(t.EPs))
-	e.epBase[1] = make([]float64, len(t.EPs))
-	e.epOfPin = make([]int32, t.NumPins)
-	for i := range e.epOfPin {
-		e.epOfPin[i] = -1
-	}
-	for i, ep := range t.EPs {
-		e.epPin = append(e.epPin, ep.Pin)
-		e.epNode = append(e.epNode, ep.CaptureNode)
-		e.epBase[0][i] = ep.BaseReqRise
-		e.epBase[1][i] = ep.BaseReqFall
-		e.epOfPin[ep.Pin] = int32(i)
-	}
-
-	nClk := len(t.ClockNodes)
-	e.clkParent = make([]int32, nClk)
-	e.clkCumVar = make([]float64, nClk)
-	e.clkDepth = make([]int32, nClk)
-	for i, c := range t.ClockNodes {
-		e.clkParent[i] = c.Parent
-		e.clkCumVar[i] = c.CumVar
-		if c.Parent >= 0 {
-			e.clkDepth[i] = e.clkDepth[c.Parent] + 1
-		}
-	}
-
-	if e.exc, err = t.CompileExceptions(); err != nil {
+	var err error
+	if e.exc, err = st.CompileExceptions(); err != nil {
 		return nil, err
 	}
 
 	k := opt.TopK
-	sz := 2 * t.NumPins * S * k
+	sz := 2 * st.NumPins * S * k
 	e.topArr = make([]float64, sz)
 	e.topMean = make([]float64, sz)
 	e.topStd = make([]float64, sz)
 	e.topSP = make([]int32, sz)
-	e.epSlack = make([]float64, S*len(t.EPs))
+	e.epSlack = make([]float64, S*len(st.EpPin))
 	if opt.Hold {
-		holdRise := make([]float64, len(t.EPs))
-		holdFall := make([]float64, len(t.EPs))
-		for i, ep := range t.EPs {
-			holdRise[i] = ep.HoldReqRise
-			holdFall[i] = ep.HoldReqFall
-		}
-		e.initHold(holdRise, holdFall)
+		e.initHold(st.EpHold[0], st.EpHold[1])
 	}
-	// Built eagerly for the same reason as core: overlay sessions over a
-	// shared batched base must never race on lazy construction.
-	e.fanoutCSR()
 	return e, nil
 }
 

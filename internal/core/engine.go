@@ -21,11 +21,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"insta/internal/circuitops"
 	"insta/internal/levelize"
-	"insta/internal/liberty"
 	"insta/internal/netlist"
 	"insta/internal/num"
 	"insta/internal/obs"
@@ -74,6 +72,7 @@ const noSP = int32(-1)
 // structure-of-arrays buffers, the CPU analogue of the paper's GPU tensors.
 type Engine struct {
 	opt     Options
+	st      *State // compiled state the engine was built over (ExportState)
 	numPins int
 	period  float64
 	nSigma  float64
@@ -155,153 +154,22 @@ type Engine struct {
 }
 
 // NewEngine initializes INSTA from extracted circuitops tables — the
-// one-time initialization of Fig. 1/Fig. 2.
+// one-time initialization of Fig. 1/Fig. 2. It is exactly Compile (build the
+// flat compiled state: CSR topology, level schedule, SP/EP tables, clock
+// depths, fan-out CSR) followed by NewEngineFromState (working tensors),
+// which is what makes warm-started engines (internal/snap) bit-identical to
+// cold-built ones: both run the same second half over the same slabs.
 func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
 	if opt.TopK < 1 {
 		return nil, fmt.Errorf("core: TopK must be >= 1, got %d", opt.TopK)
 	}
-	if opt.Workers <= 0 {
-		opt.Workers = runtime.NumCPU()
-	}
-	if opt.Tau <= 0 {
-		opt.Tau = 0.01
-	}
-	e := &Engine{
-		opt:     opt,
-		numPins: t.NumPins,
-		period:  t.Period,
-		nSigma:  t.NSigma,
-		pool:    sched.New(opt.Workers, opt.Grain),
-		tracer:  opt.Tracer,
-	}
-	build := e.tracer.StartArg("engine-build", "pins", int64(t.NumPins))
+	build := opt.Tracer.StartArg("engine-build", "pins", int64(t.NumPins))
 	defer build.End()
-
-	// Arc annotations and fan-in CSR.
-	nArcs := len(t.Arcs)
-	for rf := 0; rf < 2; rf++ {
-		e.arcMean[rf] = make([]float64, nArcs)
-		e.arcStd[rf] = make([]float64, nArcs)
-	}
-	e.arcKind = make([]uint8, nArcs)
-	e.arcCell = make([]int32, nArcs)
-	e.arcNet = make([]int32, nArcs)
-	e.arcFrom = make([]int32, nArcs)
-	e.arcTo = make([]int32, nArcs)
-	counts := make([]int32, t.NumPins+1)
-	for i := range t.Arcs {
-		a := &t.Arcs[i]
-		e.arcMean[liberty.Rise][i] = a.MeanRise
-		e.arcStd[liberty.Rise][i] = a.StdRise
-		e.arcMean[liberty.Fall][i] = a.MeanFall
-		e.arcStd[liberty.Fall][i] = a.StdFall
-		e.arcKind[i] = a.Kind
-		e.arcCell[i] = a.Cell
-		e.arcNet[i] = a.Net
-		e.arcFrom[i] = a.From
-		e.arcTo[i] = a.To
-		counts[a.To+1]++
-	}
-	e.faninStart = make([]int32, t.NumPins+1)
-	for i := 0; i < t.NumPins; i++ {
-		e.faninStart[i+1] = e.faninStart[i] + counts[i+1]
-	}
-	e.faninArc = make([]int32, nArcs)
-	e.faninFrom = make([]int32, nArcs)
-	e.faninSense = make([]uint8, nArcs)
-	cursor := make([]int32, t.NumPins)
-	for i := range t.Arcs {
-		a := &t.Arcs[i]
-		pos := e.faninStart[a.To] + cursor[a.To]
-		cursor[a.To]++
-		e.faninArc[pos] = int32(i)
-		e.faninFrom[pos] = a.From
-		e.faninSense[pos] = a.Sense
-	}
-
-	// Levelize — INSTA's own topological sort (paper §III-A).
-	lsp := build.Child("levelize")
-	lvArcs := make([]levelize.Arc, nArcs)
-	for i := range t.Arcs {
-		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
-	}
-	lv, err := levelize.Levelize(t.NumPins, lvArcs)
+	st, err := compile(t, build)
 	if err != nil {
 		return nil, err
 	}
-	e.lv = lv
-	lsp.End()
-
-	// Startpoints / endpoints.
-	e.spOfPin = make([]int32, t.NumPins)
-	for i := range e.spOfPin {
-		e.spOfPin[i] = -1
-	}
-	for i, s := range t.SPs {
-		e.spPin = append(e.spPin, s.Pin)
-		e.spNode = append(e.spNode, s.ClockNode)
-		e.spMean = append(e.spMean, s.Mean)
-		e.spStd = append(e.spStd, s.Std)
-		e.spOfPin[s.Pin] = int32(i)
-	}
-	e.epBase[0] = make([]float64, len(t.EPs))
-	e.epBase[1] = make([]float64, len(t.EPs))
-	e.epOfPin = make([]int32, t.NumPins)
-	for i := range e.epOfPin {
-		e.epOfPin[i] = -1
-	}
-	for i, ep := range t.EPs {
-		e.epPin = append(e.epPin, ep.Pin)
-		e.epNode = append(e.epNode, ep.CaptureNode)
-		e.epBase[0][i] = ep.BaseReqRise
-		e.epBase[1][i] = ep.BaseReqFall
-		e.epOfPin[ep.Pin] = int32(i)
-	}
-
-	// Clock network.
-	nClk := len(t.ClockNodes)
-	e.clkParent = make([]int32, nClk)
-	e.clkCumVar = make([]float64, nClk)
-	e.clkDepth = make([]int32, nClk)
-	for i, c := range t.ClockNodes {
-		e.clkParent[i] = c.Parent
-		e.clkCumVar[i] = c.CumVar
-		if c.Parent >= 0 {
-			e.clkDepth[i] = e.clkDepth[c.Parent] + 1
-		}
-	}
-
-	if e.exc, err = t.CompileExceptions(); err != nil {
-		return nil, err
-	}
-
-	k := opt.TopK
-	sz := 2 * t.NumPins * k
-	e.topArr = make([]float64, sz)
-	e.topMean = make([]float64, sz)
-	e.topStd = make([]float64, sz)
-	e.topSP = make([]int32, sz)
-	e.epSlack = make([]float64, len(t.EPs))
-	e.epSP = make([]int32, len(t.EPs))
-	e.epRF = make([]int8, len(t.EPs))
-	if opt.Hold {
-		holdRise := make([]float64, len(t.EPs))
-		holdFall := make([]float64, len(t.EPs))
-		for i, ep := range t.EPs {
-			holdRise[i] = ep.HoldReqRise
-			holdFall[i] = ep.HoldReqFall
-		}
-		e.initHold(holdRise, holdFall)
-	}
-	// The fan-out CSR is needed by incremental propagation, the backward
-	// gather and the copy-on-write overlay read path. Building it eagerly
-	// keeps the lazily-cached fields of a *shared* engine immutable after
-	// NewEngine, so concurrent overlay sessions never race on construction.
-	e.fanoutCSR()
-	return e, nil
+	return newEngineFromState(st, opt)
 }
 
 // Kernel tags for scheduler instrumentation (Engine.KernelStats).

@@ -170,6 +170,22 @@ func New(d *netlist.Design, lib *liberty.Library, con *sdc.Constraints, par *rc.
 	return &Analysis{Corners: append([]Corner(nil), crns...), Ref: ref, Tables: tab, Eng: eng}, nil
 }
 
+// FromState stands up a multi-corner analysis over an already compiled
+// state (internal/snap warm start): no reference engine is built, so Ref and
+// Tables are nil and reference-grade reporting is unavailable, but the
+// batched engine is fully propagated and slack-evaluated like New's.
+func FromState(st *core.State, crns []Corner, opt core.Options) (*Analysis, error) {
+	if len(crns) == 0 {
+		return nil, fmt.Errorf("corners: no corners given")
+	}
+	eng, err := batch.NewFromState(st, Scenarios(crns), opt)
+	if err != nil {
+		return nil, fmt.Errorf("corners: %w", err)
+	}
+	eng.Run()
+	return &Analysis{Corners: append([]Corner(nil), crns...), Eng: eng}, nil
+}
+
 // Close releases the batched engine's worker pool. Safe to call once; the
 // Analysis must not be used afterwards.
 func (a *Analysis) Close() {

@@ -39,7 +39,7 @@ func Fig6(w io.Writer, blockName string, ks []int, opt core.Options, scatter io.
 	for _, k := range ks {
 		kOpt := opt
 		kOpt.TopK = k
-		e, err := core.NewEngine(s.Tab, kOpt)
+		e, err := core.NewEngineFromState(s.State, kOpt)
 		if err != nil {
 			return nil, err
 		}

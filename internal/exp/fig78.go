@@ -61,7 +61,7 @@ func Incremental(spec bench.Spec, iterations, batch int, opt core.Options) (*Fig
 	if err != nil {
 		return nil, nil, err
 	}
-	e, err := core.NewEngine(pt.Tab, opt)
+	e, err := core.NewEngineFromState(pt.State, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -61,7 +61,7 @@ func tableIRow(spec bench.Spec, opt core.Options) (TableIRow, error) {
 	ut := timeIt(s.Ref.UpdateTimingFull)
 	refSlacks := s.Ref.EndpointSlacks()
 
-	e, err := core.NewEngine(s.Tab, opt)
+	e, err := core.NewEngineFromState(s.State, opt)
 	if err != nil {
 		return TableIRow{}, err
 	}

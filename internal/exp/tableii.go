@@ -93,7 +93,7 @@ func tableIIRow(spec bench.Spec, opt core.Options) (TableIIRow, error) {
 	// regardless of the caller's analysis settings.
 	sOpt := opt
 	sOpt.Tau = 0.01
-	e, err := core.NewEngine(si.Tab, sOpt)
+	e, err := core.NewEngineFromState(si.State, sOpt)
 	if err != nil {
 		return TableIIRow{}, err
 	}

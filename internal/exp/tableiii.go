@@ -71,7 +71,7 @@ func tableIIIRow(spec bench.Spec, iterations int, opt core.Options) (TableIIIRow
 			// placement wants coverage, see DESIGN.md).
 			pOpt := opt
 			pOpt.TopK, pOpt.Tau = 2, 60
-			eng, err = core.NewEngine(s.Tab, pOpt)
+			eng, err = core.NewEngineFromState(s.State, pOpt)
 			if err != nil {
 				return place.Result{}, err
 			}

@@ -45,6 +45,15 @@ type Manifest struct {
 	WNSAfter  float64 `json:"wns_after,omitempty"`
 	TNSAfter  float64 `json:"tns_after,omitempty"`
 
+	// Boot provenance: how the run obtained its compiled state (see
+	// internal/snap). "warm" runs loaded a snapshot in SnapLoadMS; "cold"
+	// runs paid the full parse+signoff+extract+compile ColdBuildMS and wrote
+	// the snapshot back when a cache was configured.
+	BootMode    string  `json:"boot_mode,omitempty"`
+	SnapshotKey string  `json:"snapshot_key,omitempty"`
+	SnapLoadMS  float64 `json:"snap_load_ms,omitempty"`
+	ColdBuildMS float64 `json:"cold_build_ms,omitempty"`
+
 	// Phase rollup from the tracer (FillPhases), heaviest first.
 	Phases []PhaseEntry `json:"phases,omitempty"`
 

@@ -71,6 +71,7 @@ func New(mgr *Manager, design string) *Server {
 	mux.HandleFunc("POST /session/{id}/eco", s.route("eco", s.withSession(s.handleECO)))
 	mux.HandleFunc("POST /session/{id}/commit", s.route("commit", s.withSession(s.handleCommit)))
 	mux.HandleFunc("POST /session/{id}/rollback", s.route("rollback", s.withSession(s.handleRollback)))
+	mux.HandleFunc("POST /admin/snapshot", s.route("admin-snapshot", s.handleSnapshot))
 	s.mux = mux
 	return s
 }
@@ -201,7 +202,7 @@ func errCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrSessionClosed):
 		return http.StatusGone
-	case errors.Is(err, ErrNoRefEngine), errors.Is(err, ErrNoCorners):
+	case errors.Is(err, ErrNoRefEngine), errors.Is(err, ErrNoCorners), errors.Is(err, ErrNoSnapshots):
 		return http.StatusNotImplemented
 	case errors.Is(err, ErrUnknownScenario):
 		return http.StatusNotFound
@@ -217,6 +218,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"design":   s.info,
 		"sessions": s.mgr.NumSessions(),
 		"epoch":    s.mgr.Epoch(),
+	}
+	if bi := s.mgr.Boot(); bi != nil {
+		resp["boot"] = bi
 	}
 	if s.met.latency.Count() > 0 {
 		resp["latency_s"] = map[string]float64{
@@ -361,6 +365,24 @@ func (s *Server) handleSessionSlacks(w http.ResponseWriter, r *http.Request, ses
 		resp["scenario"] = scn
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot persists the committed base state to the snapshot cache so
+// the next daemon start warm-boots into it. 501 when the daemon runs without
+// -snapshot-dir.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	path, size, key, err := s.mgr.SaveSnapshot()
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	s.log.Info("snapshot saved", "path", path, "bytes", size, "epoch", s.mgr.Epoch())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":  path,
+		"bytes": size,
+		"key":   key,
+		"epoch": s.mgr.Epoch(),
+	})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *Session) {

@@ -63,6 +63,11 @@ func newMetrics(m *Manager) *metrics {
 			fmt.Fprintf(w, "insta_kernel_wall_seconds_total{kernel=%q} %g\n", p.Kernel, p.Wall.Seconds())
 		}
 	})
+	// Snapshot cache counters render last so the exposition order of the
+	// families above stays byte-stable for servers without a cache.
+	if c := m.opt.Snapshots; c != nil {
+		c.Register(reg)
+	}
 	return mt
 }
 

@@ -33,6 +33,7 @@ import (
 	"insta/internal/num"
 	"insta/internal/obs"
 	"insta/internal/refsta"
+	"insta/internal/snap"
 )
 
 // Errors the HTTP layer maps to status codes.
@@ -41,6 +42,7 @@ var (
 	ErrSessionClosed   = errors.New("server: session closed")
 	ErrNoRefEngine     = errors.New("server: resize ECOs need a reference engine")
 	ErrNoCorners       = errors.New("server: multi-corner queries need a -corners engine")
+	ErrNoSnapshots     = errors.New("server: snapshot save needs a -snapshot-dir cache")
 	ErrUnknownScenario = errors.New("server: unknown scenario")
 )
 
@@ -64,6 +66,23 @@ type Options struct {
 	ManifestDir string
 	// Design names the served design in commit manifests and log lines.
 	Design string
+	// Snapshots, when non-nil, enables POST /admin/snapshot (persist the
+	// committed base state under Boot.Key) and exposes the cache counters on
+	// /metrics.
+	Snapshots *snap.Cache
+	// Boot records how the daemon obtained its engine state, reported on
+	// /healthz and used as the snapshot save key.
+	Boot *BootInfo
+}
+
+// BootInfo is the boot provenance /healthz reports: whether the daemon
+// warm-started from a snapshot or cold-built, under which content address,
+// and how long that took.
+type BootInfo struct {
+	Mode        string  `json:"mode"` // "warm" or "cold"
+	SnapshotKey string  `json:"snapshot_key,omitempty"`
+	SnapLoadMS  float64 `json:"snap_load_ms,omitempty"`
+	ColdBuildMS float64 `json:"cold_build_ms,omitempty"`
 }
 
 // Counters is a snapshot of the manager's lifetime counters.
@@ -159,6 +178,37 @@ func (m *Manager) Ref() *refsta.Engine { return m.ref }
 // Batch returns the scenario-batched engine, or nil when the server was
 // started single-corner. Callers must not mutate it outside Exclusive.
 func (m *Manager) Batch() *batch.Engine { return m.be }
+
+// Snapshots returns the snapshot cache, or nil when snapshot saving is
+// disabled.
+func (m *Manager) Snapshots() *snap.Cache { return m.opt.Snapshots }
+
+// Boot returns the boot provenance, or nil when the caller didn't record it.
+func (m *Manager) Boot() *BootInfo { return m.opt.Boot }
+
+// SaveSnapshot exports the committed base state — the engine's current arc
+// annotations over the shared compiled skeleton, plus the batched engine's
+// scenario list on multi-corner servers — and stores it in the snapshot
+// cache under the boot key, so the next daemon start warm-boots into the
+// ECO'd state rather than the original extraction. The export runs under the
+// base read lock: sessions keep evaluating, while commits wait for the write
+// to finish (the snapshot is a consistent epoch, never a torn one).
+func (m *Manager) SaveSnapshot() (path string, size int64, key string, err error) {
+	c := m.opt.Snapshots
+	if c == nil || m.opt.Boot == nil || m.opt.Boot.SnapshotKey == "" {
+		return "", 0, "", ErrNoSnapshots
+	}
+	key = m.opt.Boot.SnapshotKey
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := m.e.ExportState()
+	var scns []batch.Scenario
+	if m.be != nil {
+		scns = m.be.Scenarios()
+	}
+	path, size, err = c.Store(key, st, scns)
+	return path, size, key, err
+}
 
 // Corners reports the committed per-scenario figures (nil when
 // single-corner). The last row is the merged view.

@@ -1,0 +1,141 @@
+package server_test
+
+// Warm-boot serving tests: /admin/snapshot persists the committed base state
+// through the snapshot cache, /healthz reports the boot provenance, and a
+// daemon restarted from the saved snapshot reproduces the ECO'd base
+// bit-identically — the serve-side half of internal/snap.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"insta/internal/core"
+	"insta/internal/server"
+	"insta/internal/snap"
+)
+
+func TestAdminSnapshotDisabled(t *testing.T) {
+	mgr, _ := newTestManager(t, "block-5", 8, 2, server.Options{})
+	srv := httptest.NewServer(server.New(mgr, "block-5").Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("snapshot save without a cache: got %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestAdminSnapshotSaveAndWarmReboot(t *testing.T) {
+	cache, err := snap.NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := &server.BootInfo{Mode: "cold", SnapshotKey: "serve-key", ColdBuildMS: 12}
+	mgr, _ := newTestManager(t, "block-5", 8, 2, server.Options{Snapshots: cache, Boot: boot})
+	srv := httptest.NewServer(server.New(mgr, "block-5").Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// /healthz reports the boot provenance.
+	hr, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Boot *server.BootInfo `json:"boot"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Boot == nil || health.Boot.Mode != "cold" || health.Boot.SnapshotKey != "serve-key" {
+		t.Fatalf("healthz boot section wrong: %+v", health.Boot)
+	}
+
+	// Mutate the committed base through an ECO commit so the snapshot holds
+	// state the original extraction does not.
+	var sess struct {
+		ID string `json:"id"`
+	}
+	pr, err := client.Post(srv.URL+"/session", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	e := mgr.Engine()
+	rise, fall := e.ArcDelay(0, 0), e.ArcDelay(0, 1)
+	rise.Mean *= 1.5
+	fall.Mean *= 1.5
+	body, _ := json.Marshal(server.ECORequest{Arcs: []server.ArcECO{{Arc: 0, Rise: rise, Fall: fall}}})
+	er, err := client.Post(srv.URL+"/session/"+sess.ID+"/eco", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	er.Body.Close()
+	cr, err := client.Post(srv.URL+"/session/"+sess.ID+"/commit", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Body.Close()
+	if cr.StatusCode != http.StatusOK {
+		t.Fatalf("commit failed: %d", cr.StatusCode)
+	}
+
+	sr, err := client.Post(srv.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+		Key   string `json:"key"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&saved); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusOK || saved.Key != "serve-key" || saved.Bytes <= 0 {
+		t.Fatalf("snapshot save: status %d, %+v", sr.StatusCode, saved)
+	}
+
+	// Warm reboot: the saved snapshot reproduces the ECO'd base exactly.
+	snp, err := cache.Load("serve-key")
+	if err != nil || snp == nil {
+		t.Fatalf("reload saved snapshot: %v/%v", snp, err)
+	}
+	e2, err := core.NewEngineFromState(snp.State, core.Options{TopK: 8, Workers: 2, Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	e2.Run()
+	if e2.WNS() != mgr.BaseWNS() || e2.TNS() != mgr.BaseTNS() {
+		t.Fatalf("warm reboot diverged: snapshot WNS/TNS %v/%v, live base %v/%v",
+			e2.WNS(), e2.TNS(), mgr.BaseWNS(), mgr.BaseTNS())
+	}
+
+	// The cache counters show up on /metrics when a cache is configured.
+	mr, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "insta_snap_cache_hits_total") {
+		t.Fatalf("metrics missing snapshot cache counters:\n%s", metrics)
+	}
+}

@@ -1,0 +1,224 @@
+package snap
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"insta/internal/obs"
+)
+
+func TestCacheHitMissCorrupt(t *testing.T) {
+	st := compileState(t, 9)
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s, err := c.Load("nope"); err != nil || s != nil {
+		t.Fatalf("expected clean miss, got %v/%v", s, err)
+	}
+	path, n, err := c.Store("k1", st, testScenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("stored %d bytes", n)
+	}
+	s, err := c.Load("k1")
+	if err != nil || s == nil {
+		t.Fatalf("expected hit, got %v/%v", s, err)
+	}
+	if s.Key != "k1" || s.State.Design != st.Design {
+		t.Fatalf("hit returned key %q design %q", s.Key, s.State.Design)
+	}
+
+	// Corrupt the entry on disk: Load must return a typed error, remove the
+	// file, and count it — the caller's cold-build fallback then repairs it.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("k1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+
+	stats := c.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Corrupt != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	st := compileState(t, 9)
+	one := int64(len(Encode(st, nil, "")))
+	// Budget for two entries; the third store evicts the least recently used.
+	c, err := NewCache(t.TempDir(), 2*one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for i, key := range []string{"a", "b", "c"} {
+		if _, _, err := c.Store(key, st, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Spread mtimes so LRU order is unambiguous even on coarse clocks.
+		os.Chtimes(c.Path(key), now.Add(time.Duration(i)*time.Second), now.Add(time.Duration(i)*time.Second))
+	}
+	c.evict(c.Path("c"))
+	if s, err := c.Load("a"); err != nil || s != nil {
+		t.Fatalf("oldest entry should be evicted, got %v/%v", s, err)
+	}
+	for _, key := range []string{"b", "c"} {
+		if s, err := c.Load(key); err != nil || s == nil {
+			t.Fatalf("entry %q should survive eviction: %v/%v", key, s, err)
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestCacheConcurrentStoreLoad(t *testing.T) {
+	st := compileState(t, 9)
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, _, err := c.Store("shared", st, testScenarios); err != nil {
+					t.Errorf("store: %v", err)
+					return
+				}
+				s, err := c.Load("shared")
+				if err != nil {
+					t.Errorf("load: %v", err)
+					return
+				}
+				// A concurrent reader may race the very first rename and
+				// miss; it must never observe a partial file.
+				if s != nil && s.State.NumPins != st.NumPins {
+					t.Errorf("load observed wrong state: %d pins", s.State.NumPins)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".snap") {
+			t.Fatalf("stray file %q in cache dir", e.Name())
+		}
+	}
+}
+
+func TestCacheMetrics(t *testing.T) {
+	st := compileState(t, 9)
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Register(reg)
+	c.Load("missing")
+	c.Store("k", st, nil)
+	c.Load("k")
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"insta_snap_cache_hits_total 1",
+		"insta_snap_cache_misses_total 1",
+		"insta_snap_cache_evictions_total 0",
+		"insta_snap_cache_corrupt_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKeyForInputs(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	if err := os.WriteFile(a, []byte("netlist-1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("constraints"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k1, err := KeyForInputs([]string{"tech=n3"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := KeyForInputs([]string{"tech=n3"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("key not deterministic")
+	}
+	// Content change → different key.
+	if err := os.WriteFile(a, []byte("netlist-2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k3, err := KeyForInputs([]string{"tech=n3"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("key insensitive to file content")
+	}
+	// Option change → different key.
+	k4, err := KeyForInputs([]string{"tech=asap7"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k3 {
+		t.Fatal("key insensitive to options")
+	}
+	// Missing file → error.
+	if _, err := KeyForInputs(nil, filepath.Join(dir, "gone")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+
+	if KeyForSpec("block-1") == KeyForSpec("block-2") {
+		t.Fatal("spec keys collide")
+	}
+	if KeyForSpec("block-1") != KeyForSpec("block-1") {
+		t.Fatal("spec key not deterministic")
+	}
+}
+
+func TestSanitizeKey(t *testing.T) {
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Path("../../etc/passwd")
+	if filepath.Dir(p) != c.Dir() {
+		t.Fatalf("path escaped cache dir: %s", p)
+	}
+}
