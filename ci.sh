@@ -12,16 +12,27 @@
 #                      snapshot boot (snap.Open) at >= 10x faster than the
 #                      cold parse+signoff+extract+compile build)
 #   4. go test -race — short-mode race check of the scheduler, the engine
-#                      kernels that run on it, the scenario-batched engine,
-#                      the serving layer's session manager, the telemetry
-#                      layer, and the snapshot codec/cache (tracer/registry
-#                      and concurrent cache store/load, the concurrency
-#                      surface)
+#                      kernels that run on it, the scenario-batched engine
+#                      (including the pooled-scratch overlay-reuse
+#                      differential under 8 concurrent sessions), the serving
+#                      layer's session manager, the telemetry layer, and the
+#                      snapshot codec/cache (tracer/registry and concurrent
+#                      cache store/load, the concurrency surface)
 #   5. load smoke    — 100 concurrent ECO requests against the HTTP serving
 #                      surface under -race must complete with zero errors
 #   6. obs gate      — the disabled-tracer overhead bench re-runs with the
 #                      strict < 1% bound (INSTA_OBS_GATE=1), rewriting
 #                      BENCH_obs.json
+#   7. sched gate    — the scheduler bench re-runs with the hard parallel
+#                      parity bound armed (INSTA_SCHED_GATE=1): pool_w4 must
+#                      not lose to pool_w1 on block-1 (speedup >= 1.0),
+#                      rewriting BENCH_sched.json
+#   8. gc gate       — the GC/allocation harness re-runs with the hard
+#                      limits armed (INSTA_GC_GATE=1): ~0 allocs/op on the
+#                      session-read / ECO-preview / incremental hot paths,
+#                      bounded worst-case GC pause and per-request allocation
+#                      count under closed-loop HTTP load, rewriting
+#                      BENCH_gc.json
 #
 # Run from the repo root: ./ci.sh
 set -eu
@@ -43,5 +54,11 @@ go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' 
 
 echo "== obs overhead gate (disabled tracer < 1%) =="
 INSTA_OBS_GATE=1 go test -run TestObsBenchRegression .
+
+echo "== sched parallel parity gate (pool_w4 >= pool_w1 on block-1) =="
+INSTA_SCHED_GATE=1 go test -run TestSchedBenchRegression .
+
+echo "== gc/alloc gate (zero-alloc hot paths, bounded pauses) =="
+INSTA_GC_GATE=1 go test -run TestGCBenchRegression .
 
 echo "ci.sh: all checks passed"

@@ -219,6 +219,40 @@ type Engine struct {
 
 	pool   *sched.Pool
 	tracer *obs.Tracer // phase/level span recording; nil is a free no-op
+
+	inc  *propScratch // reusable incremental-propagation state (lazily built)
+	plan []levelGroup // fused-level launch plan (lazily built)
+}
+
+// levelGroup is a run of consecutive timing levels dispatched as one kernel
+// launch; groups wider than one level fit within the pool's serial cutoff, so
+// the fused launch runs inline on the caller in level order — see
+// core.Engine.levelPlan for the full argument.
+type levelGroup struct {
+	lo, hi int // levels [lo, hi)
+	spans  int // total pins across the group
+}
+
+// levelPlan lazily builds the fused-level launch plan.
+func (e *Engine) levelPlan() []levelGroup {
+	if e.plan != nil {
+		return e.plan
+	}
+	cutoff := e.pool.SerialCutoff()
+	plan := make([]levelGroup, 0, e.lv.NumLevels)
+	for l := 0; l < e.lv.NumLevels; l++ {
+		n := len(e.lv.Nodes(l))
+		if len(plan) > 0 {
+			g := &plan[len(plan)-1]
+			if g.spans+n <= cutoff {
+				g.hi, g.spans = l+1, g.spans+n
+				continue
+			}
+		}
+		plan = append(plan, levelGroup{lo: l, hi: l + 1, spans: n})
+	}
+	e.plan = plan
+	return plan
 }
 
 // New initializes a scenario-batched engine from the nominal extraction
@@ -340,6 +374,12 @@ func newFromState(st *core.State, scns []Scenario, opt core.Options) (*Engine, e
 // kern dispatches one kernel launch over [0, n) through the engine's pool.
 func (e *Engine) kern(tag string, level, n int, fn func(lo, hi int)) {
 	e.pool.RunTagged(tag, level, n, fn)
+}
+
+// kernIndexed is kern with participant identity for indexing per-worker
+// scratch; ids are dense in [0, Pool().Workers()).
+func (e *Engine) kernIndexed(tag string, level, n int, fn func(id, lo, hi int)) {
+	e.pool.RunIndexed(tag, level, n, fn)
 }
 
 // qbase returns the flat offset of (rf, pin, scenario)'s Top-K block.

@@ -14,14 +14,27 @@ import (
 // and the dispatch are paid once, not S times.
 func (e *Engine) Propagate() {
 	sp := e.tracer.StartArg(kForward, "scenarios", int64(len(e.scns)))
-	for l := 0; l < e.lv.NumLevels; l++ {
-		pins := e.lv.Nodes(l)
-		lsp := sp.ChildArg("level", "level", int64(l))
-		e.kern(kForward, l, len(pins), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e.propagatePin(pins[i])
-			}
-		})
+	for _, g := range e.levelPlan() {
+		lsp := sp.ChildArg("level", "level", int64(g.lo))
+		if g.hi == g.lo+1 {
+			pins := e.lv.Nodes(g.lo)
+			e.kern(kForward, g.lo, len(pins), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e.propagatePin(pins[i])
+				}
+			})
+		} else {
+			// Fused narrow levels: g.spans <= the pool's serial cutoff, so
+			// this launch is one inline chunk and the level-order walk
+			// preserves inter-level dependencies.
+			e.kern(kForward, g.lo, g.spans, func(lo, hi int) {
+				for l := g.lo; l < g.hi; l++ {
+					for _, p := range e.lv.Nodes(l) {
+						e.propagatePin(p)
+					}
+				}
+			})
+		}
 		lsp.End()
 	}
 	sp.End()

@@ -44,14 +44,26 @@ func (e *Engine) initHold(holdRise, holdFall []float64) {
 // it automatically when hold is enabled.
 func (e *Engine) propagateHold() {
 	sp := e.tracer.StartArg(kHold, "scenarios", int64(len(e.scns)))
-	for l := 0; l < e.lv.NumLevels; l++ {
-		pins := e.lv.Nodes(l)
-		lsp := sp.ChildArg("level", "level", int64(l))
-		e.kern(kHold, l, len(pins), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e.propagatePinMin(pins[i])
-			}
-		})
+	for _, g := range e.levelPlan() {
+		lsp := sp.ChildArg("level", "level", int64(g.lo))
+		if g.hi == g.lo+1 {
+			pins := e.lv.Nodes(g.lo)
+			e.kern(kHold, g.lo, len(pins), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e.propagatePinMin(pins[i])
+				}
+			})
+		} else {
+			// Fused narrow levels run as one guaranteed-inline chunk; see
+			// Propagate.
+			e.kern(kHold, g.lo, g.spans, func(lo, hi int) {
+				for l := g.lo; l < g.hi; l++ {
+					for _, p := range e.lv.Nodes(l) {
+						e.propagatePinMin(p)
+					}
+				}
+			})
+		}
 		lsp.End()
 	}
 	sp.End()

@@ -47,8 +47,15 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 	defer sp.End()
 	foStart, foAdj := e.fanoutCSR()
 
-	buckets := make([][]int32, e.lv.NumLevels)
-	queued := make(map[int32]bool, len(arcs)*4)
+	// Wavefront state lives in engine-owned scratch: incremental propagation
+	// mutates base tensors, so calls are exclusive and the scratch is reused
+	// allocation-free across calls.
+	if e.inc == nil {
+		e.inc = e.newPropScratch()
+	}
+	sc := e.inc
+	sc.reset()
+	buckets, queued := sc.buckets, sc.queued
 	push := func(p int32) {
 		if !queued[p] {
 			queued[p] = true
@@ -59,36 +66,44 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 		push(e.arcTo[a])
 	}
 
-	var changed []bool
 	for l := 0; l < len(buckets); l++ {
 		bucket := buckets[l]
 		if len(bucket) == 0 {
 			continue
 		}
-		if cap(changed) < len(bucket) {
-			changed = make([]bool, len(bucket))
+		if cap(sc.changed) < len(bucket) {
+			sc.changed = make([]bool, len(bucket))
 		}
-		changed = changed[:len(bucket)]
-		e.kern(kIncremental, l, len(bucket), func(lo, hi int) {
-			snap := e.newSnapshotBuf()
-			for i := lo; i < hi; i++ {
-				p := bucket[i]
-				ch := false
-				e.snapshotPin(p, snap, false)
-				e.propagatePin(p)
-				if !e.snapshotEqual(p, snap, false) {
-					ch = true
-				}
-				if e.hold != nil {
-					e.snapshotPin(p, snap, true)
-					e.propagatePinMin(p)
-					if !e.snapshotEqual(p, snap, true) {
-						ch = true
+		sc.changed = sc.changed[:len(bucket)]
+		changed := sc.changed
+		// The kernel closure is bound once per scratch and reads its
+		// per-launch state through sc — a literal here would escape into the
+		// pool's job slot and cost one allocation per level.
+		if sc.kernFn == nil {
+			sc.kernFn = func(id, lo, hi int) {
+				snap := sc.snaps[id]
+				b, ch := sc.bucket, sc.changed
+				for i := lo; i < hi; i++ {
+					p := b[i]
+					c := false
+					e.snapshotPin(p, snap, false)
+					e.propagatePin(p)
+					if !e.snapshotEqual(p, snap, false) {
+						c = true
 					}
+					if e.hold != nil {
+						e.snapshotPin(p, snap, true)
+						e.propagatePinMin(p)
+						if !e.snapshotEqual(p, snap, true) {
+							c = true
+						}
+					}
+					ch[i] = c
 				}
-				changed[i] = ch
 			}
-		})
+		}
+		sc.bucket = bucket
+		e.kernIndexed(kIncremental, l, len(bucket), sc.kernFn)
 		for i, p := range bucket {
 			if changed[i] {
 				for _, to := range foAdj[foStart[p]:foStart[p+1]] {
@@ -104,6 +119,43 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 type snapshotBuf struct {
 	arr, mean, std []float64
 	sp             []int32
+}
+
+// propScratch is the reusable wavefront state of cone-limited batched
+// re-propagation, with one queue snapshot per pool participant (see
+// core.propScratch for the ownership rules: the engine owns one for
+// PropagateIncremental, each Overlay owns its own).
+type propScratch struct {
+	buckets [][]int32
+	queued  map[int32]bool
+	changed []bool
+	snaps   []*snapshotBuf
+
+	// Persistent kernel binding (see PropagateIncremental): the closure is
+	// created once and reads the current bucket through these fields, so a
+	// level launch does not allocate.
+	bucket []int32
+	kernFn func(id, lo, hi int)
+}
+
+func (e *Engine) newPropScratch() *propScratch {
+	s := &propScratch{
+		buckets: make([][]int32, e.lv.NumLevels),
+		queued:  make(map[int32]bool, 64),
+		snaps:   make([]*snapshotBuf, e.pool.Workers()),
+	}
+	for i := range s.snaps {
+		s.snaps[i] = e.newSnapshotBuf()
+	}
+	return s
+}
+
+// reset empties the wavefront state for reuse, keeping all capacity.
+func (s *propScratch) reset() {
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	clear(s.queued)
 }
 
 func (e *Engine) newSnapshotBuf() *snapshotBuf {

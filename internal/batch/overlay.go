@@ -21,13 +21,18 @@ package batch
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"insta/internal/core"
 	"insta/internal/liberty"
 )
 
 // Overlay is a copy-on-write what-if view over a propagated batched engine.
+//
+// Allocation discipline matches core.Overlay (DESIGN.md §12): Reset and
+// Rebase clear the sparse maps in place and recycle pin-queue and slack
+// storage through freelists, so a session's steady-state
+// apply→propagate→read loop settles at zero allocations per operation.
 type Overlay struct {
 	e *Engine
 
@@ -35,15 +40,31 @@ type Overlay struct {
 	arcDelta map[int32]*[2][2]float64
 	touched  []int32
 	pending  []int32
+	distFree []*[2][2]float64
 
 	// Sparse pin-queue overlay: recomputed queues for every scenario,
 	// flattened (rf*S+s)*K + k.
 	pinQ map[int32]*pinOverlay
+	free []*pinOverlay // released queue storage, reused before allocating
 
-	// Per-scenario slacks of re-evaluated endpoints (len S per entry), and
-	// the endpoints whose pins changed but are not yet re-evaluated.
-	epSlack map[int32][]float64
-	epDirty map[int32]bool
+	// Per-scenario slacks of re-evaluated endpoints (len S per entry), the
+	// endpoints whose pins changed but are not yet re-evaluated, and the
+	// sorted set of all endpoints ever re-evaluated.
+	epSlack    map[int32][]float64
+	slackFree  [][]float64
+	dirty      []int32
+	changedEPs []int32
+	epOut      []float64 // slack kernel output scratch
+
+	scratch *propScratch // wavefront state, reused across Propagate calls
+
+	// Persistent kernel bindings: the closures are created once and read
+	// their per-launch state through the fields above, so a level launch or
+	// slack evaluation does not allocate (a closure literal per call would
+	// escape into the pool's job slot).
+	kernBucket []int32
+	kernFn     func(id, lo, hi int)
+	slackFn    func(id, lo, hi int)
 }
 
 // pinOverlay holds one pin's recomputed queues across all scenarios.
@@ -61,8 +82,57 @@ func NewOverlay(e *Engine) *Overlay {
 		arcDelta: make(map[int32]*[2][2]float64),
 		pinQ:     make(map[int32]*pinOverlay),
 		epSlack:  make(map[int32][]float64),
-		epDirty:  make(map[int32]bool),
 	}
+}
+
+// getPinOverlay returns queue storage for one pin, from the freelist when
+// possible. The three float planes share one backing slab.
+func (o *Overlay) getPinOverlay() *pinOverlay {
+	if n := len(o.free); n > 0 {
+		q := o.free[n-1]
+		o.free = o.free[:n-1]
+		return q
+	}
+	qlen := 2 * len(o.e.scns) * o.e.opt.TopK
+	buf := make([]float64, 3*qlen)
+	return &pinOverlay{
+		arr:  buf[0:qlen:qlen],
+		mean: buf[qlen : 2*qlen : 2*qlen],
+		std:  buf[2*qlen : 3*qlen : 3*qlen],
+		sp:   make([]int32, qlen),
+	}
+}
+
+// seededPinOverlay returns queue storage for pin p preloaded with the base's
+// queues across every scenario. recomputePin's change detection compares
+// against the previously *visible* queues, and a pin touched for the first
+// time this Propagate was showing the base's — recycled freelist storage (or
+// fresh zeroed storage) must not stand in for them, or a wavefront could stop
+// early when stale content happens to match the recomputed result (a Reset
+// followed by reapplying identical deltas often hands pins back their own
+// old storage).
+func (o *Overlay) seededPinOverlay(p int32) *pinOverlay {
+	q := o.getPinOverlay()
+	e := o.e
+	span := len(e.scns) * e.opt.TopK // scenario blocks are contiguous per rf
+	for rf := 0; rf < 2; rf++ {
+		b := e.qbase(rf, p, 0)
+		d := rf * span
+		copy(q.arr[d:d+span], e.topArr[b:b+span])
+		copy(q.mean[d:d+span], e.topMean[b:b+span])
+		copy(q.std[d:d+span], e.topStd[b:b+span])
+		copy(q.sp[d:d+span], e.topSP[b:b+span])
+	}
+	return q
+}
+
+// releasePins returns every overlaid pin queue to the freelist and empties
+// the pin map in place.
+func (o *Overlay) releasePins() {
+	for _, q := range o.pinQ {
+		o.free = append(o.free, q)
+	}
+	clear(o.pinQ)
 }
 
 // Base returns the batched engine this overlay shadows.
@@ -74,10 +144,14 @@ func (o *Overlay) Base() *Engine { return o.e }
 func (o *Overlay) SetArcDelay(arc int32, rf int, mean, std float64) {
 	od := o.arcDelta[arc]
 	if od == nil {
-		od = &[2][2]float64{
-			{o.e.arcMean[0][arc], o.e.arcStd[0][arc]},
-			{o.e.arcMean[1][arc], o.e.arcStd[1][arc]},
+		if n := len(o.distFree); n > 0 {
+			od = o.distFree[n-1]
+			o.distFree = o.distFree[:n-1]
+		} else {
+			od = new([2][2]float64)
 		}
+		od[0] = [2]float64{o.e.arcMean[0][arc], o.e.arcStd[0][arc]}
+		od[1] = [2]float64{o.e.arcMean[1][arc], o.e.arcStd[1][arc]}
 		o.arcDelta[arc] = od
 		o.touched = append(o.touched, arc)
 	}
@@ -128,8 +202,14 @@ func (o *Overlay) Propagate() {
 	defer sp.End()
 	foStart, foAdj := e.foStart, e.foAdj
 
-	buckets := make([][]int32, e.lv.NumLevels)
-	queued := make(map[int32]bool, len(arcs)*4)
+	// Wavefront state is per-overlay (concurrent overlays share one frozen
+	// base but never scratch), reused allocation-free across Propagate calls.
+	if o.scratch == nil {
+		o.scratch = e.newPropScratch()
+	}
+	sc := o.scratch
+	sc.reset()
+	buckets, queued := sc.buckets, sc.queued
 	push := func(p int32) {
 		if !queued[p] {
 			queued[p] = true
@@ -140,8 +220,6 @@ func (o *Overlay) Propagate() {
 		push(e.arcTo[a])
 	}
 
-	qlen := 2 * len(e.scns) * e.opt.TopK
-	var changed []bool
 	for l := 0; l < len(buckets); l++ {
 		bucket := buckets[l]
 		if len(bucket) == 0 {
@@ -158,35 +236,38 @@ func (o *Overlay) Propagate() {
 		if len(bucket) == 0 {
 			continue
 		}
-		// Overlay queue storage is allocated serially: map writes must not
+		// Overlay queue storage is bound serially: map writes must not
 		// run inside the kernel (lower-level parents are read concurrently
 		// through the same map).
 		for _, p := range bucket {
 			if o.pinQ[p] == nil {
-				o.pinQ[p] = &pinOverlay{
-					arr:  make([]float64, qlen),
-					mean: make([]float64, qlen),
-					std:  make([]float64, qlen),
-					sp:   make([]int32, qlen),
+				o.pinQ[p] = o.seededPinOverlay(p)
+			}
+		}
+		if cap(sc.changed) < len(bucket) {
+			sc.changed = make([]bool, len(bucket))
+		}
+		sc.changed = sc.changed[:len(bucket)]
+		changed := sc.changed
+		if o.kernFn == nil {
+			o.kernFn = func(id, lo, hi int) {
+				snap := o.scratch.snaps[id]
+				b, ch := o.kernBucket, o.scratch.changed
+				for i := lo; i < hi; i++ {
+					ch[i] = o.recomputePin(b[i], snap)
 				}
 			}
 		}
-		if cap(changed) < len(bucket) {
-			changed = make([]bool, len(bucket))
-		}
-		changed = changed[:len(bucket)]
-		e.kern(KernelOverlay, l, len(bucket), func(lo, hi int) {
-			snap := e.newSnapshotBuf()
-			for i := lo; i < hi; i++ {
-				changed[i] = o.recomputePin(bucket[i], snap)
-			}
-		})
+		o.kernBucket = bucket
+		e.kernIndexed(KernelOverlay, l, len(bucket), o.kernFn)
 		for i, p := range bucket {
 			if !changed[i] {
 				continue
 			}
+			// Each pin enters at most one bucket per Propagate and maps to at
+			// most one endpoint, so dirty never holds duplicates per call.
 			if ep := e.epOfPin[p]; ep >= 0 {
-				o.epDirty[ep] = true
+				o.dirty = append(o.dirty, ep)
 			}
 			for _, to := range foAdj[foStart[p]:foStart[p+1]] {
 				push(to)
@@ -266,53 +347,76 @@ func (o *Overlay) recomputePin(p int32, snap *snapshotBuf) bool {
 // scenario through the pool, in sorted endpoint order so the state is
 // independent of map iteration order.
 func (o *Overlay) evalDirtyEndpoints() {
-	if len(o.epDirty) == 0 {
+	if len(o.dirty) == 0 {
 		return
 	}
 	e := o.e
-	dirty := make([]int32, 0, len(o.epDirty))
-	for ep := range o.epDirty {
-		dirty = append(dirty, ep)
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	dirty := o.dirty
+	slices.Sort(dirty)
 	ssp := e.tracer.StartArg(KernelOverlaySlack, "endpoints", int64(len(dirty)))
 	defer ssp.End()
 	S := len(e.scns)
-	k := e.opt.TopK
-	out := make([]float64, len(dirty)*S)
-	e.kern(KernelOverlaySlack, -1, len(dirty), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ep := dirty[i]
-			p := e.epPin[ep]
-			for s := 0; s < S; s++ {
-				best := math.Inf(1)
-				for rf := 0; rf < 2; rf++ {
-					arr, _, _, sps := o.queues(rf, s, p)
-					for kk := 0; kk < k; kk++ {
-						sp := sps[kk]
-						if sp == noSP {
-							break
-						}
-						adj := e.excLookup(e.spPin[sp], p)
-						if adj.False {
-							continue
-						}
-						req := e.epBase[rf][ep] +
-							float64(adj.CycleCount()-1)*e.period +
-							e.credit(e.spNode[sp], e.epNode[ep])
-						if sl := req - arr[kk]; sl < best {
-							best = sl
+	if cap(o.epOut) < len(dirty)*S {
+		o.epOut = make([]float64, len(dirty)*S)
+	}
+	o.epOut = o.epOut[:len(dirty)*S]
+	out := o.epOut
+	if o.slackFn == nil {
+		o.slackFn = func(id, lo, hi int) {
+			e := o.e
+			S := len(e.scns)
+			k := e.opt.TopK
+			dirty, out := o.dirty, o.epOut
+			for i := lo; i < hi; i++ {
+				ep := dirty[i]
+				p := e.epPin[ep]
+				for s := 0; s < S; s++ {
+					best := math.Inf(1)
+					for rf := 0; rf < 2; rf++ {
+						arr, _, _, sps := o.queues(rf, s, p)
+						for kk := 0; kk < k; kk++ {
+							sp := sps[kk]
+							if sp == noSP {
+								break
+							}
+							adj := e.excLookup(e.spPin[sp], p)
+							if adj.False {
+								continue
+							}
+							req := e.epBase[rf][ep] +
+								float64(adj.CycleCount()-1)*e.period +
+								e.credit(e.spNode[sp], e.epNode[ep])
+							if sl := req - arr[kk]; sl < best {
+								best = sl
+							}
 						}
 					}
+					out[i*S+s] = best
 				}
-				out[i*S+s] = best
 			}
 		}
-	})
-	for i, ep := range dirty {
-		o.epSlack[ep] = append([]float64(nil), out[i*S:(i+1)*S]...)
-		delete(o.epDirty, ep)
 	}
+	e.kernIndexed(KernelOverlaySlack, -1, len(dirty), o.slackFn)
+	grew := false
+	for i, ep := range dirty {
+		sl := o.epSlack[ep]
+		if sl == nil {
+			if n := len(o.slackFree); n > 0 {
+				sl = o.slackFree[n-1]
+				o.slackFree = o.slackFree[:n-1]
+			} else {
+				sl = make([]float64, S)
+			}
+			o.changedEPs = append(o.changedEPs, ep)
+			grew = true
+		}
+		copy(sl, out[i*S:(i+1)*S])
+		o.epSlack[ep] = sl
+	}
+	if grew {
+		slices.Sort(o.changedEPs)
+	}
+	o.dirty = o.dirty[:0]
 }
 
 // Slack returns endpoint i's slack in scenario s as seen through the
@@ -383,15 +487,16 @@ func (o *Overlay) MergedTNS() float64 {
 }
 
 // ChangedEndpoints returns the sorted indices of endpoints whose slacks the
-// overlay re-evaluated.
+// overlay re-evaluated. The returned slice is a fresh copy; hot paths use
+// ChangedEndpointsView.
 func (o *Overlay) ChangedEndpoints() []int32 {
-	out := make([]int32, 0, len(o.epSlack))
-	for ep := range o.epSlack {
-		out = append(out, ep)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]int32(nil), o.changedEPs...)
 }
+
+// ChangedEndpointsView is ChangedEndpoints without the copy: the returned
+// slice is owned by the overlay, stays sorted, and is valid until the next
+// Propagate, Reset or Rebase. Callers must not mutate or retain it.
+func (o *Overlay) ChangedEndpointsView() []int32 { return o.changedEPs }
 
 // TouchedArcs returns the overlaid arc ids in first-annotation order.
 func (o *Overlay) TouchedArcs() []int32 {
@@ -414,24 +519,39 @@ func (o *Overlay) Stats() OverlayStats {
 	}
 }
 
+// releaseSlacks returns every per-endpoint slack slice to the freelist and
+// empties the slack map in place.
+func (o *Overlay) releaseSlacks() {
+	for _, sl := range o.epSlack {
+		o.slackFree = append(o.slackFree, sl)
+	}
+	clear(o.epSlack)
+}
+
 // Reset discards all overlay state — the session rollback. The base is
-// untouched.
+// untouched. Maps are cleared in place and storage returned to freelists, so
+// a reset-and-reapply cycle does not reallocate.
 func (o *Overlay) Reset() {
-	o.arcDelta = make(map[int32]*[2][2]float64)
+	for _, od := range o.arcDelta {
+		o.distFree = append(o.distFree, od)
+	}
+	clear(o.arcDelta)
 	o.touched = o.touched[:0]
 	o.pending = o.pending[:0]
-	o.pinQ = make(map[int32]*pinOverlay)
-	o.epSlack = make(map[int32][]float64)
-	o.epDirty = make(map[int32]bool)
+	o.releasePins()
+	o.releaseSlacks()
+	o.dirty = o.dirty[:0]
+	o.changedEPs = o.changedEPs[:0]
 }
 
 // Rebase invalidates the overlay's derived state while keeping the nominal
 // arc deltas, and schedules every touched arc for re-propagation — called
 // when another session's commit moved the batched base.
 func (o *Overlay) Rebase() {
-	o.pinQ = make(map[int32]*pinOverlay)
-	o.epSlack = make(map[int32][]float64)
-	o.epDirty = make(map[int32]bool)
+	o.releasePins()
+	o.releaseSlacks()
+	o.dirty = o.dirty[:0]
+	o.changedEPs = o.changedEPs[:0]
 	o.pending = append(o.pending[:0], o.touched...)
 }
 

@@ -1,0 +1,91 @@
+package batch
+
+// Concurrent overlay-reuse differential: eight sessions evaluate reused
+// (pooled-scratch, freelist-backed) overlays in parallel over one frozen
+// batched base, each repeatedly resetting and reapplying its own deltas, and
+// every iteration must reproduce bit-for-bit what a fresh-allocation overlay
+// computed serially. Run under -race in ci.sh, this pins down the overlay
+// concurrency contract: per-overlay scratch (wavefront buckets, kernel
+// snapshot buffers, persistent kernel closures) never leaks across sessions,
+// and the shared base plus shared scheduler pool are read-only under
+// concurrent Propagate calls.
+
+import (
+	"sync"
+	"testing"
+
+	"insta/internal/core"
+)
+
+func TestOverlayConcurrentReuseMatchesFresh(t *testing.T) {
+	tab := buildTables(t, 41)
+	e, err := New(tab, DefaultScenarios(), core.Options{TopK: 6, Hold: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+
+	const nSess = 8
+	const iters = 3
+	S := e.NumScenarios()
+	nEP := len(e.Endpoints())
+
+	// Session g perturbs arcs ≡ g (mod 8·7): disjoint arc sets whose fan-out
+	// cones still overlap heavily, so concurrent wavefronts walk shared
+	// levels of the same base.
+	apply := func(ov *Overlay, g int) {
+		scale := 1.1 + 0.05*float64(g)
+		for a := int32(g); a < int32(e.NumArcs()); a += nSess * 7 {
+			for rf := 0; rf < 2; rf++ {
+				m, sd := e.ArcDelay(a, rf)
+				ov.SetArcDelay(a, rf, m*scale, sd)
+			}
+		}
+		ov.Propagate()
+	}
+	snapshot := func(ov *Overlay, dst []float64) {
+		for s := 0; s < S; s++ {
+			for i := 0; i < nEP; i++ {
+				dst[s*nEP+i] = ov.Slack(s, int32(i))
+			}
+		}
+	}
+
+	// Reference: a fresh overlay per session, evaluated serially.
+	want := make([][]float64, nSess)
+	for g := 0; g < nSess; g++ {
+		ov := NewOverlay(e)
+		apply(ov, g)
+		want[g] = make([]float64, S*nEP)
+		snapshot(ov, want[g])
+		if len(ov.ChangedEndpoints()) == 0 {
+			t.Fatalf("session %d: deltas changed no endpoints — test is vacuous", g)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < nSess; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ov := NewOverlay(e)
+			got := make([]float64, S*nEP)
+			for it := 0; it < iters; it++ {
+				if it > 0 {
+					ov.Reset() // recycle pins/slacks through the freelists
+				}
+				apply(ov, g)
+				snapshot(ov, got)
+				for j := range got {
+					if got[j] != want[g][j] {
+						t.Errorf("session %d iter %d: slack[s=%d,ep=%d] %v != fresh %v",
+							g, it, j/nEP, j%nEP, got[j], want[g][j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

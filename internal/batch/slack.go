@@ -64,6 +64,41 @@ func (e *Engine) Slacks(s int) []float64 {
 	return out
 }
 
+// SlacksInto copies scenario s's endpoint slacks into dst, growing it only
+// when too small, and returns the filled slice — the allocation-free serving
+// read (pass dst[:0]-style reusable buffers).
+func (e *Engine) SlacksInto(s int, dst []float64) []float64 {
+	nEP := len(e.epPin)
+	if cap(dst) < nEP {
+		dst = make([]float64, nEP)
+	}
+	dst = dst[:nEP]
+	copy(dst, e.epSlack[s*nEP:(s+1)*nEP])
+	return dst
+}
+
+// MergedSlacksInto writes the per-endpoint worst slack across scenarios into
+// dst, growing it only when too small — the allocation-free form of
+// Merged().Slacks for serving reads that need no per-scenario attribution.
+func (e *Engine) MergedSlacksInto(dst []float64) []float64 {
+	nEP := len(e.epPin)
+	S := len(e.scns)
+	if cap(dst) < nEP {
+		dst = make([]float64, nEP)
+	}
+	dst = dst[:nEP]
+	for i := 0; i < nEP; i++ {
+		best := e.epSlack[i]
+		for s := 1; s < S; s++ {
+			if sl := e.epSlack[s*nEP+i]; sl < best {
+				best = sl
+			}
+		}
+		dst[i] = best
+	}
+	return dst
+}
+
 // slack returns endpoint i's slack in scenario s without copying.
 func (e *Engine) slack(s int, i int32) float64 {
 	return e.epSlack[s*len(e.epPin)+int(i)]

@@ -1,0 +1,185 @@
+package bench
+
+// GC/allocation measurement for the serving steady state. The engine's
+// serving claim is not just throughput — it is that the hot read and
+// preview paths allocate nothing per operation once warm, so the Go
+// collector has nothing to chase and tail latency stays flat. This file is
+// the instrument that turns that claim into numbers: a latency recorder
+// that itself allocates nothing per sample, and a probe that diffs the
+// runtime's allocator and GC counters (including the /gc/pauses:seconds
+// histogram) around a closed-loop load phase. bench_gc_test.go drives it
+// and writes BENCH_gc.json; ci.sh gates the result under INSTA_GC_GATE=1.
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder accumulates per-op latencies into a preallocated buffer,
+// so recording inside the measured loop adds no allocations of its own.
+// Samples past the capacity are dropped and counted, not grown into — a
+// recorder that reallocates mid-load would pollute the numbers it reports.
+type LatencyRecorder struct {
+	ns      []int64
+	dropped int
+	sorted  bool
+}
+
+// NewLatencyRecorder preallocates space for capacity samples.
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	return &LatencyRecorder{ns: make([]int64, 0, capacity)}
+}
+
+// Record adds one sample; past capacity it is counted as dropped.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	if len(r.ns) == cap(r.ns) {
+		r.dropped++
+		return
+	}
+	r.ns = append(r.ns, d.Nanoseconds())
+	r.sorted = false
+}
+
+// Count returns the number of retained samples.
+func (r *LatencyRecorder) Count() int { return len(r.ns) }
+
+// Dropped returns how many samples exceeded the preallocated capacity.
+func (r *LatencyRecorder) Dropped() int { return r.dropped }
+
+// QuantileUs returns the q-th latency quantile (upper rank) in microseconds,
+// or 0 with no samples. The first call after recording sorts in place.
+func (r *LatencyRecorder) QuantileUs(q float64) int64 {
+	if len(r.ns) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.ns, func(i, j int) bool { return r.ns[i] < r.ns[j] })
+		r.sorted = true
+	}
+	i := int(q * float64(len(r.ns)))
+	if i >= len(r.ns) {
+		i = len(r.ns) - 1
+	}
+	return r.ns[i] / 1e3
+}
+
+// gcSnap is one point-in-time view of the allocator and collector.
+type gcSnap struct {
+	mallocs    uint64
+	totalAlloc uint64
+	numGC      uint32
+	pauses     *metrics.Float64Histogram
+}
+
+func takeSnap() gcSnap {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sample := make([]metrics.Sample, 1)
+	sample[0].Name = "/gc/pauses:seconds"
+	metrics.Read(sample)
+	s := gcSnap{mallocs: ms.Mallocs, totalAlloc: ms.TotalAlloc, numGC: ms.NumGC}
+	if sample[0].Value.Kind() == metrics.KindFloat64Histogram {
+		s.pauses = sample[0].Value.Float64Histogram()
+	}
+	return s
+}
+
+// GCProbe brackets a measured load phase: StartGCProbe before the loop,
+// Report after it. The snapshots use ReadMemStats (a stop-the-world point),
+// so take them at phase boundaries, never inside the measured loop.
+type GCProbe struct {
+	start  gcSnap
+	wall   time.Time
+	forced int
+}
+
+// StartGCProbe runs a collection to settle warmup garbage, then snapshots
+// the allocator state and starts the wall clock.
+func StartGCProbe() *GCProbe {
+	runtime.GC()
+	return &GCProbe{start: takeSnap(), wall: time.Now()}
+}
+
+// ForceGC triggers a collection inside the load phase and counts it, so a
+// workload too allocation-free to ever trip the pacer still exhibits — and
+// gets charged for — real GC pauses in the report.
+func (p *GCProbe) ForceGC() {
+	runtime.GC()
+	p.forced++
+}
+
+// GCReport is the probe's verdict over one load phase, serialized into
+// BENCH_gc.json.
+type GCReport struct {
+	Ops            int     `json:"ops"`
+	WallMS         float64 `json:"wall_ms"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	AllocKBPerOp   float64 `json:"alloc_kb_per_op"`
+	AllocRateMBps  float64 `json:"alloc_rate_mb_per_s"`
+	NumGC          uint32  `json:"num_gc"`
+	ForcedGC       int     `json:"forced_gc"`
+	MaxPauseUs     float64 `json:"max_pause_us"`
+	P50Us          int64   `json:"p50_us"`
+	P99Us          int64   `json:"p99_us"`
+	P999Us         int64   `json:"p999_us"`
+	DroppedSamples int     `json:"dropped_samples,omitempty"`
+}
+
+// Report diffs the allocator state against the start snapshot and folds in
+// the recorded per-op latencies. ops is how many operations the load loop
+// completed.
+func (p *GCProbe) Report(ops int, lat *LatencyRecorder) GCReport {
+	wall := time.Since(p.wall)
+	end := takeSnap()
+	rep := GCReport{
+		Ops:      ops,
+		WallMS:   float64(wall.Nanoseconds()) / 1e6,
+		NumGC:    end.numGC - p.start.numGC,
+		ForcedGC: p.forced,
+	}
+	if wall > 0 {
+		rep.OpsPerSec = float64(ops) / wall.Seconds()
+		rep.AllocRateMBps = float64(end.totalAlloc-p.start.totalAlloc) / 1e6 / wall.Seconds()
+	}
+	if ops > 0 {
+		rep.AllocsPerOp = float64(end.mallocs-p.start.mallocs) / float64(ops)
+		rep.AllocKBPerOp = float64(end.totalAlloc-p.start.totalAlloc) / 1e3 / float64(ops)
+	}
+	rep.MaxPauseUs = maxPauseUs(p.start.pauses, end.pauses)
+	if lat != nil {
+		rep.P50Us = lat.QuantileUs(0.50)
+		rep.P99Us = lat.QuantileUs(0.99)
+		rep.P999Us = lat.QuantileUs(0.999)
+		rep.DroppedSamples = lat.Dropped()
+	}
+	return rep
+}
+
+// maxPauseUs returns the upper bound of the highest /gc/pauses:seconds
+// bucket that gained counts between the two snapshots, in microseconds.
+// Bucket boundaries are runtime-fixed, so the diff is positional; the
+// open-ended top bucket falls back to its lower bound.
+func maxPauseUs(before, after *metrics.Float64Histogram) float64 {
+	if after == nil {
+		return 0
+	}
+	for i := len(after.Counts) - 1; i >= 0; i-- {
+		n := after.Counts[i]
+		if before != nil && i < len(before.Counts) {
+			n -= before.Counts[i]
+		}
+		if n == 0 {
+			continue
+		}
+		hi := after.Buckets[i+1]
+		if math.IsInf(hi, 1) {
+			hi = after.Buckets[i]
+		}
+		return hi * 1e6
+	}
+	return 0
+}

@@ -37,7 +37,7 @@ type Sched struct {
 func SchedFlags() *Sched {
 	s := &Sched{}
 	flag.IntVar(&s.Workers, "workers", runtime.NumCPU(), "scheduler pool participants (all parallel kernels)")
-	flag.IntVar(&s.Grain, "grain", 0, "scheduler chunk size in pins (0 = default)")
+	flag.IntVar(&s.Grain, "grain", 0, "scheduler chunk size in pins (0 = auto-tuned per launch)")
 	return s
 }
 
@@ -157,6 +157,7 @@ func (o *Obs) Finish(fill func(*obs.Manifest)) {
 			WallMS:    float64(time.Since(o.started).Nanoseconds()) / 1e6,
 		}
 		m.FillPhases(o.tracer)
+		m.FillGC()
 		if fill != nil {
 			fill(m)
 		}

@@ -1,0 +1,69 @@
+package core
+
+// Allocation-discipline unit tests (DESIGN.md §12): the serving hot paths —
+// an overlay ECO preview over a warm cone and an incremental forward
+// re-propagation — must settle at zero heap allocations per operation once
+// their scratch and freelists are populated. These run on the small
+// generated test design so they stay in the fast tier-1 set; bench_gc_test.go
+// measures the same paths on a real block preset and writes BENCH_gc.json.
+
+import "testing"
+
+// allocEps absorbs a one-off allocation AllocsPerRun may attribute to the
+// harness itself (a timer tick landing a pooled object, a map rehash on the
+// first measured run) without letting a real per-op allocation through.
+const allocEps = 0.5
+
+func TestOverlayPreviewAllocFree(t *testing.T) {
+	h := buildHarness(t, testSpec(81))
+	e, err := NewEngine(h.tab, Options{TopK: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+
+	deltas := perturb(e, 3, 37, 1.2, 1.1)
+	o := NewOverlay(e)
+	preview := func() {
+		applyToOverlay(o, deltas)
+		_ = o.WNS()
+	}
+	preview() // warm: populates the pin overlay set, scratch and freelists
+	if a := testing.AllocsPerRun(20, preview); a > allocEps {
+		t.Errorf("warm overlay preview: %.1f allocs/op, want 0", a)
+	}
+}
+
+func TestIncrementalPropagateAllocFree(t *testing.T) {
+	h := buildHarness(t, testSpec(82))
+	e, err := NewEngine(h.tab, Options{TopK: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+
+	// Two alternating annotations so every measured op walks a real changed
+	// cone instead of converging at the first level.
+	arc := int32(3)
+	arcs := []int32{arc}
+	d0 := e.ArcDelay(arc, 0)
+	d1 := d0
+	d1.Mean *= 1.3
+	flip := false
+	reprop := func() {
+		d := d0
+		if flip {
+			d = d1
+		}
+		flip = !flip
+		e.SetArcDelay(arc, 0, d)
+		e.PropagateIncremental(arcs)
+	}
+	reprop()
+	reprop() // warm both cone shapes
+	if a := testing.AllocsPerRun(20, reprop); a > allocEps {
+		t.Errorf("warm incremental re-prop: %.1f allocs/op, want 0", a)
+	}
+}

@@ -151,6 +151,92 @@ type Engine struct {
 	pool   *sched.Pool // persistent kernel scheduler, created with the engine
 	stats  *sched.Stats
 	tracer *obs.Tracer // phase/level span recording; nil is a free no-op
+
+	inc  *propScratch // reusable incremental-propagation state (lazily built)
+	plan []levelGroup // fused-level launch plan (lazily built; see levelPlan)
+}
+
+// levelGroup is a run of consecutive timing levels dispatched as one kernel
+// launch. Groups wider than one level always fit within the pool's serial
+// cutoff, so the fused launch is guaranteed to run inline on the caller in
+// level order — inter-level dependencies hold and the result stays
+// bit-identical to per-level launches, while deep-but-narrow graph regions
+// stop paying a launch (and tracer span) per near-empty level.
+type levelGroup struct {
+	lo, hi int // levels [lo, hi)
+	spans  int // total pins across the group
+}
+
+// levelPlan lazily builds the fused-level launch plan. Merging is skipped
+// under LegacySpawn to keep that ablation's launch pattern identical to the
+// seed strategy.
+func (e *Engine) levelPlan() []levelGroup {
+	if e.plan != nil {
+		return e.plan
+	}
+	cutoff := 0
+	if !e.opt.LegacySpawn {
+		cutoff = e.pool.SerialCutoff()
+	}
+	plan := make([]levelGroup, 0, e.lv.NumLevels)
+	for l := 0; l < e.lv.NumLevels; l++ {
+		n := len(e.lv.Nodes(l))
+		if len(plan) > 0 {
+			g := &plan[len(plan)-1]
+			if g.spans+n <= cutoff {
+				g.hi, g.spans = l+1, g.spans+n
+				continue
+			}
+		}
+		plan = append(plan, levelGroup{lo: l, hi: l + 1, spans: n})
+	}
+	e.plan = plan
+	return plan
+}
+
+// propScratch is the reusable state of cone-limited re-propagation: per-level
+// wavefront buckets, the queued-pin set, per-bucket change flags, and one
+// queue snapshot per pool participant (indexed by the scheduler's participant
+// id, so kernels never allocate or share a snapshot). The engine owns one for
+// PropagateIncremental — incremental propagation mutates base state, so calls
+// are exclusive — while every Overlay owns its own, because many overlays may
+// evaluate concurrently over one frozen base.
+type propScratch struct {
+	buckets [][]int32
+	queued  map[int32]bool
+	changed []bool
+	snaps   []snapshotBuf
+
+	// Persistent kernel binding (see PropagateIncremental): the closure is
+	// created once and reads the current bucket through this field, so the
+	// steady-state wavefront launches nothing on the heap.
+	bucket []int32
+	kernFn func(id, lo, hi int)
+}
+
+func newPropScratch(levels, width, k int) *propScratch {
+	s := &propScratch{
+		buckets: make([][]int32, levels),
+		queued:  make(map[int32]bool, 64),
+		snaps:   make([]snapshotBuf, width),
+	}
+	for i := range s.snaps {
+		s.snaps[i] = snapshotBuf{
+			arr:  make([]float64, 2*k),
+			mean: make([]float64, 2*k),
+			std:  make([]float64, 2*k),
+			sp:   make([]int32, 2*k),
+		}
+	}
+	return s
+}
+
+// reset empties the wavefront state for reuse, keeping all capacity.
+func (s *propScratch) reset() {
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	clear(s.queued)
 }
 
 // NewEngine initializes INSTA from extracted circuitops tables — the
@@ -200,6 +286,22 @@ func (e *Engine) kern(tag string, level, n int, fn func(lo, hi int)) {
 	}
 	e.pool.RunTagged(tag, level, n, fn)
 }
+
+// kernIndexed is kern with participant identity: fn receives the claiming
+// participant's id (dense in [0, scratchWidth())) for indexing per-worker
+// scratch. Both dispatch paths honor the same id contract.
+func (e *Engine) kernIndexed(tag string, level, n int, fn func(id, lo, hi int)) {
+	if e.opt.LegacySpawn {
+		sched.SpawnIndexed(e.opt.Workers, n, fn)
+		return
+	}
+	e.pool.RunIndexed(tag, level, n, fn)
+}
+
+// scratchWidth bounds the participant ids either dispatch path can hand out:
+// the pool's worker count covers RunIndexed, and SpawnIndexed creates at most
+// Options.Workers chunks, which New passed through to the pool when positive.
+func (e *Engine) scratchWidth() int { return e.pool.Workers() }
 
 // Pool returns the engine's persistent scheduler pool so applications
 // (placement, sizing) can dispatch their own hot loops onto the same workers.

@@ -13,14 +13,27 @@ import (
 // analogue of one CUDA thread per output pin (Fig. 3).
 func (e *Engine) Propagate() {
 	sp := e.tracer.StartArg(kForward, "levels", int64(e.lv.NumLevels))
-	for l := 0; l < e.lv.NumLevels; l++ {
-		pins := e.lv.Nodes(l)
-		lsp := sp.ChildArg("level", "level", int64(l))
-		e.kern(kForward, l, len(pins), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e.propagatePin(pins[i])
-			}
-		})
+	for _, g := range e.levelPlan() {
+		lsp := sp.ChildArg("level", "level", int64(g.lo))
+		if g.hi == g.lo+1 {
+			pins := e.lv.Nodes(g.lo)
+			e.kern(kForward, g.lo, len(pins), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e.propagatePin(pins[i])
+				}
+			})
+		} else {
+			// Fused narrow levels: g.spans <= the pool's serial cutoff, so
+			// this launch is one inline chunk ([0, g.spans) on the caller) and
+			// the level-order walk below preserves inter-level dependencies.
+			e.kern(kForward, g.lo, g.spans, func(lo, hi int) {
+				for l := g.lo; l < g.hi; l++ {
+					for _, p := range e.lv.Nodes(l) {
+						e.propagatePin(p)
+					}
+				}
+			})
+		}
 		lsp.End()
 	}
 	sp.End()

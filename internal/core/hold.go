@@ -51,14 +51,26 @@ func (e *Engine) HoldEnabled() bool { return e.hold != nil }
 // automatically when hold is enabled.
 func (e *Engine) propagateHold() {
 	sp := e.tracer.StartArg(kHold, "levels", int64(e.lv.NumLevels))
-	for l := 0; l < e.lv.NumLevels; l++ {
-		pins := e.lv.Nodes(l)
-		lsp := sp.ChildArg("level", "level", int64(l))
-		e.kern(kHold, l, len(pins), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e.propagatePinMin(pins[i])
-			}
-		})
+	for _, g := range e.levelPlan() {
+		lsp := sp.ChildArg("level", "level", int64(g.lo))
+		if g.hi == g.lo+1 {
+			pins := e.lv.Nodes(g.lo)
+			e.kern(kHold, g.lo, len(pins), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e.propagatePinMin(pins[i])
+				}
+			})
+		} else {
+			// Fused narrow levels run as one guaranteed-inline chunk; see
+			// Propagate.
+			e.kern(kHold, g.lo, g.spans, func(lo, hi int) {
+				for l := g.lo; l < g.hi; l++ {
+					for _, p := range e.lv.Nodes(l) {
+						e.propagatePinMin(p)
+					}
+				}
+			})
+		}
 		lsp.End()
 	}
 	sp.End()
@@ -117,6 +129,14 @@ func (e *Engine) propagatePinMin(p int32) {
 // minimized over startpoints and transitions. Unchecked endpoints (primary
 // outputs) carry +Inf. Requires Options.Hold and a prior Propagate.
 func (e *Engine) EvalHoldSlacks() []float64 {
+	e.evalHoldSlacks()
+	out := make([]float64, len(e.hold.epSlack))
+	copy(out, e.hold.epSlack)
+	return out
+}
+
+// evalHoldSlacks is EvalHoldSlacks without the defensive copy.
+func (e *Engine) evalHoldSlacks() {
 	sp := e.tracer.StartArg(kHoldSlack, "endpoints", int64(len(e.epPin)))
 	defer sp.End()
 	h := e.hold
@@ -149,9 +169,6 @@ func (e *Engine) EvalHoldSlacks() []float64 {
 			h.epSlack[i] = best
 		}
 	})
-	out := make([]float64, len(h.epSlack))
-	copy(out, h.epSlack)
-	return out
 }
 
 // HoldWNS returns the worst negative hold slack of the last evaluation.

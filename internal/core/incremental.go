@@ -59,8 +59,16 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 	defer sp.End()
 	foStart, foAdj := e.fanoutCSR()
 
-	buckets := make([][]int32, e.lv.NumLevels)
-	queued := make(map[int32]bool, len(arcs)*4)
+	// All wavefront state lives in engine-owned scratch: incremental
+	// propagation mutates base tensors, so calls are exclusive and the
+	// scratch is reused allocation-free across calls (the serving layer's
+	// commit path runs thousands of these).
+	if e.inc == nil {
+		e.inc = newPropScratch(e.lv.NumLevels, e.scratchWidth(), e.opt.TopK)
+	}
+	sc := e.inc
+	sc.reset()
+	buckets, queued := sc.buckets, sc.queued
 	push := func(p int32) {
 		if !queued[p] {
 			queued[p] = true
@@ -72,44 +80,46 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 		push(e.arcTo[a])
 	}
 
-	k := e.opt.TopK
-	var changed []bool
 	for l := 0; l < len(buckets); l++ {
 		bucket := buckets[l]
 		if len(bucket) == 0 {
 			continue
 		}
-		if cap(changed) < len(bucket) {
-			changed = make([]bool, len(bucket))
+		if cap(sc.changed) < len(bucket) {
+			sc.changed = make([]bool, len(bucket))
 		}
-		changed = changed[:len(bucket)]
-		e.kern(kIncremental, l, len(bucket), func(lo, hi int) {
-			snap := snapshotBuf{
-				arr:  make([]float64, 2*k),
-				mean: make([]float64, 2*k),
-				std:  make([]float64, 2*k),
-				sp:   make([]int32, 2*k),
-			}
-			for i := lo; i < hi; i++ {
-				p := bucket[i]
-				ch := false
-				// Late queues.
-				e.snapshotPin(p, &snap, false)
-				e.propagatePin(p)
-				if !e.snapshotEqual(p, &snap, false) {
-					ch = true
-				}
-				// Early queues.
-				if e.hold != nil {
-					e.snapshotPin(p, &snap, true)
-					e.propagatePinMin(p)
-					if !e.snapshotEqual(p, &snap, true) {
-						ch = true
+		sc.changed = sc.changed[:len(bucket)]
+		changed := sc.changed
+		// The kernel closure is bound once per scratch and reads its
+		// per-launch state through sc — a literal here would escape into the
+		// pool's job slot and cost one allocation per level.
+		if sc.kernFn == nil {
+			sc.kernFn = func(id, lo, hi int) {
+				snap := &sc.snaps[id]
+				b, ch := sc.bucket, sc.changed
+				for i := lo; i < hi; i++ {
+					p := b[i]
+					c := false
+					// Late queues.
+					e.snapshotPin(p, snap, false)
+					e.propagatePin(p)
+					if !e.snapshotEqual(p, snap, false) {
+						c = true
 					}
+					// Early queues.
+					if e.hold != nil {
+						e.snapshotPin(p, snap, true)
+						e.propagatePinMin(p)
+						if !e.snapshotEqual(p, snap, true) {
+							c = true
+						}
+					}
+					ch[i] = c
 				}
-				changed[i] = ch
 			}
-		})
+		}
+		sc.bucket = bucket
+		e.kernIndexed(kIncremental, l, len(bucket), sc.kernFn)
 		for i, p := range bucket {
 			if changed[i] {
 				for _, to := range foAdj[foStart[p]:foStart[p+1]] {

@@ -29,13 +29,21 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"insta/internal/liberty"
 	"insta/internal/num"
 )
 
 // Overlay is a copy-on-write what-if view over a propagated base engine.
+//
+// Allocation discipline (DESIGN.md §12): the overlay is built to re-evaluate
+// the *same* cone repeatedly without allocating — Reset and Rebase clear the
+// sparse maps in place and return pin-queue storage to a freelist instead of
+// reallocating, the wavefront state lives in a per-overlay propScratch, and
+// endpoint bookkeeping uses reusable slices. A session's steady-state
+// apply→propagate→read loop therefore settles at zero allocations per
+// operation once its maps have grown to the cone's footprint.
 type Overlay struct {
 	e *Engine
 
@@ -43,16 +51,31 @@ type Overlay struct {
 	arcDelta map[int32]*[2]num.Dist
 	touched  []int32 // overlaid arc ids in first-annotation order
 	pending  []int32 // arcs annotated since the last propagate
+	distFree []*[2]num.Dist
 
 	// Sparse pin-queue overlay: pins whose Top-K queues were recomputed
 	// under the overlay. Entries may be bit-equal to the base (a wavefront
 	// that converged); reads through them are still correct.
 	pinQ map[int32]*pinOverlay
+	free []*pinOverlay // released queue storage, reused before allocating
 
-	// Endpoint state: slacks re-evaluated under the overlay, and the set
-	// whose pins changed but are not yet re-evaluated.
-	epSlack map[int32]float64
-	epDirty map[int32]bool
+	// Endpoint state: slacks re-evaluated under the overlay, the endpoints
+	// whose pins changed but are not yet re-evaluated, and the sorted set of
+	// all endpoints ever re-evaluated (ChangedEndpointsView).
+	epSlack    map[int32]float64
+	dirty      []int32
+	changedEPs []int32
+	epOut      []float64 // slack kernel output scratch
+
+	scratch *propScratch // wavefront state, reused across Propagate calls
+
+	// Persistent kernel closures: a closure literal passed to the pool
+	// escapes (the job slot retains it), so building one per level would
+	// cost an allocation per launch. These are bound once and read their
+	// per-launch state (kernBucket, scratch, dirty, epOut) through o.
+	kernBucket []int32
+	kernFn     func(id, lo, hi int)
+	slackFn    func(id, lo, hi int)
 }
 
 // pinOverlay holds one pin's recomputed Top-K queues, flattened rf*K+k like
@@ -71,8 +94,56 @@ func NewOverlay(e *Engine) *Overlay {
 		arcDelta: make(map[int32]*[2]num.Dist),
 		pinQ:     make(map[int32]*pinOverlay),
 		epSlack:  make(map[int32]float64),
-		epDirty:  make(map[int32]bool),
 	}
+}
+
+// getPinOverlay returns queue storage for one pin, from the freelist when
+// possible. The three float planes share one backing slab.
+func (o *Overlay) getPinOverlay() *pinOverlay {
+	if n := len(o.free); n > 0 {
+		q := o.free[n-1]
+		o.free = o.free[:n-1]
+		return q
+	}
+	k := o.e.opt.TopK
+	buf := make([]float64, 6*k)
+	return &pinOverlay{
+		arr:  buf[0 : 2*k : 2*k],
+		mean: buf[2*k : 4*k : 4*k],
+		std:  buf[4*k : 6*k : 6*k],
+		sp:   make([]int32, 2*k),
+	}
+}
+
+// seededPinOverlay returns queue storage for pin p preloaded with the base's
+// queues. recomputePin's change detection compares against the previously
+// *visible* queues, and a pin touched for the first time this Propagate was
+// showing the base's — recycled freelist storage (or fresh zeroed storage)
+// must not stand in for them, or a wavefront could stop early when stale
+// content happens to match the recomputed result (a Reset followed by
+// reapplying identical deltas often hands pins back their own old storage).
+func (o *Overlay) seededPinOverlay(p int32) *pinOverlay {
+	q := o.getPinOverlay()
+	e := o.e
+	k := e.opt.TopK
+	for rf := 0; rf < 2; rf++ {
+		b := e.base(rf, p)
+		d := rf * k
+		copy(q.arr[d:d+k], e.topArr[b:b+k])
+		copy(q.mean[d:d+k], e.topMean[b:b+k])
+		copy(q.std[d:d+k], e.topStd[b:b+k])
+		copy(q.sp[d:d+k], e.topSP[b:b+k])
+	}
+	return q
+}
+
+// releasePins returns every overlaid pin queue to the freelist and empties
+// the pin map in place.
+func (o *Overlay) releasePins() {
+	for _, q := range o.pinQ {
+		o.free = append(o.free, q)
+	}
+	clear(o.pinQ)
 }
 
 // Base returns the engine this overlay shadows.
@@ -83,10 +154,14 @@ func (o *Overlay) Base() *Engine { return o.e }
 func (o *Overlay) SetArcDelay(arc int32, rf int, d num.Dist) {
 	od := o.arcDelta[arc]
 	if od == nil {
-		od = &[2]num.Dist{
-			{Mean: o.e.arcMean[0][arc], Std: o.e.arcStd[0][arc]},
-			{Mean: o.e.arcMean[1][arc], Std: o.e.arcStd[1][arc]},
+		if n := len(o.distFree); n > 0 {
+			od = o.distFree[n-1]
+			o.distFree = o.distFree[:n-1]
+		} else {
+			od = new([2]num.Dist)
 		}
+		od[0] = num.Dist{Mean: o.e.arcMean[0][arc], Std: o.e.arcStd[0][arc]}
+		od[1] = num.Dist{Mean: o.e.arcMean[1][arc], Std: o.e.arcStd[1][arc]}
 		o.arcDelta[arc] = od
 		o.touched = append(o.touched, arc)
 	}
@@ -147,8 +222,14 @@ func (o *Overlay) Propagate() {
 	defer sp.End()
 	foStart, foAdj := e.foStart, e.foAdj
 
-	buckets := make([][]int32, e.lv.NumLevels)
-	queued := make(map[int32]bool, len(arcs)*4)
+	// Wavefront state is per-overlay (concurrent overlays share one frozen
+	// base but never scratch), reused allocation-free across Propagate calls.
+	if o.scratch == nil {
+		o.scratch = newPropScratch(e.lv.NumLevels, e.scratchWidth(), e.opt.TopK)
+	}
+	sc := o.scratch
+	sc.reset()
+	buckets, queued := sc.buckets, sc.queued
 	push := func(p int32) {
 		if !queued[p] {
 			queued[p] = true
@@ -159,8 +240,6 @@ func (o *Overlay) Propagate() {
 		push(e.arcTo[a])
 	}
 
-	k := e.opt.TopK
-	var changed []bool
 	for l := 0; l < len(buckets); l++ {
 		bucket := buckets[l]
 		if len(bucket) == 0 {
@@ -179,40 +258,39 @@ func (o *Overlay) Propagate() {
 		if len(bucket) == 0 {
 			continue
 		}
-		// Allocate overlay queue storage serially: map writes must not run
+		// Bind overlay queue storage serially: map writes must not run
 		// inside the kernel (parents at lower levels are read concurrently
 		// through the same map).
 		for _, p := range bucket {
 			if o.pinQ[p] == nil {
-				o.pinQ[p] = &pinOverlay{
-					arr:  make([]float64, 2*k),
-					mean: make([]float64, 2*k),
-					std:  make([]float64, 2*k),
-					sp:   make([]int32, 2*k),
+				o.pinQ[p] = o.seededPinOverlay(p)
+			}
+		}
+		if cap(sc.changed) < len(bucket) {
+			sc.changed = make([]bool, len(bucket))
+		}
+		sc.changed = sc.changed[:len(bucket)]
+		changed := sc.changed
+		if o.kernFn == nil {
+			o.kernFn = func(id, lo, hi int) {
+				snap := &o.scratch.snaps[id]
+				b, ch := o.kernBucket, o.scratch.changed
+				for i := lo; i < hi; i++ {
+					ch[i] = o.recomputePin(b[i], snap)
 				}
 			}
 		}
-		if cap(changed) < len(bucket) {
-			changed = make([]bool, len(bucket))
-		}
-		changed = changed[:len(bucket)]
-		e.kern(KernelOverlay, l, len(bucket), func(lo, hi int) {
-			snap := snapshotBuf{
-				arr:  make([]float64, 2*k),
-				mean: make([]float64, 2*k),
-				std:  make([]float64, 2*k),
-				sp:   make([]int32, 2*k),
-			}
-			for i := lo; i < hi; i++ {
-				changed[i] = o.recomputePin(bucket[i], &snap)
-			}
-		})
+		o.kernBucket = bucket
+		e.kernIndexed(KernelOverlay, l, len(bucket), o.kernFn)
 		for i, p := range bucket {
 			if !changed[i] {
 				continue
 			}
+			// Each pin enters at most one bucket per Propagate (queued
+			// dedupes) and maps to at most one endpoint, so dirty never
+			// holds duplicates within a call.
 			if ep := e.epOfPin[p]; ep >= 0 {
-				o.epDirty[ep] = true
+				o.dirty = append(o.dirty, ep)
 			}
 			for _, to := range foAdj[foStart[p]:foStart[p+1]] {
 				push(to)
@@ -288,50 +366,64 @@ func (o *Overlay) recomputePin(p int32, snap *snapshotBuf) bool {
 // kernel's index space — and therefore the overlay's state — is independent
 // of map iteration order.
 func (o *Overlay) evalDirtyEndpoints() {
-	if len(o.epDirty) == 0 {
+	if len(o.dirty) == 0 {
 		return
 	}
 	e := o.e
-	dirty := make([]int32, 0, len(o.epDirty))
-	for ep := range o.epDirty {
-		dirty = append(dirty, ep)
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	dirty := o.dirty
+	slices.Sort(dirty)
 	ssp := e.tracer.StartArg(KernelOverlaySlack, "endpoints", int64(len(dirty)))
 	defer ssp.End()
-	out := make([]float64, len(dirty))
-	k := e.opt.TopK
-	e.kern(KernelOverlaySlack, -1, len(dirty), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ep := dirty[i]
-			p := e.epPin[ep]
-			best := math.Inf(1)
-			for rf := 0; rf < 2; rf++ {
-				arr, _, _, sps := o.queues(rf, p)
-				for kk := 0; kk < k; kk++ {
-					sp := sps[kk]
-					if sp == noSP {
-						break
-					}
-					adj := e.excLookup(e.spPin[sp], p)
-					if adj.False {
-						continue
-					}
-					req := e.epBase[rf][ep] +
-						float64(adj.CycleCount()-1)*e.period +
-						e.credit(e.spNode[sp], e.epNode[ep])
-					if s := req - arr[kk]; s < best {
-						best = s
+	if cap(o.epOut) < len(dirty) {
+		o.epOut = make([]float64, len(dirty))
+	}
+	o.epOut = o.epOut[:len(dirty)]
+	out := o.epOut
+	if o.slackFn == nil {
+		o.slackFn = func(_, lo, hi int) {
+			e := o.e
+			k := e.opt.TopK
+			dirty, out := o.dirty, o.epOut
+			for i := lo; i < hi; i++ {
+				ep := dirty[i]
+				p := e.epPin[ep]
+				best := math.Inf(1)
+				for rf := 0; rf < 2; rf++ {
+					arr, _, _, sps := o.queues(rf, p)
+					for kk := 0; kk < k; kk++ {
+						sp := sps[kk]
+						if sp == noSP {
+							break
+						}
+						adj := e.excLookup(e.spPin[sp], p)
+						if adj.False {
+							continue
+						}
+						req := e.epBase[rf][ep] +
+							float64(adj.CycleCount()-1)*e.period +
+							e.credit(e.spNode[sp], e.epNode[ep])
+						if s := req - arr[kk]; s < best {
+							best = s
+						}
 					}
 				}
+				out[i] = best
 			}
-			out[i] = best
 		}
-	})
-	for i, ep := range dirty {
-		o.epSlack[ep] = out[i]
-		delete(o.epDirty, ep)
 	}
+	e.kernIndexed(KernelOverlaySlack, -1, len(dirty), o.slackFn)
+	grew := false
+	for i, ep := range dirty {
+		if _, ok := o.epSlack[ep]; !ok {
+			o.changedEPs = append(o.changedEPs, ep)
+			grew = true
+		}
+		o.epSlack[ep] = out[i]
+	}
+	if grew {
+		slices.Sort(o.changedEPs)
+	}
+	o.dirty = o.dirty[:0]
 }
 
 // Slack returns endpoint i's slack as seen through the overlay.
@@ -368,15 +460,16 @@ func (o *Overlay) TNS() float64 {
 }
 
 // ChangedEndpoints returns the sorted indices of endpoints whose slack the
-// overlay re-evaluated (their cone contained at least one changed pin).
+// overlay re-evaluated (their cone contained at least one changed pin). The
+// returned slice is a fresh copy; hot paths use ChangedEndpointsView.
 func (o *Overlay) ChangedEndpoints() []int32 {
-	out := make([]int32, 0, len(o.epSlack))
-	for ep := range o.epSlack {
-		out = append(out, ep)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]int32(nil), o.changedEPs...)
 }
+
+// ChangedEndpointsView is ChangedEndpoints without the copy: the returned
+// slice is owned by the overlay, stays sorted, and is valid until the next
+// Propagate, Reset or Rebase. Callers must not mutate or retain it.
+func (o *Overlay) ChangedEndpointsView() []int32 { return o.changedEPs }
 
 // TouchedArcs returns the overlaid arc ids in first-annotation order.
 func (o *Overlay) TouchedArcs() []int32 {
@@ -400,14 +493,19 @@ func (o *Overlay) Stats() OverlayStats {
 }
 
 // Reset discards all overlay state — the session rollback. The base engine
-// is untouched.
+// is untouched. Maps are cleared in place and queue storage is returned to
+// the freelist, so a reset-and-reapply cycle does not reallocate.
 func (o *Overlay) Reset() {
-	o.arcDelta = make(map[int32]*[2]num.Dist)
+	for _, od := range o.arcDelta {
+		o.distFree = append(o.distFree, od)
+	}
+	clear(o.arcDelta)
 	o.touched = o.touched[:0]
 	o.pending = o.pending[:0]
-	o.pinQ = make(map[int32]*pinOverlay)
-	o.epSlack = make(map[int32]float64)
-	o.epDirty = make(map[int32]bool)
+	o.releasePins()
+	clear(o.epSlack)
+	o.dirty = o.dirty[:0]
+	o.changedEPs = o.changedEPs[:0]
 }
 
 // Rebase invalidates the overlay's derived state (queues, slacks) while
@@ -415,9 +513,10 @@ func (o *Overlay) Reset() {
 // re-propagation. The serving layer calls this when another session's commit
 // changed the base snapshot under this session.
 func (o *Overlay) Rebase() {
-	o.pinQ = make(map[int32]*pinOverlay)
-	o.epSlack = make(map[int32]float64)
-	o.epDirty = make(map[int32]bool)
+	o.releasePins()
+	clear(o.epSlack)
+	o.dirty = o.dirty[:0]
+	o.changedEPs = o.changedEPs[:0]
 	// Arc deltas are kept verbatim: they are the session's pending intent.
 	// A delta that now matches the re-committed base annotation costs only a
 	// one-pin wavefront that stops on equality.
@@ -444,9 +543,9 @@ func (o *Overlay) Commit() {
 		}
 	}
 	e.PropagateIncremental(o.touched)
-	e.EvalSlacks()
+	e.evalSlacks()
 	if e.hold != nil {
-		e.EvalHoldSlacks()
+		e.evalHoldSlacks()
 	}
 	o.Reset()
 }

@@ -8,6 +8,16 @@ import "math"
 // wins. False-path pairs are skipped. The result is cached and returned;
 // untimed endpoints carry +Inf.
 func (e *Engine) EvalSlacks() []float64 {
+	e.evalSlacks()
+	out := make([]float64, len(e.epSlack))
+	copy(out, e.epSlack)
+	return out
+}
+
+// evalSlacks is EvalSlacks without the defensive copy: it refreshes the
+// cached e.epSlack in place. Zero-alloc paths (incremental commit, serving)
+// call this and read the cache through Slacks().
+func (e *Engine) evalSlacks() {
 	sp := e.tracer.StartArg(kSlack, "endpoints", int64(len(e.epPin)))
 	defer sp.End()
 	k := e.opt.TopK
@@ -40,9 +50,6 @@ func (e *Engine) EvalSlacks() []float64 {
 			e.epRF[i] = bestRF
 		}
 	})
-	out := make([]float64, len(e.epSlack))
-	copy(out, e.epSlack)
-	return out
 }
 
 // Slacks returns the cached endpoint slacks from the last EvalSlacks call.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -54,6 +55,15 @@ type Manifest struct {
 	SnapLoadMS  float64 `json:"snap_load_ms,omitempty"`
 	ColdBuildMS float64 `json:"cold_build_ms,omitempty"`
 
+	// Allocator/collector footprint over the process lifetime at manifest
+	// close (FillGC): collection count, cumulative stop-the-world pause and
+	// cumulative bytes allocated. Optional and append-only like every
+	// manifest field; BENCH_gc.json holds the per-operation view, these give
+	// a production run's coarse whole-process counterpart.
+	NumGC        uint32  `json:"num_gc,omitempty"`
+	GCPauseMS    float64 `json:"gc_pause_ms,omitempty"`
+	AllocTotalMB float64 `json:"alloc_total_mb,omitempty"`
+
 	// Phase rollup from the tracer (FillPhases), heaviest first.
 	Phases []PhaseEntry `json:"phases,omitempty"`
 
@@ -67,6 +77,17 @@ type PhaseEntry struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
 	Count  int64   `json:"count"`
+}
+
+// FillGC snapshots the runtime's allocator and collector counters into the
+// manifest. ReadMemStats is a stop-the-world point, so call this once at
+// manifest close, never inside a measured loop.
+func (m *Manifest) FillGC() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.NumGC = ms.NumGC
+	m.GCPauseMS = float64(ms.PauseTotalNs) / 1e6
+	m.AllocTotalMB = float64(ms.TotalAlloc) / 1e6
 }
 
 // FillPhases populates the manifest's phase rollup from the tracer's span

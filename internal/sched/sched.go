@@ -44,6 +44,17 @@ import (
 // splitting typical level widths into several claimable pieces.
 const DefaultGrain = 64
 
+// Auto-tuning bounds (grain <= 0 at New). A launch is split into roughly
+// chunksPerWorker claimable pieces per participant — enough slack for the
+// claiming loop to absorb uneven per-pin cost without paying an atomic add
+// per handful of pins — and the chunk size is clamped to
+// [DefaultGrain, maxAutoGrain] so tiny launches stay inline and huge levels
+// still produce bounded chunk descriptors.
+const (
+	chunksPerWorker = 4
+	maxAutoGrain    = 4096
+)
+
 // Pool is a handle to a persistent worker pool. Dropping the last reference
 // releases the workers automatically (a runtime cleanup closes the pool), so
 // holders need not call Close; Close remains available for deterministic
@@ -51,8 +62,9 @@ const DefaultGrain = 64
 type Pool struct{ p *pool }
 
 type pool struct {
-	workers  int // max claimers per launch, including the caller
-	grain    int
+	workers  int  // max claimers per launch, including the caller
+	grain    int  // base chunk size (DefaultGrain when auto)
+	auto     bool // grain <= 0 at New: scale the chunk size per launch
 	wake     chan struct{} // parked workers block here; buffered workers-1
 	launchMu sync.Mutex    // serializes parallel launches from concurrent callers
 	job      job
@@ -65,29 +77,33 @@ type pool struct {
 // fields are published to workers by the wake-channel send and retired by the
 // WaitGroup before being rewritten.
 type job struct {
-	fn        func(lo, hi int)
+	fn        func(id, lo, hi int)
 	n         int64
 	grain     int64
 	cursor    atomic.Int64 // next unclaimed index
+	nextID    atomic.Int64 // participant ids handed out this launch (caller is 0)
 	claimers  atomic.Int64 // participants that processed at least one chunk
 	maxChunks atomic.Int64 // most chunks claimed by a single participant
 	wg        sync.WaitGroup
 }
 
 // New creates a pool with the given worker count and grain size. workers <= 0
-// selects runtime.NumCPU(); grain <= 0 selects DefaultGrain. workers-1
-// goroutines are spawned immediately and parked; the calling goroutine is the
-// remaining participant of every launch.
+// selects runtime.NumCPU(); grain <= 0 selects auto-tuning (DefaultGrain as
+// the floor, scaled up per launch so each participant claims roughly
+// chunksPerWorker chunks). workers-1 goroutines are spawned immediately and
+// parked; the calling goroutine is the remaining participant of every launch.
 func New(workers, grain int) *Pool {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if grain <= 0 {
+	auto := grain <= 0
+	if auto {
 		grain = DefaultGrain
 	}
 	p := &pool{
 		workers: workers,
 		grain:   grain,
+		auto:    auto,
 		wake:    make(chan struct{}, workers-1),
 	}
 	for i := 0; i < workers-1; i++ {
@@ -107,6 +123,14 @@ func (h *Pool) Workers() int { return h.p.workers }
 
 // Grain returns the chunk size.
 func (h *Pool) Grain() int { return h.p.grain }
+
+// SerialCutoff returns the largest launch size guaranteed to run inline on the
+// calling goroutine in submission order (one chunk, no helpers, no launch
+// mutex). Auto-tuned pools only ever grow the chunk size beyond the base
+// grain, so the base grain is a sound bound for both modes. Callers use this
+// to fuse work that must stay ordered — e.g. merging consecutive narrow
+// levels into one launch — without risking a parallel split.
+func (h *Pool) SerialCutoff() int { return h.p.grain }
 
 // SetStats attaches a stats collector recording every subsequent launch; nil
 // detaches. Attaching costs two time.Now calls and one mutex acquisition per
@@ -138,6 +162,39 @@ func (h *Pool) Run(n int, fn func(lo, hi int)) {
 // e.g. endpoint sweeps). The attached Stats collector, if any, aggregates
 // spans, chunks, imbalance and wall time under that identity.
 func (h *Pool) RunTagged(tag string, level, n int, fn func(lo, hi int)) {
+	h.RunIndexed(tag, level, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// launchGrain picks the chunk size for a launch of n spans: the configured
+// grain, or — for auto-tuned pools — a size that splits the launch into
+// roughly chunksPerWorker chunks per participant, clamped to
+// [grain, maxAutoGrain]. Bigger chunks on wide levels cut the atomic-claim
+// and cache-bounce cost per span without starving the claiming loop of
+// stealable work.
+func (p *pool) launchGrain(n, participants int) int {
+	g := p.grain
+	if !p.auto {
+		return g
+	}
+	if target := n / (chunksPerWorker * participants); target > g {
+		g = target
+		if g > maxAutoGrain {
+			g = maxAutoGrain
+		}
+	}
+	return g
+}
+
+// RunIndexed is RunTagged with participant identity: fn additionally receives
+// the claiming participant's id, a small dense integer in [0, Workers()) that
+// is stable for the duration of one chunk and unique across concurrently
+// running participants of the launch. Kernels use it to index pre-allocated
+// per-participant scratch without allocating inside the launch or paying a
+// sync.Pool round-trip per chunk. Ids are NOT stable across chunks of one
+// launch (a participant keeps its id while claiming, but which participant
+// claims which chunk is nondeterministic) — only disjoint-scratch use is
+// sound.
+func (h *Pool) RunIndexed(tag string, level, n int, fn func(id, lo, hi int)) {
 	p := h.p
 	if n <= 0 {
 		return
@@ -147,14 +204,23 @@ func (h *Pool) RunTagged(tag string, level, n int, fn func(lo, hi int)) {
 	if stats != nil {
 		start = time.Now()
 	}
-	grain := p.grain
+	// Never recruit more participants than the runtime can execute: helpers
+	// beyond GOMAXPROCS only add wake/park churn and atomic contention while
+	// the claiming loop drains the launch at hardware width anyway. On a
+	// single-CPU machine this collapses every launch to the serial inline
+	// path, which is exactly the fastest schedule available there.
+	participants := p.workers
+	if mp := runtime.GOMAXPROCS(0); participants > mp {
+		participants = mp
+	}
+	grain := p.launchGrain(n, participants)
 	nchunks := (n + grain - 1) / grain
-	helpers := p.workers - 1
+	helpers := participants - 1
 	if helpers > nchunks-1 {
 		helpers = nchunks - 1
 	}
 	if helpers <= 0 {
-		fn(0, n)
+		fn(0, 0, n)
 		if stats != nil {
 			stats.record(tag, level, launchRecord{
 				spans: int64(n), chunks: 1, claimers: 1, serial: true,
@@ -168,13 +234,14 @@ func (h *Pool) RunTagged(tag string, level, n int, fn func(lo, hi int)) {
 	j := &p.job
 	j.fn, j.n, j.grain = fn, int64(n), int64(grain)
 	j.cursor.Store(0)
+	j.nextID.Store(0)
 	j.claimers.Store(0)
 	j.maxChunks.Store(0)
 	j.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
 		p.wake <- struct{}{}
 	}
-	p.runChunks()
+	p.runChunks(0)
 	j.wg.Wait()
 	j.fn = nil
 	if stats != nil {
@@ -190,14 +257,15 @@ func (h *Pool) RunTagged(tag string, level, n int, fn func(lo, hi int)) {
 
 func (p *pool) worker() {
 	for range p.wake {
-		p.runChunks()
+		p.runChunks(int(p.job.nextID.Add(1)))
 		p.job.wg.Done()
 	}
 }
 
 // runChunks claims grain-sized chunks until the launch is drained, then folds
-// this participant's claim count into the launch's imbalance counters.
-func (p *pool) runChunks() {
+// this participant's claim count into the launch's imbalance counters. id is
+// this participant's dense identity for the launch (0 = the caller).
+func (p *pool) runChunks(id int) {
 	j := &p.job
 	n, grain, fn := j.n, j.grain, j.fn
 	var claimed int64
@@ -210,7 +278,7 @@ func (p *pool) runChunks() {
 		if hi > n {
 			hi = n
 		}
-		fn(int(lo), int(hi))
+		fn(id, int(lo), int(hi))
 		claimed++
 	}
 	if claimed > 0 {
@@ -249,6 +317,36 @@ func Spawn(workers, n int, fn func(lo, hi int)) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SpawnIndexed is Spawn with participant identity: fn receives the chunk's
+// index as id. Spawn creates at most workers chunks (one goroutine each), so
+// ids are dense in [0, workers) and unique per concurrently running chunk —
+// the same per-participant-scratch contract RunIndexed offers.
+func SpawnIndexed(workers, n int, fn func(id, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n < 256 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	id := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(id, lo, hi int) {
+			defer wg.Done()
+			fn(id, lo, hi)
+		}(id, lo, hi)
+		id++
 	}
 	wg.Wait()
 }

@@ -141,8 +141,15 @@ func TestStatsAggregation(t *testing.T) {
 			t.Errorf("level %d profile wrong: %+v", i, lv)
 		}
 	}
-	if fwd.AvgImbalance < 1 {
-		t.Errorf("parallel launches must report imbalance >= 1, got %v", fwd.AvgImbalance)
+	// Launches only go parallel when the runtime can actually execute more
+	// than one participant; on a single-CPU machine the pool runs every
+	// launch inline, so the stats record serial launches instead.
+	if min(4, runtime.GOMAXPROCS(0)) > 1 {
+		if fwd.AvgImbalance < 1 {
+			t.Errorf("parallel launches must report imbalance >= 1, got %v", fwd.AvgImbalance)
+		}
+	} else if fwd.SerialLaunches != 3 {
+		t.Errorf("on GOMAXPROCS=1 all launches must be serial, got %d of 3", fwd.SerialLaunches)
 	}
 	if slack.SerialLaunches != 1 || slack.AvgImbalance != 0 || len(slack.Levels) != 0 {
 		t.Errorf("slack profile wrong: %+v", slack)
@@ -151,6 +158,111 @@ func TestStatsAggregation(t *testing.T) {
 	s.Reset()
 	if got := s.Snapshot(); len(got) != 0 {
 		t.Errorf("snapshot after reset not empty: %+v", got)
+	}
+}
+
+func TestRunIndexedCoversAllIndicesWithValidIDs(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+			p := New(workers, 16)
+			marks := make([]int32, n)
+			p.RunIndexed("", -1, n, func(id, lo, hi int) {
+				if id < 0 || id >= workers {
+					t.Errorf("participant id %d out of range [0, %d)", id, workers)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("workers=%d n=%d: index %d processed %d times", workers, n, i, m)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestRunIndexedIDsDisjointWhileRunning asserts the per-participant-scratch
+// contract: no two concurrently running chunks share an id. Each chunk marks
+// its id busy on entry and free on exit; an id found busy on entry is a
+// contract violation.
+func TestRunIndexedIDsDisjointWhileRunning(t *testing.T) {
+	const workers = 4
+	p := New(workers, 1)
+	defer p.Close()
+	var busy [workers]atomic.Bool
+	for round := 0; round < 50; round++ {
+		p.RunIndexed("", -1, 64, func(id, lo, hi int) {
+			if !busy[id].CompareAndSwap(false, true) {
+				t.Errorf("id %d claimed by two concurrent chunks", id)
+			}
+			busy[id].Store(false)
+		})
+	}
+}
+
+func TestAutoGrainScalesWithLaunchSize(t *testing.T) {
+	p := New(2, 0) // auto mode
+	defer p.Close()
+	if p.Grain() != DefaultGrain {
+		t.Fatalf("auto pool base grain = %d, want %d", p.Grain(), DefaultGrain)
+	}
+	ip := p.p
+	if g := ip.launchGrain(100, 2); g != DefaultGrain {
+		t.Errorf("small launch grain = %d, want floor %d", g, DefaultGrain)
+	}
+	if g := ip.launchGrain(8000, 2); g != 1000 {
+		t.Errorf("mid launch grain = %d, want 1000", g)
+	}
+	if g := ip.launchGrain(1<<20, 2); g != maxAutoGrain {
+		t.Errorf("huge launch grain = %d, want cap %d", g, maxAutoGrain)
+	}
+	fixed := New(2, 8)
+	defer fixed.Close()
+	if g := fixed.p.launchGrain(1<<20, 2); g != 8 {
+		t.Errorf("fixed pool must not auto-tune: grain = %d, want 8", g)
+	}
+}
+
+func TestSerialCutoffRunsInline(t *testing.T) {
+	p := New(4, 0)
+	defer p.Close()
+	n := p.SerialCutoff()
+	next := 0
+	p.RunIndexed("", -1, n, func(id, lo, hi int) {
+		if id != 0 {
+			t.Errorf("cutoff-sized launch used helper id %d", id)
+		}
+		if lo != next {
+			t.Errorf("chunks out of order: lo=%d want %d", lo, next)
+		}
+		next = hi
+	})
+	if next != n {
+		t.Fatalf("covered %d of %d spans", next, n)
+	}
+}
+
+func TestSpawnIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, n := range []int{0, 10, 255, 256, 1000} {
+			marks := make([]int32, n)
+			SpawnIndexed(workers, n, func(id, lo, hi int) {
+				if id < 0 || id >= max(workers, 1) {
+					t.Errorf("spawn id %d out of range [0, %d)", id, workers)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("workers=%d n=%d: index %d processed %d times", workers, n, i, m)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,43 @@
+package server_test
+
+// Allocation-discipline unit test for the serving read path (DESIGN.md §12):
+// once a session is warm, reading its full slack vector into a caller-owned
+// buffer must not allocate — the overlay patch walk uses the no-copy changed
+// endpoint view and the base copy grows the destination at most once.
+// bench_gc_test.go measures the same path on a block preset under the
+// INSTA_GC_GATE harness; this keeps the invariant in the fast tier-1 set.
+
+import (
+	"testing"
+
+	"insta/internal/server"
+)
+
+func TestSessionSlacksReadAllocFree(t *testing.T) {
+	mgr, _ := newTestManager(t, "des", 6, 2, server.Options{})
+	sess, err := mgr.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := arcDeltas(mgr.Engine(), 3, 37, 1.15)
+	if _, err := sess.ApplyDeltas(deltas); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := sess.SlacksInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) == 0 {
+		t.Fatal("empty slack vector — test design is vacuous")
+	}
+	a := testing.AllocsPerRun(20, func() {
+		buf, err = sess.SlacksInto(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if a > 0.5 {
+		t.Errorf("warm session slacks read: %.1f allocs/op, want 0", a)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"sync"
 	"time"
 
 	"insta/internal/obs"
@@ -183,12 +184,23 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *Session
 	}
 }
 
+// writeJSON emits v as compact JSON through a pooled encoder: once a
+// buffer in the pool has grown to the steady-state response size, the
+// serialization itself costs no per-request allocations (see jsonenc.go).
+// On an encoding error the status line is still sent with an empty body,
+// matching the old json.Encoder behavior whose error was discarded after
+// WriteHeader.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	e := encPool.Get().(*jsonEnc)
+	b, err := e.appendValue(e.buf[:0], v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err == nil {
+		b = append(b, '\n')
+		_, _ = w.Write(b)
+	}
+	e.buf = b[:0]
+	encPool.Put(e)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -237,11 +249,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.write(w)
 }
 
+// slackBufPool recycles the per-request endpoint slack buffers of the two
+// slack endpoints, so the steady-state read path reuses one full-design
+// float64 slice instead of allocating it per request.
+var slackBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // handleSlacks reports the committed base timing; ?worst=N adds the N worst
 // endpoints with their pins, ?scenario=<name|merged> switches the slack set
 // to one corner of the batched engine (multi-corner servers only).
 func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
-	slacks := s.mgr.BaseSlacks()
+	bufp := slackBufPool.Get().(*[]float64)
+	defer func() { slackBufPool.Put(bufp) }()
+	slacks := s.mgr.BaseSlacksInto((*bufp)[:0])
+	*bufp = slacks[:0]
 	resp := map[string]any{
 		"wns":       s.mgr.BaseWNS(),
 		"tns":       s.mgr.BaseTNS(),
@@ -250,10 +270,11 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 	}
 	if scn := r.URL.Query().Get("scenario"); scn != "" {
 		var err error
-		if slacks, err = s.mgr.BaseScenarioSlacks(scn); err != nil {
+		if slacks, err = s.mgr.BaseScenarioSlacksInto(scn, slacks[:0]); err != nil {
 			writeErr(w, errCode(err), err)
 			return
 		}
+		*bufp = slacks[:0]
 		wns, tns := 0.0, 0.0
 		for _, sl := range slacks {
 			if sl < 0 {
@@ -330,19 +351,22 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, sess *Session
 // view, priced through the session's uncommitted deltas.
 func (s *Server) handleSessionSlacks(w http.ResponseWriter, r *http.Request, sess *Session) {
 	scn := r.URL.Query().Get("scenario")
+	bufp := slackBufPool.Get().(*[]float64)
+	defer func() { slackBufPool.Put(bufp) }()
 	var (
 		slacks []float64
 		err    error
 	)
 	if scn == "" {
-		slacks, err = sess.Slacks()
+		slacks, err = sess.SlacksInto((*bufp)[:0])
 	} else {
-		slacks, err = sess.ScenarioSlacks(scn)
+		slacks, err = sess.ScenarioSlacksInto(scn, (*bufp)[:0])
 	}
 	if err != nil {
 		writeErr(w, errCode(err), err)
 		return
 	}
+	*bufp = slacks[:0]
 	wns, tns, viol := 0.0, 0.0, 0
 	for i, sl := range slacks {
 		slacks[i] = jsonSlack(sl)

@@ -1,0 +1,242 @@
+package server
+
+// Pooled, compact JSON encoding for the serving hot path. writeJSON used to
+// run encoding/json's reflective Encoder per request; the steady-state
+// responses, though, are built from a tiny vocabulary — maps with string
+// keys, strings, numbers, bools and float64 slices — that can be appended
+// into a pooled byte buffer with zero per-request allocations once the
+// buffer has grown to the response size.
+//
+// The encoding is byte-identical to compact encoding/json output for every
+// shape handled natively (FuzzPooledEncoder holds the encoder to that):
+// strings are HTML-escaped ('<', '>', '&', U+2028, U+2029, invalid UTF-8 →
+// U+FFFD), map keys are sorted, and floats use encoding/json's exact format
+// selection ('e' for |v| < 1e-6 or >= 1e21, with the exponent's leading
+// zero stripped). Shapes outside the vocabulary — the struct-valued fields
+// of cold endpoints — fall back to json.Marshal, trading allocations for
+// coverage on paths that don't matter for the allocation budget.
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// jsonEnc is one pooled encoder: the output buffer plus a key-sorting
+// scratch, both retained across requests.
+type jsonEnc struct {
+	buf  []byte
+	keys []string
+}
+
+var encPool = sync.Pool{
+	New: func() any { return &jsonEnc{buf: make([]byte, 0, 4096)} },
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendValue appends v's compact JSON encoding to b. The error mirrors
+// encoding/json: unsupported float values (NaN, ±Inf) refuse to encode.
+func (e *jsonEnc) appendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "null"...), nil
+	case bool:
+		if x {
+			return append(b, "true"...), nil
+		}
+		return append(b, "false"...), nil
+	case string:
+		return appendJSONString(b, x), nil
+	case int:
+		return strconv.AppendInt(b, int64(x), 10), nil
+	case int32:
+		return strconv.AppendInt(b, int64(x), 10), nil
+	case int64:
+		return strconv.AppendInt(b, x, 10), nil
+	case uint64:
+		return strconv.AppendUint(b, x, 10), nil
+	case float64:
+		return appendJSONFloat(b, x)
+	case []float64:
+		b = append(b, '[')
+		var err error
+		for i, f := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			if b, err = appendJSONFloat(b, f); err != nil {
+				return b, err
+			}
+		}
+		return append(b, ']'), nil
+	case []string:
+		b = append(b, '[')
+		for i, s := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, s)
+		}
+		return append(b, ']'), nil
+	case []any:
+		b = append(b, '[')
+		var err error
+		for i, el := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			if b, err = e.appendValue(b, el); err != nil {
+				return b, err
+			}
+		}
+		return append(b, ']'), nil
+	case map[string]any:
+		keys := e.keys[:0]
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.keys = keys
+		b = append(b, '{')
+		var err error
+		for i, k := range keys {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, k)
+			b = append(b, ':')
+			if b, err = e.appendValue(b, x[k]); err != nil {
+				return b, err
+			}
+		}
+		return append(b, '}'), nil
+	case map[string]string:
+		keys := e.keys[:0]
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.keys = keys
+		b = append(b, '{')
+		for i, k := range keys {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, k)
+			b = append(b, ':')
+			b = appendJSONString(b, x[k])
+		}
+		return append(b, '}'), nil
+	case map[string]float64:
+		keys := e.keys[:0]
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.keys = keys
+		b = append(b, '{')
+		var err error
+		for i, k := range keys {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, k)
+			b = append(b, ':')
+			if b, err = appendJSONFloat(b, x[k]); err != nil {
+				return b, err
+			}
+		}
+		return append(b, '}'), nil
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return b, err
+		}
+		return append(b, raw...), nil
+	}
+}
+
+// appendJSONFloat appends f exactly as encoding/json's floatEncoder does:
+// shortest representation, 'e' format only outside [1e-6, 1e21), and the
+// exponent's redundant leading zero ("e-09") dropped ("e-9").
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return b, &json.UnsupportedValueError{Str: strconv.FormatFloat(f, 'g', -1, 64)}
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+// jsonSafe reports whether byte c passes through encoding/json's
+// HTML-escaping string encoder unescaped.
+func jsonSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}
+
+// appendJSONString appends s as an HTML-escaped JSON string, byte-identical
+// to encoding/json's appendString with escapeHTML on.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe(c) {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == 0x2028 || c == 0x2029 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

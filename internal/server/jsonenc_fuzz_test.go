@@ -1,0 +1,46 @@
+package server
+
+// Fuzz differential for the pooled JSON encoder: for every value shape the
+// serving layer emits, appendValue must produce byte-for-byte what
+// encoding/json's Marshal produces (compact, HTML-escaped, sorted map keys,
+// shortest-float) — the /metrics-style byte-stability contract extended to
+// every JSON response. The fuzzer drives the pooled path end to end, so
+// buffer recycling through encPool is exercised under arbitrary inputs too.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func FuzzPooledEncoder(f *testing.F) {
+	f.Add("hello", 1.5, int64(-3), true, "k")
+	f.Add("<script>&\"\\  ", 1e21, int64(0), false, "")
+	f.Add("\x00\x1f\x7f\xff", 1e-7, int64(math.MaxInt64), true, "a\xc3\x28b")
+	f.Add("wns", -0.0, int64(42), false, "slack")
+	f.Fuzz(func(t *testing.T, s string, fl float64, n int64, b bool, k string) {
+		vals := []any{
+			nil, b, s, n, fl,
+			[]float64{fl, -fl, 0},
+			[]string{s, k},
+			[]any{s, fl, n, b, nil},
+			map[string]any{k: s, "x": fl, "n": n},
+			map[string]string{k: s, "x": k},
+			map[string]float64{k: fl, "x": -fl},
+		}
+		for _, v := range vals {
+			want, werr := json.Marshal(v)
+			e := encPool.Get().(*jsonEnc)
+			got, gerr := e.appendValue(e.buf[:0], v)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%#v: error mismatch: encoding/json=%v pooled=%v", v, werr, gerr)
+			}
+			if werr == nil && !bytes.Equal(got, want) {
+				t.Fatalf("%#v: pooled %q != encoding/json %q", v, got, want)
+			}
+			e.buf = got[:0]
+			encPool.Put(e)
+		}
+	})
+}

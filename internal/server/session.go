@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -168,6 +169,14 @@ func scenarioBaseViews(be *batch.Engine) []ScenarioView {
 // then). Session lifecycle events log at Debug, commits at Info.
 func (m *Manager) SetLogger(l *slog.Logger) { m.log = l }
 
+// debugLog reports whether Debug-level lines would be emitted. Hot paths
+// check it before calling Debug: assembling the variadic attribute list
+// allocates even when the handler drops the record, and the serving steady
+// state is held to zero allocations per request.
+func (m *Manager) debugLog() bool {
+	return m.log.Enabled(context.Background(), slog.LevelDebug)
+}
+
 // Engine returns the base engine. Callers must not mutate it outside
 // Exclusive.
 func (m *Manager) Engine() *core.Engine { return m.e }
@@ -221,19 +230,25 @@ func (m *Manager) Corners() []ScenarioView {
 // BaseScenarioSlacks returns the committed endpoint slacks of one scenario,
 // or the per-endpoint worst across scenarios for "merged".
 func (m *Manager) BaseScenarioSlacks(name string) ([]float64, error) {
+	return m.BaseScenarioSlacksInto(name, nil)
+}
+
+// BaseScenarioSlacksInto is the allocation-free form of BaseScenarioSlacks:
+// dst is grown only when too small and returned filled.
+func (m *Manager) BaseScenarioSlacksInto(name string, dst []float64) ([]float64, error) {
 	if m.be == nil {
 		return nil, ErrNoCorners
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if name == "merged" {
-		return m.be.Merged().Slacks, nil
+		return m.be.MergedSlacksInto(dst), nil
 	}
 	s := m.be.ScenarioIndex(name)
 	if s < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
 	}
-	return m.be.Slacks(s), nil
+	return m.be.SlacksInto(s, dst), nil
 }
 
 // Epoch returns the current base epoch (bumped on every commit).
@@ -258,9 +273,22 @@ func (m *Manager) BaseTNS() float64 {
 
 // BaseSlacks returns a copy of the committed endpoint slacks.
 func (m *Manager) BaseSlacks() []float64 {
+	return m.BaseSlacksInto(nil)
+}
+
+// BaseSlacksInto copies the committed endpoint slacks into dst, growing it
+// only when too small, and returns the filled slice — the allocation-free
+// serving read.
+func (m *Manager) BaseSlacksInto(dst []float64) []float64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return append([]float64(nil), m.e.Slacks()...)
+	base := m.e.Slacks()
+	if cap(dst) < len(base) {
+		dst = make([]float64, len(base))
+	}
+	dst = dst[:len(base)]
+	copy(dst, base)
+	return dst
 }
 
 // Counters snapshots the lifetime counters.
@@ -308,7 +336,9 @@ func (m *Manager) Create() (*Session, error) {
 	s.touch()
 	m.sessions[s.ID] = s
 	m.created.Add(1)
-	m.log.Debug("session created", "session", s.ID, "epoch", epoch)
+	if m.debugLog() {
+		m.log.Debug("session created", "session", s.ID, "epoch", epoch)
+	}
 	return s, nil
 }
 
@@ -357,7 +387,9 @@ func (m *Manager) Sweep(now time.Time) int {
 	for _, s := range idle {
 		if s.Close() {
 			m.evicted.Add(1)
-			m.log.Debug("session evicted", "session", s.ID)
+			if m.debugLog() {
+				m.log.Debug("session evicted", "session", s.ID)
+			}
 		}
 	}
 	return len(idle)
@@ -559,7 +591,7 @@ func (s *Session) resultLocked() *ECOResult {
 	}
 	base := m.e.Slacks()
 	eps := m.e.Endpoints()
-	for _, ep := range s.ov.ChangedEndpoints() {
+	for _, ep := range s.ov.ChangedEndpointsView() {
 		es := EndpointSlack{
 			Endpoint: int(ep),
 			Slack:    jsonSlack(s.ov.Slack(ep)),
@@ -675,8 +707,10 @@ func (s *Session) ApplyECO(req ECORequest) (*ECOResult, error) {
 	s.propagateLocked()
 	s.ecoN++
 	m.ecoTotal.Add(1)
-	m.log.Debug("eco applied", "session", s.ID, "eco", s.ecoN,
-		"resizes", len(req.Resizes), "arcs", len(req.Arcs))
+	if m.debugLog() {
+		m.log.Debug("eco applied", "session", s.ID, "eco", s.ecoN,
+			"resizes", len(req.Resizes), "arcs", len(req.Arcs))
+	}
 	return s.resultLocked(), nil
 }
 
@@ -721,6 +755,14 @@ func (s *Session) Result() (*ECOResult, error) {
 // Slacks returns the session's full endpoint slack view: the committed base
 // slacks with the overlay's re-derived endpoints applied on top.
 func (s *Session) Slacks() ([]float64, error) {
+	return s.SlacksInto(nil)
+}
+
+// SlacksInto is the allocation-free form of Slacks: the view is written into
+// dst (grown only when too small) and the filled slice returned. Callers own
+// dst; per-request reuse through a pool keeps the serving steady state free
+// of per-call allocations.
+func (s *Session) SlacksInto(dst []float64) ([]float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -730,17 +772,29 @@ func (s *Session) Slacks() ([]float64, error) {
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
 	s.rebaseLocked()
-	out := append([]float64(nil), s.m.e.Slacks()...)
-	for _, ep := range s.ov.ChangedEndpoints() {
-		out[ep] = s.ov.Slack(ep)
+	base := s.m.e.Slacks()
+	if cap(dst) < len(base) {
+		dst = make([]float64, len(base))
 	}
-	return out, nil
+	dst = dst[:len(base)]
+	copy(dst, base)
+	for _, ep := range s.ov.ChangedEndpointsView() {
+		dst[ep] = s.ov.Slack(ep)
+	}
+	return dst, nil
 }
 
 // ScenarioSlacks returns the session's full endpoint slack view in one
 // scenario ("merged" = per-endpoint worst corner): the scenario's committed
 // base slacks with the overlay's re-derived endpoints applied on top.
 func (s *Session) ScenarioSlacks(name string) ([]float64, error) {
+	return s.ScenarioSlacksInto(name, nil)
+}
+
+// ScenarioSlacksInto is the allocation-free form of ScenarioSlacks: the view
+// is written into dst (grown only when too small) and the filled slice
+// returned.
+func (s *Session) ScenarioSlacksInto(name string, dst []float64) ([]float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -755,8 +809,8 @@ func (s *Session) ScenarioSlacks(name string) ([]float64, error) {
 	defer m.mu.RUnlock()
 	s.rebaseLocked()
 	if name == "merged" {
-		out := m.be.Merged().Slacks
-		for _, ep := range s.bov.ChangedEndpoints() {
+		out := m.be.MergedSlacksInto(dst)
+		for _, ep := range s.bov.ChangedEndpointsView() {
 			out[ep] = s.bov.MergedSlack(ep)
 		}
 		return out, nil
@@ -765,8 +819,8 @@ func (s *Session) ScenarioSlacks(name string) ([]float64, error) {
 	if sc < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
 	}
-	out := m.be.Slacks(sc)
-	for _, ep := range s.bov.ChangedEndpoints() {
+	out := m.be.SlacksInto(sc, dst)
+	for _, ep := range s.bov.ChangedEndpointsView() {
 		out[ep] = s.bov.Slack(sc, ep)
 	}
 	return out, nil
