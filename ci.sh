@@ -33,6 +33,13 @@
 #                      bounded worst-case GC pause and per-request allocation
 #                      count under closed-loop HTTP load, rewriting
 #                      BENCH_gc.json
+#   9. fleet gate    — the fleet bench re-runs with the latency bounds armed
+#                      (INSTA_FLEET_GATE=1): fleet-of-4 p99 <= single-daemon
+#                      p99 on the heavy-tailed closed-loop workload, hedged
+#                      base-read p99 < unhedged against a straggler replica,
+#                      plus the unconditional gates (zero errors, zero
+#                      dropped sessions through a rolling snapshot swap),
+#                      rewriting BENCH_fleet.json
 #
 # Run from the repo root: ./ci.sh
 set -eu
@@ -46,8 +53,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core + batch + server + obs + snap, short) =="
-go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/... ./internal/obs/... ./internal/snap/...
+echo "== go test -race (sched + core + batch + server + obs + snap + fleet, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/... ./internal/obs/... ./internal/snap/... ./internal/fleet/...
 
 echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
 go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/
@@ -60,5 +67,8 @@ INSTA_SCHED_GATE=1 go test -run TestSchedBenchRegression .
 
 echo "== gc/alloc gate (zero-alloc hot paths, bounded pauses) =="
 INSTA_GC_GATE=1 go test -run TestGCBenchRegression .
+
+echo "== fleet gate (fleet p99 <= single p99, hedged reads, zero-drop rolling swap) =="
+INSTA_FLEET_GATE=1 go test -run TestFleetBenchRegression .
 
 echo "ci.sh: all checks passed"

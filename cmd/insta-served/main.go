@@ -23,8 +23,9 @@
 // /session/{id}, GET /session/{id}/slacks, GET /slacks, GET /gradients, GET
 // /healthz, GET /metrics, plus the debug surface: GET /debug/pprof/* and
 // GET /debug/trace?dur= (windowed Chrome trace capture). SIGINT/SIGTERM
-// drains in-flight requests before exiting; idle sessions are evicted past
-// -ttl.
+// drains in-flight requests before exiting — and, with -snapshot-dir, saves
+// the committed base back to the cache so the next boot warm-starts into it;
+// idle sessions are evicted past -ttl.
 //
 // With -corners the daemon also stands up one scenario-batched engine
 // (internal/batch) over the same extraction; every session then prices its
@@ -196,15 +197,13 @@ func main() {
 			fatalf("serve: %v", err)
 		}
 	case <-ctx.Done():
-		// Graceful drain: stop accepting, finish in-flight requests, then
-		// release the sessions.
+		// Graceful drain: stop accepting, finish in-flight requests, persist
+		// the committed base through the snapshot cache (when configured),
+		// then release the sessions.
 		slog.Info("draining", "budget", drain.String())
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := httpSrv.Shutdown(sctx); err != nil {
-			slog.Warn("drain incomplete", "err", err)
-		}
-		mgr.CloseAll()
+		_ = server.Drain(sctx, httpSrv, mgr, slog.Default())
 		slog.Info("bye")
 	}
 }

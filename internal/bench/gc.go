@@ -66,6 +66,21 @@ func (r *LatencyRecorder) QuantileUs(q float64) int64 {
 	return r.ns[i] / 1e3
 }
 
+// Merge folds other's samples (and drop count) into r — the reduction step
+// for per-worker recorders, which keep the measured loop lock-free. Samples
+// past r's remaining capacity are counted as dropped, matching Record.
+func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
+	for _, ns := range other.ns {
+		if len(r.ns) == cap(r.ns) {
+			r.dropped++
+			continue
+		}
+		r.ns = append(r.ns, ns)
+	}
+	r.dropped += other.dropped
+	r.sorted = false
+}
+
 // gcSnap is one point-in-time view of the allocator and collector.
 type gcSnap struct {
 	mallocs    uint64

@@ -1,0 +1,368 @@
+// Package loadgen is a closed-loop load generator for the serving surface —
+// one insta-served daemon or a fleet router, which expose the same API. A
+// fixed number of workers each keep exactly one request outstanding
+// (closed-loop: the next request starts when the previous response lands),
+// cycling through a weighted mix of session-scoped ECO previews,
+// session-scoped slack reads and stateless base reads, with sessions closed
+// and recreated every SessionOps operations so placement and drain paths see
+// churn rather than a static population.
+//
+// Closed-loop matters for what the numbers mean: with concurrency C, the
+// offered load self-regulates to the service rate, so latency quantiles
+// measure queueing under a fixed multiprogramming level — the regime the
+// fleet's admission control is designed for — rather than open-loop overload
+// collapse. Latencies are recorded allocation-free per worker
+// (bench.LatencyRecorder) and merged for fleet-level p50/p99/p999.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insta/internal/bench"
+)
+
+// Op kinds in the mix.
+const (
+	opECO         = iota // POST /session/{id}/eco
+	opSessionRead        // GET /session/{id}/slacks
+	opBaseRead           // GET /slacks
+)
+
+// Mix weighs the op kinds; zero values fall back to 8/1/1 (ECO-dominant,
+// matching an optimizer inner loop that previews constantly and reads
+// occasionally).
+type Mix struct {
+	ECO         int
+	SessionRead int
+	BaseRead    int
+}
+
+// Options configures one run.
+type Options struct {
+	Concurrency int           // workers, each with one request outstanding (default 4)
+	Ops         int           // total ops across all workers (default 100)
+	SessionOps  int           // session-scoped ops per session before close+recreate (default 10)
+	Mix         Mix           // op mix weights
+	Bodies      [][]byte      // ECO request bodies, cycled per worker (required when Mix.ECO > 0)
+	Timeout     time.Duration // per-request budget (default 30s)
+}
+
+// Report is one run's outcome.
+type Report struct {
+	Ops             int     `json:"ops"`
+	Errors          int     `json:"errors"`
+	DroppedSessions int     `json:"dropped_sessions"`
+	SessionsCreated int     `json:"sessions_created"`
+	SessionsClosed  int     `json:"sessions_closed"`
+	CreateRetries   int     `json:"create_retries"`
+	WallMS          float64 `json:"wall_ms"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	P50Us           int64   `json:"p50_us"`
+	P99Us           int64   `json:"p99_us"`
+	P999Us          int64   `json:"p999_us"`
+	// Base-read-only quantiles, the hedging target.
+	ReadP50Us  int64 `json:"read_p50_us"`
+	ReadP99Us  int64 `json:"read_p99_us"`
+	ReadP999Us int64 `json:"read_p999_us"`
+}
+
+// worker is one closed-loop client.
+type worker struct {
+	id      int
+	base    string
+	client  *http.Client
+	opt     *Options
+	pattern []int
+	lat     *bench.LatencyRecorder
+	readLat *bench.LatencyRecorder
+
+	sid     string // current fleet/daemon session ID ("" = none)
+	sessOps int
+
+	errors          atomic.Int64
+	dropped         atomic.Int64
+	sessionsCreated int
+	sessionsClosed  int
+	createRetries   int
+}
+
+// Run drives the generator against baseURL until the op budget is spent or
+// ctx is cancelled (cancellation is a normal end: the report covers the ops
+// completed so far — how the rolling-swap bench bounds its load phase). The
+// error is non-nil only for configuration problems; request failures are
+// counted in the report instead.
+func Run(ctx context.Context, baseURL string, opt Options) (*Report, error) {
+	o := opt
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 100
+	}
+	if o.SessionOps <= 0 {
+		o.SessionOps = 10
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Mix.ECO == 0 && o.Mix.SessionRead == 0 && o.Mix.BaseRead == 0 {
+		o.Mix = Mix{ECO: 8, SessionRead: 1, BaseRead: 1}
+	}
+	if o.Mix.ECO > 0 && len(o.Bodies) == 0 {
+		return nil, errors.New("loadgen: Mix.ECO > 0 needs Options.Bodies")
+	}
+	pattern := buildPattern(o.Mix)
+
+	client := &http.Client{
+		Timeout: o.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * o.Concurrency,
+			MaxIdleConnsPerHost: 2 * o.Concurrency,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	perWorker := o.Ops / o.Concurrency
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	workers := make([]*worker, o.Concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := range workers {
+		w := &worker{
+			id: i, base: baseURL, client: client, opt: &o, pattern: pattern,
+			lat:     bench.NewLatencyRecorder(perWorker + 1),
+			readLat: bench.NewLatencyRecorder(perWorker + 1),
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(ctx, perWorker)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	rep := &Report{WallMS: float64(wall.Nanoseconds()) / 1e6}
+	lat := bench.NewLatencyRecorder(o.Concurrency * (perWorker + 1))
+	readLat := bench.NewLatencyRecorder(o.Concurrency * (perWorker + 1))
+	for _, w := range workers {
+		lat.Merge(w.lat)
+		readLat.Merge(w.readLat)
+		rep.Errors += int(w.errors.Load())
+		rep.DroppedSessions += int(w.dropped.Load())
+		rep.SessionsCreated += w.sessionsCreated
+		rep.SessionsClosed += w.sessionsClosed
+		rep.CreateRetries += w.createRetries
+	}
+	rep.Ops = lat.Count()
+	if wall > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / wall.Seconds()
+	}
+	rep.P50Us = lat.QuantileUs(0.50)
+	rep.P99Us = lat.QuantileUs(0.99)
+	rep.P999Us = lat.QuantileUs(0.999)
+	rep.ReadP50Us = readLat.QuantileUs(0.50)
+	rep.ReadP99Us = readLat.QuantileUs(0.99)
+	rep.ReadP999Us = readLat.QuantileUs(0.999)
+	return rep, nil
+}
+
+// buildPattern unrolls the mix weights into a repeating op schedule,
+// interleaved (e.g. 8/1/1 → eco×8, sread, bread) so every worker exercises
+// all kinds throughout the run rather than in phases.
+func buildPattern(m Mix) []int {
+	var p []int
+	for i := 0; i < m.ECO; i++ {
+		p = append(p, opECO)
+	}
+	for i := 0; i < m.SessionRead; i++ {
+		p = append(p, opSessionRead)
+	}
+	for i := 0; i < m.BaseRead; i++ {
+		p = append(p, opBaseRead)
+	}
+	return p
+}
+
+func (w *worker) run(ctx context.Context, ops int) {
+	bodyIdx := w.id // stagger body schedules across workers
+	for i := 0; i < ops; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		kind := w.pattern[i%len(w.pattern)]
+		if kind != opBaseRead && w.sid == "" {
+			if !w.createSession(ctx) {
+				if ctx.Err() != nil {
+					break
+				}
+				w.errors.Add(1)
+				continue
+			}
+		}
+		var (
+			method, path string
+			body         []byte
+		)
+		switch kind {
+		case opECO:
+			method, path = http.MethodPost, "/session/"+w.sid+"/eco"
+			body = w.opt.Bodies[bodyIdx%len(w.opt.Bodies)]
+			bodyIdx++
+		case opSessionRead:
+			method, path = http.MethodGet, "/session/"+w.sid+"/slacks"
+		case opBaseRead:
+			method, path = http.MethodGet, "/slacks"
+		}
+		t0 := time.Now()
+		code, err := w.do(ctx, method, path, body)
+		d := time.Since(t0)
+		if err != nil || code != http.StatusOK {
+			if ctx.Err() != nil {
+				// Cancellation is a normal end of run, not a failure.
+				break
+			}
+			w.errors.Add(1)
+			if kind != opBaseRead {
+				// A session-scoped failure after a successful create is a
+				// dropped session — the routed replica lost or refused state
+				// it owned. This is the rolling-swap gate's zero.
+				w.dropped.Add(1)
+				w.closeSession(ctx) // best-effort; forget it either way
+			}
+			continue
+		}
+		w.lat.Record(d)
+		if kind == opBaseRead {
+			w.readLat.Record(d)
+		}
+		if kind != opBaseRead {
+			w.sessOps++
+			if w.sessOps >= w.opt.SessionOps {
+				w.closeSession(ctx)
+			}
+		}
+	}
+	w.closeSession(ctx)
+}
+
+// createSession opens a session, honoring 503 + Retry-After with a short
+// bounded backoff (the admission contract) before giving up.
+func (w *worker) createSession(ctx context.Context) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		if ctx.Err() != nil {
+			return false
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/session", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return false
+		}
+		if resp.StatusCode == http.StatusCreated {
+			var cr struct {
+				ID string `json:"id"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&cr)
+			resp.Body.Close()
+			if derr != nil || cr.ID == "" {
+				return false
+			}
+			w.sid = cr.ID
+			w.sessOps = 0
+			w.sessionsCreated++
+			return true
+		}
+		io.Copy(io.Discard, resp.Body)
+		retryable := resp.StatusCode == http.StatusServiceUnavailable
+		ra := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if !retryable {
+			return false
+		}
+		w.createRetries++
+		// Honor the Retry-After hint, capped at 100ms — the generator's job
+		// is to keep offering load, not to be a polite production client.
+		backoff := 50 * time.Millisecond
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(backoff):
+		}
+	}
+	return false
+}
+
+// closeSession deletes the current session (counted even on failure — the
+// worker has forgotten it either way).
+func (w *worker) closeSession(ctx context.Context) {
+	if w.sid == "" {
+		return
+	}
+	// Use a detached short context so end-of-run cleanup still lands after
+	// ctx is cancelled — leaking sessions would wedge a later drain.
+	dctx, cancel := context.WithTimeout(context.Background(), w.opt.Timeout)
+	defer cancel()
+	if ctx.Err() == nil {
+		dctx = ctx
+	}
+	code, err := w.do(dctx, http.MethodDelete, "/session/"+w.sid, nil)
+	if err == nil && code == http.StatusOK {
+		w.sessionsClosed++
+	}
+	w.sid = ""
+	w.sessOps = 0
+}
+
+func (w *worker) do(ctx context.Context, method, path string, body []byte) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// EncodeECOBodies marshals ECO requests once up front so the measured loop
+// replays precomputed bytes.
+func EncodeECOBodies(reqs []any) ([][]byte, error) {
+	out := make([][]byte, 0, len(reqs))
+	for i, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: body %d: %w", i, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDaemon implements the serving surface shape the generator drives.
+type fakeDaemon struct {
+	mu       sync.Mutex
+	sessions map[string]bool
+	next     int
+	ecoN     atomic.Int64
+	sreadN   atomic.Int64
+	breadN   atomic.Int64
+	delay    time.Duration
+}
+
+func newFakeDaemon(delay time.Duration) (*fakeDaemon, *httptest.Server) {
+	d := &fakeDaemon{sessions: make(map[string]bool), delay: delay}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /session", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		d.next++
+		id := fmt.Sprintf("s%d", d.next)
+		d.sessions[id] = true
+		d.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"id": id})
+	})
+	withSess := func(counter *atomic.Int64, close bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if d.delay > 0 {
+				time.Sleep(d.delay)
+			}
+			id := r.PathValue("id")
+			d.mu.Lock()
+			ok := d.sessions[id]
+			if ok && close {
+				delete(d.sessions, id)
+			}
+			d.mu.Unlock()
+			if !ok {
+				http.Error(w, "no such session", http.StatusNotFound)
+				return
+			}
+			if counter != nil {
+				counter.Add(1)
+			}
+			json.NewEncoder(w).Encode(map[string]any{"id": id})
+		}
+	}
+	mux.HandleFunc("POST /session/{id}/eco", withSess(&d.ecoN, false))
+	mux.HandleFunc("GET /session/{id}/slacks", withSess(&d.sreadN, false))
+	mux.HandleFunc("DELETE /session/{id}", withSess(nil, true))
+	mux.HandleFunc("GET /slacks", func(w http.ResponseWriter, r *http.Request) {
+		if d.delay > 0 {
+			time.Sleep(d.delay)
+		}
+		d.breadN.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"wns": -1.0})
+	})
+	return d, httptest.NewServer(mux)
+}
+
+func (d *fakeDaemon) liveSessions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sessions)
+}
+
+// TestRunMixAndAccounting: the full mix lands on all three endpoint kinds,
+// every op is recorded, sessions churn every SessionOps and none leak.
+func TestRunMixAndAccounting(t *testing.T) {
+	d, srv := newFakeDaemon(0)
+	defer srv.Close()
+	rep, err := Run(context.Background(), srv.URL, Options{
+		Concurrency: 4,
+		Ops:         200,
+		SessionOps:  5,
+		Mix:         Mix{ECO: 3, SessionRead: 1, BaseRead: 1},
+		Bodies:      [][]byte{[]byte(`{}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 200 {
+		t.Fatalf("ops %d, want 200", rep.Ops)
+	}
+	if rep.Errors != 0 || rep.DroppedSessions != 0 {
+		t.Fatalf("clean run reported errors=%d dropped=%d", rep.Errors, rep.DroppedSessions)
+	}
+	if d.ecoN.Load() == 0 || d.sreadN.Load() == 0 || d.breadN.Load() == 0 {
+		t.Fatalf("mix skipped a kind: eco=%d sread=%d bread=%d",
+			d.ecoN.Load(), d.sreadN.Load(), d.breadN.Load())
+	}
+	if rep.SessionsCreated < 4 {
+		t.Fatalf("sessions created %d: churn not happening", rep.SessionsCreated)
+	}
+	if rep.SessionsClosed != rep.SessionsCreated {
+		t.Fatalf("created %d but closed %d sessions", rep.SessionsCreated, rep.SessionsClosed)
+	}
+	if d.liveSessions() != 0 {
+		t.Fatalf("%d sessions leaked on the daemon", d.liveSessions())
+	}
+	if rep.P50Us <= 0 || rep.P99Us < rep.P50Us {
+		t.Fatalf("bad quantiles: %+v", rep)
+	}
+	if rep.ReadP50Us <= 0 {
+		t.Fatalf("base-read quantiles missing: %+v", rep)
+	}
+}
+
+// TestRunCancellation: ctx cancel ends the run early and cleanly (no error
+// inflation from torn requests), with sessions still released.
+func TestRunCancellation(t *testing.T) {
+	d, srv := newFakeDaemon(5 * time.Millisecond)
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := Run(ctx, srv.URL, Options{
+		Concurrency: 2,
+		Ops:         100000, // far more than fits in the window
+		Mix:         Mix{BaseRead: 0, ECO: 1, SessionRead: 1},
+		Bodies:      [][]byte{[]byte(`{}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Ops >= 100000 {
+		t.Fatalf("cancelled run did %d ops", rep.Ops)
+	}
+	if rep.DroppedSessions != 0 {
+		t.Fatalf("cancellation counted as %d dropped sessions", rep.DroppedSessions)
+	}
+	if d.liveSessions() != 0 {
+		t.Fatalf("%d sessions leaked after cancellation", d.liveSessions())
+	}
+}
+
+// TestRunNeedsBodies: an ECO mix without bodies is a configuration error.
+func TestRunNeedsBodies(t *testing.T) {
+	if _, err := Run(context.Background(), "http://127.0.0.1:1", Options{Mix: Mix{ECO: 1}}); err == nil {
+		t.Fatal("want configuration error for ECO mix without bodies")
+	}
+}

@@ -1,0 +1,50 @@
+package fleet
+
+// LocalReplica hosts one replica backend in-process on a real loopback
+// listener: the zero-dependency backend for tests, benchmarks and
+// cmd/insta-router's inproc mode. The handler is swappable at runtime, which
+// is what makes rolling swaps testable without process churn — Options.Swap
+// drains the old server.Manager and installs a fresh one behind the same URL.
+
+import (
+	"net"
+	"net/http"
+	"sync/atomic"
+)
+
+// LocalReplica is an in-process HTTP backend with an atomically swappable
+// handler.
+type LocalReplica struct {
+	lis net.Listener
+	srv *http.Server
+	h   atomic.Value // http.Handler
+}
+
+// NewLocalReplica serves h on a fresh loopback port.
+func NewLocalReplica(h http.Handler) (*LocalReplica, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l := &LocalReplica{lis: lis}
+	l.h.Store(&handlerBox{h})
+	l.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		l.h.Load().(*handlerBox).h.ServeHTTP(w, r)
+	})}
+	go func() { _ = l.srv.Serve(lis) }()
+	return l, nil
+}
+
+// handlerBox keeps atomic.Value happy when different concrete handler types
+// are stored across swaps.
+type handlerBox struct{ h http.Handler }
+
+// URL returns the replica's base URL.
+func (l *LocalReplica) URL() string { return "http://" + l.lis.Addr().String() }
+
+// SetHandler atomically replaces the served handler; in-flight requests
+// finish on the old one.
+func (l *LocalReplica) SetHandler(h http.Handler) { l.h.Store(&handlerBox{h}) }
+
+// Close shuts the listener down immediately.
+func (l *LocalReplica) Close() error { return l.srv.Close() }

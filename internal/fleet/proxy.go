@@ -1,0 +1,389 @@
+package fleet
+
+// The router's HTTP surface: the same endpoint shapes as one insta-served
+// daemon, so a client (or the loadgen) cannot tell a fleet from a single
+// replica apart from the session IDs. Session-scoped routes resolve the home
+// replica from the ID's embedded key, pass admission, and proxy with bounded
+// retry; base reads go through the hedger (hedge.go); /healthz and /metrics
+// are answered by the router itself.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes caps a buffered proxy body; ECO batches are KBs, so 16 MiB is
+// a generous sanity bound, not a tuning knob.
+const maxBodyBytes = 16 << 20
+
+var (
+	bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	copyPool = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+)
+
+func (p *Pool) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	mux.HandleFunc("GET /slacks", p.gate(p.handleRead))
+	mux.HandleFunc("GET /gradients", p.gate(p.handleRead))
+	mux.HandleFunc("POST /session", p.gate(p.handleCreate))
+	mux.HandleFunc("GET /session/{id}", p.gate(p.proxySession("")))
+	mux.HandleFunc("DELETE /session/{id}", p.gate(p.proxySession("")))
+	mux.HandleFunc("GET /session/{id}/slacks", p.gate(p.proxySession("/slacks")))
+	mux.HandleFunc("POST /session/{id}/eco", p.gate(p.proxySession("/eco")))
+	mux.HandleFunc("POST /session/{id}/commit", p.gate(p.proxySession("/commit")))
+	mux.HandleFunc("POST /session/{id}/rollback", p.gate(p.proxySession("/rollback")))
+	mux.HandleFunc("POST /admin/swap", p.handleSwap)
+	p.mux = mux
+}
+
+// Handler returns the router's root handler.
+func (p *Pool) Handler() http.Handler { return p.mux }
+
+// gate refuses new work while the router itself is draining (SIGTERM).
+func (p *Pool) gate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if p.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeProxyErr(w, http.StatusServiceUnavailable, errors.New("fleet: router draining"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleCreate places a new session by key redraw: mint a key, hash it to its
+// home replica, and — if that replica is unready, draining, session-full or
+// over its in-flight cap — mint a *new* key and try again, up to
+// Options.CreateProbes times. Redrawing (rather than walking the ring)
+// keeps hash(key)→replica exact forever; see ring.go.
+func (p *Pool) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var lastStatus int
+	var lastBody []byte
+	var lastErr error
+	for probe := 0; probe < p.opt.CreateProbes; probe++ {
+		key := p.nextKey()
+		rep := p.replicas[p.ring.owner(key)]
+		if !rep.Ready() || rep.sessionFull() {
+			p.met.createRedraws.Inc()
+			continue
+		}
+		release, err := p.admit(r.Context(), rep)
+		if err != nil {
+			if errors.Is(err, errAdmission) {
+				// This replica's lane is saturated; a redrawn key may land on
+				// an idle one.
+				p.met.createRedraws.Inc()
+				lastErr = err
+				continue
+			}
+			writeProxyErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		status, body, err := p.doBuffered(r.Context(), rep, http.MethodPost, "/session", nil, "")
+		release()
+		if err != nil {
+			rep.errors.Add(1)
+			p.met.errors.With(rep.idStr).Inc()
+			p.met.createRedraws.Inc()
+			lastErr = err
+			continue
+		}
+		if status == http.StatusCreated {
+			var cr struct {
+				ID    string `json:"id"`
+				Epoch uint64 `json:"epoch"`
+			}
+			if err := json.Unmarshal(body, &cr); err != nil || cr.ID == "" {
+				writeProxyErr(w, http.StatusBadGateway, errors.New("fleet: malformed create response"))
+				return
+			}
+			p.met.sessionsCreated.Inc()
+			writeCreated(w, key+"."+cr.ID, cr.Epoch, rep.ID)
+			return
+		}
+		// Replica-side refusal (admission cap raced the health view, etc.):
+		// remember it and redraw.
+		lastStatus, lastBody = status, body
+		p.met.createRedraws.Inc()
+	}
+	if lastStatus != 0 {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(lastStatus)
+		_, _ = w.Write(lastBody)
+		return
+	}
+	if lastErr == nil {
+		lastErr = errors.New("fleet: no ready replica for new session")
+	}
+	w.Header().Set("Retry-After", "1")
+	writeProxyErr(w, http.StatusServiceUnavailable, lastErr)
+}
+
+func writeCreated(w http.ResponseWriter, fid string, epoch uint64, replica int) {
+	b, _ := json.Marshal(map[string]any{"id": fid, "epoch": epoch, "replica": replica})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// proxySession routes a session-scoped request to the session's home replica:
+// split the fleet ID, hash the key, admit, forward with the path rewritten to
+// the replica-local ID. Existing sessions route to their owner even when it
+// is unready or draining — the state lives nowhere else.
+func (p *Pool) proxySession(tail string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key, local, ok := splitFID(r.PathValue("id"))
+		if !ok {
+			writeProxyErr(w, http.StatusNotFound, errors.New("fleet: malformed session id (want <key>.<local>)"))
+			return
+		}
+		rep := p.replicas[p.ring.owner(key)]
+		release, err := p.admit(r.Context(), rep)
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeProxyErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer release()
+		p.forward(w, r, rep, "/session/"+local+tail)
+	}
+}
+
+// handleRead serves the idempotent base reads through the hedger.
+func (p *Pool) handleRead(w http.ResponseWriter, r *http.Request) {
+	primary := p.pickRead(nil)
+	if primary == nil {
+		w.Header().Set("Retry-After", "1")
+		writeProxyErr(w, http.StatusServiceUnavailable, errors.New("fleet: no ready replicas"))
+		return
+	}
+	p.hedgedRead(w, r, primary)
+}
+
+// forward proxies one request to rep with bounded retry: up to MaxRetries
+// extra attempts, backoff doubling from RetryBackoff, and a method-aware
+// retry predicate (see retriable). The request body is buffered once so
+// retries can replay it.
+func (p *Pool) forward(w http.ResponseWriter, r *http.Request, rep *Replica, path string) {
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	var body []byte
+	if r.Body != nil && r.ContentLength != 0 {
+		buf := bodyPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer bodyPool.Put(buf)
+		if _, err := io.Copy(buf, io.LimitReader(r.Body, maxBodyBytes+1)); err != nil {
+			writeProxyErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if buf.Len() > maxBodyBytes {
+			writeProxyErr(w, http.StatusRequestEntityTooLarge, errors.New("fleet: request body too large"))
+			return
+		}
+		body = buf.Bytes()
+	}
+	t0 := time.Now()
+	attempts := 1 + p.opt.MaxRetries
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			backoff := p.opt.RetryBackoff << (a - 1)
+			select {
+			case <-time.After(backoff):
+			case <-r.Context().Done():
+				writeProxyErr(w, http.StatusServiceUnavailable, r.Context().Err())
+				return
+			}
+			p.met.retries.Inc()
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.URL()+path, rd)
+		if err != nil {
+			writeProxyErr(w, http.StatusBadGateway, err)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		p.met.requests.With(rep.idStr).Inc()
+		rep.requests.Add(1)
+		resp, err := p.client.Do(req)
+		if err == nil {
+			copyResponse(w, resp)
+			p.met.latency.Observe(time.Since(t0).Seconds())
+			return
+		}
+		rep.errors.Add(1)
+		p.met.errors.With(rep.idStr).Inc()
+		lastErr = err
+		if r.Context().Err() != nil || !retriable(r.Method, err) {
+			break
+		}
+	}
+	writeProxyErr(w, http.StatusBadGateway, lastErr)
+}
+
+// doBuffered performs one request and returns the status and fully read body
+// — the create path's helper, where the response is small and must be parsed.
+func (p *Pool) doBuffered(ctx context.Context, rep *Replica, method, path string, body io.Reader, contentType string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, rep.URL()+path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	p.met.requests.With(rep.idStr).Inc()
+	rep.requests.Add(1)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// retriable decides whether a transport error is safe to retry. Connection
+// errors on GETs always are (the read is idempotent). Everything else —
+// POST /eco, /commit, DELETE — retries only when the error proves the request
+// never left the router (a dial failure): a mid-flight connection loss on a
+// mutation may have executed on the replica, and replaying it could apply an
+// ECO twice.
+func retriable(method string, err error) bool {
+	var ue *url.Error
+	if !errors.As(err, &ue) {
+		return false
+	}
+	if ue.Timeout() {
+		return false
+	}
+	var oe *net.OpError
+	isOp := errors.As(err, &oe)
+	conn := isOp ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+	if !conn {
+		return false
+	}
+	if method == http.MethodGet {
+		return true
+	}
+	return isOp && oe.Op == "dial"
+}
+
+// copyResponse streams the replica's response through, preserving the status
+// and the headers that matter to clients.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, k := range []string{"Content-Type", "Content-Length", "Retry-After", "Content-Disposition"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	bp := copyPool.Get().(*[]byte)
+	_, _ = io.CopyBuffer(w, resp.Body, *bp)
+	copyPool.Put(bp)
+}
+
+func writeProxyErr(w http.ResponseWriter, code int, err error) {
+	msg := "fleet: unknown error"
+	if err != nil {
+		msg = err.Error()
+	}
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// handleHealthz aggregates the fleet's state: per-replica condition and load,
+// plus the router's own view (ready count, hedge delay, drain bit). 503 when
+// no replica can take work, so an upstream balancer can see "down".
+func (p *Pool) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type repView struct {
+		ID           int    `json:"id"`
+		URL          string `json:"url"`
+		State        string `json:"state"`
+		LiveSessions int    `json:"live_sessions"`
+		MaxSessions  int    `json:"max_sessions"`
+		Headroom     int    `json:"headroom"`
+		Inflight     int64  `json:"inflight"` // router-side admitted requests
+		Epoch        uint64 `json:"epoch"`
+		Err          string `json:"err,omitempty"`
+	}
+	ready := 0
+	views := make([]repView, 0, len(p.replicas))
+	for _, rep := range p.replicas {
+		h := rep.Health()
+		if rep.Ready() {
+			ready++
+		}
+		views = append(views, repView{
+			ID: rep.ID, URL: rep.URL(), State: rep.state(),
+			LiveSessions: h.LiveSessions, MaxSessions: h.MaxSessions,
+			Headroom: h.Headroom, Inflight: rep.inflight.Load(),
+			Epoch: h.Epoch, Err: h.Err,
+		})
+	}
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case ready == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case ready < len(p.replicas):
+		status = "degraded"
+	}
+	resp := map[string]any{
+		"status":         status,
+		"uptime_s":       time.Since(p.start).Seconds(),
+		"ready":          ready,
+		"replicas":       views,
+		"hedge_delay_ms": float64(p.hedgeDelay().Nanoseconds()) / 1e6,
+		"draining":       p.draining.Load(),
+	}
+	b, _ := json.Marshal(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func (p *Pool) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p.met.reg.WritePrometheus(w)
+}
+
+// handleSwap runs a rolling snapshot-swap across the fleet (swap.go). 501
+// when the pool was built without a swap function.
+func (p *Pool) handleSwap(w http.ResponseWriter, r *http.Request) {
+	rep, err := p.RollingSwap(r.Context())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSwap) {
+			code = http.StatusNotImplemented
+		}
+		writeProxyErr(w, code, err)
+		return
+	}
+	b, _ := json.Marshal(rep)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(b, '\n'))
+}

@@ -1,0 +1,97 @@
+package fleet
+
+// Consistent hashing for session placement. The ring maps a session *key* (a
+// short random token the router mints at create time) to its home replica;
+// the fleet-visible session ID embeds the key — "<key>.<localID>" — so every
+// later request re-derives the same home replica from the ID alone, with no
+// routing table to replicate or age out.
+//
+// Membership is fixed for the life of the pool (replicas restart in place and
+// keep their ring position), so the usual consistent-hashing concern —
+// minimal movement under membership churn — does not apply. What the ring
+// buys here is (a) a uniform, stateless key→replica map and (b) *key-redraw
+// probing*: when the owner of a freshly minted key is unready, draining or
+// full, the router simply mints a new key and rehashes, rather than walking
+// to the ring successor. Redrawing keeps the placement invariant exact —
+// hash(key) always names the home replica, forever — whereas successor
+// probing would make placement depend on the readiness snapshot at create
+// time, which a later request cannot reconstruct.
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a hash position owned by a replica index.
+type ringPoint struct {
+	h   uint64
+	rep int
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+// newRing builds a ring of n replicas with vnodes virtual nodes each.
+// Virtual nodes smooth the arc-length (and so the key-load) imbalance of a
+// small fleet: with 64 vnodes per replica, a 4-replica fleet's per-replica
+// share stays within a few percent of 1/4.
+func newRing(n, vnodes int) *ring {
+	pts := make([]ringPoint, 0, n*vnodes)
+	for rep := 0; rep < n; rep++ {
+		for v := 0; v < vnodes; v++ {
+			h := hash64("replica-" + strconv.Itoa(rep) + "#" + strconv.Itoa(v))
+			pts = append(pts, ringPoint{h: h, rep: rep})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].h != pts[b].h {
+			return pts[a].h < pts[b].h
+		}
+		return pts[a].rep < pts[b].rep
+	})
+	return &ring{points: pts}
+}
+
+// owner returns the replica index owning key: the first ring point clockwise
+// from hash(key), wrapping at the top.
+func (rg *ring) owner(key string) int {
+	h := hash64(key)
+	pts := rg.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].h >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return pts[i].rep
+}
+
+// hash64 is FNV-1a over s — stable across processes (routing must agree
+// between a router restart and the IDs already handed to clients), cheap, and
+// good enough spread for a ring fed with random keys.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// splitFID splits a fleet session ID "<key>.<localID>" into its routing key
+// and the replica-local session ID.
+func splitFID(fid string) (key, local string, ok bool) {
+	for i := 0; i < len(fid); i++ {
+		if fid[i] == '.' {
+			key, local = fid[:i], fid[i+1:]
+			if key == "" || local == "" {
+				return "", "", false
+			}
+			return key, local, true
+		}
+	}
+	return "", "", false
+}

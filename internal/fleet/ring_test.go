@@ -1,0 +1,91 @@
+package fleet
+
+import "testing"
+
+// TestRingStableOwnership pins the core routing invariant: ownership is a
+// pure function of the key and the fleet size — two independently built
+// rings agree, and the answer never changes across calls. Fleet session IDs
+// outlive router restarts, so this is a wire-compatibility property, not an
+// implementation detail.
+func TestRingStableOwnership(t *testing.T) {
+	a := newRing(4, 64)
+	b := newRing(4, 64)
+	for i := 0; i < 1000; i++ {
+		key := (&Pool{keySalt: 12345}).nextKey()
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a.owner(key), b.owner(key))
+		}
+		if a.owner(key) != a.owner(key) {
+			t.Fatalf("ring unstable on %q", key)
+		}
+	}
+}
+
+// TestRingDistribution checks virtual nodes do their job: minted keys spread
+// across a 4-replica ring with no replica further than 2× from its fair
+// share (64 vnodes keeps real imbalance within a few percent; the bound here
+// is loose so the test never flakes on a new key schedule).
+func TestRingDistribution(t *testing.T) {
+	rg := newRing(4, 64)
+	p := &Pool{keySalt: hash64("dist-test")}
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[rg.owner(p.nextKey())]++
+	}
+	for rep, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Fatalf("replica %d owns %d/%d keys — ring badly imbalanced: %v", rep, c, n, counts)
+		}
+	}
+}
+
+// TestRingOwnerCoversRange exercises the wrap-around: keys hashing past the
+// highest ring point must map to the lowest point's owner, not panic or
+// fall off the end.
+func TestRingOwnerCoversRange(t *testing.T) {
+	rg := newRing(3, 8)
+	for i := 0; i < 10000; i++ {
+		key := (&Pool{keySalt: uint64(i)}).nextKey()
+		if o := rg.owner(key); o < 0 || o > 2 {
+			t.Fatalf("owner(%q) = %d out of range", key, o)
+		}
+	}
+}
+
+func TestSplitFID(t *testing.T) {
+	cases := []struct {
+		fid, key, local string
+		ok              bool
+	}{
+		{"f3a09b12.s4", "f3a09b12", "s4", true},
+		{"abc.s1.extra", "abc", "s1.extra", true}, // split at the first dot
+		{"nodot", "", "", false},
+		{".s4", "", "", false},
+		{"abc.", "", "", false},
+		{"", "", "", false},
+	}
+	for _, c := range cases {
+		key, local, ok := splitFID(c.fid)
+		if ok != c.ok || key != c.key || local != c.local {
+			t.Fatalf("splitFID(%q) = %q, %q, %v; want %q, %q, %v",
+				c.fid, key, local, ok, c.key, c.local, c.ok)
+		}
+	}
+}
+
+// TestNextKeyUnique guards the mint: 16 hex digits, no repeats within a run.
+func TestNextKeyUnique(t *testing.T) {
+	p := &Pool{keySalt: hash64("unique")}
+	seen := make(map[string]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		k := p.nextKey()
+		if len(k) != 16 {
+			t.Fatalf("key %q: want 16 hex digits", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}

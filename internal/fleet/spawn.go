@@ -1,0 +1,108 @@
+package fleet
+
+// Child-process backend: cmd/insta-router's spawn mode runs each replica as
+// a real insta-served process sharing one -snapshot-dir, so the first child
+// cold-builds and writes the snapshot and the other N-1 (plus every respawn)
+// boot warm from disk in milliseconds. Stop sends SIGTERM — the daemon's
+// drain path persists its committed base before exiting — and escalates to
+// SIGKILL only past the grace budget.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// Proc is one spawned insta-served child.
+type Proc struct {
+	Bin  string
+	Args []string // full args including -addr
+	Addr string   // host:port the child listens on
+
+	cmd  *exec.Cmd
+	done chan error // closed result of cmd.Wait
+}
+
+// SpawnProc starts bin with args (which must include -addr pointing at addr)
+// and waits until its /healthz answers 200 or readyTimeout passes (the child
+// is killed on timeout). stdout/stderr pass through to the parent's.
+func SpawnProc(ctx context.Context, bin string, args []string, addr string, readyTimeout time.Duration) (*Proc, error) {
+	p := &Proc{Bin: bin, Args: args, Addr: addr}
+	if err := p.start(ctx, readyTimeout); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Proc) start(ctx context.Context, readyTimeout time.Duration) error {
+	cmd := exec.Command(p.Bin, p.Args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fleet: spawn %s: %w", p.Bin, err)
+	}
+	p.cmd = cmd
+	p.done = make(chan error, 1)
+	go func() { p.done <- cmd.Wait() }()
+
+	deadline := time.Now().Add(readyTimeout)
+	client := &http.Client{Timeout: time.Second}
+	for {
+		select {
+		case err := <-p.done:
+			return fmt.Errorf("fleet: replica %s exited during boot: %v", p.Addr, err)
+		case <-ctx.Done():
+			_ = p.Stop(0)
+			return ctx.Err()
+		default:
+		}
+		resp, err := client.Get(p.URL() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = p.Stop(0)
+			return fmt.Errorf("fleet: replica %s not ready after %s", p.Addr, readyTimeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// URL returns the child's base URL.
+func (p *Proc) URL() string { return "http://" + p.Addr }
+
+// Stop terminates the child: SIGTERM, wait up to grace for the daemon's own
+// drain to finish, then SIGKILL. A non-positive grace kills immediately.
+func (p *Proc) Stop(grace time.Duration) error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return nil
+	}
+	if grace > 0 {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-p.done:
+			return nil
+		case <-time.After(grace):
+		}
+	}
+	_ = p.cmd.Process.Kill()
+	<-p.done
+	return nil
+}
+
+// Restart stops the child and boots a fresh one on the same address with the
+// same args — the swap primitive for spawn mode (with a shared -snapshot-dir
+// the respawn warm-boots into the latest committed snapshot).
+func (p *Proc) Restart(ctx context.Context, grace, readyTimeout time.Duration) error {
+	if err := p.Stop(grace); err != nil {
+		return err
+	}
+	return p.start(ctx, readyTimeout)
+}

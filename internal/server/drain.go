@@ -1,0 +1,46 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+)
+
+// Drain is the daemon's graceful-shutdown path, shared by cmd/insta-served
+// and the fleet's rolling snapshot-swap: stop accepting new connections,
+// finish every in-flight request within ctx's budget, persist the committed
+// base through the snapshot cache when one is configured (so ECOs committed
+// this run survive into the next boot), and release the live sessions.
+//
+// The returned error is http.Server.Shutdown's: nil when every in-flight
+// request completed inside the budget, ctx's error when the budget ran out
+// first. The snapshot save and session release run either way — a drain that
+// times out must still not leak state.
+func Drain(ctx context.Context, httpSrv *http.Server, mgr *Manager, log *slog.Logger) error {
+	if log == nil {
+		log = slog.Default()
+	}
+	err := httpSrv.Shutdown(ctx)
+	if err != nil {
+		log.Warn("drain incomplete", "err", err)
+	}
+	// Persist the committed base so a warm restart serves the ECO'd state.
+	// Best-effort: a server without a cache (or without a boot key) skips it.
+	if mgr.Snapshots() != nil && mgr.Boot() != nil && mgr.Boot().SnapshotKey != "" {
+		if path, size, key, serr := mgr.SaveSnapshot(); serr != nil {
+			log.Warn("drain snapshot save failed", "err", serr)
+		} else {
+			log.Info("drain snapshot saved", "path", path, "bytes", size, "key", shorten(key))
+		}
+	}
+	mgr.CloseAll()
+	return err
+}
+
+// shorten trims a content-address key for log lines.
+func shorten(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

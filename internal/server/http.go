@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insta/internal/obs"
@@ -34,6 +35,11 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 	log   *slog.Logger
+
+	// inflight counts requests currently inside a work handler. The probe
+	// routes (/healthz, /metrics) are excluded so a router polling health
+	// doesn't read its own probes as load.
+	inflight atomic.Int64
 }
 
 // New builds the HTTP layer. The design name is the only field the manager
@@ -152,11 +158,18 @@ func (sw *statusWriter) WriteHeader(code int) {
 // structured request logging: successes at Debug so production log volume is
 // opt-in via the level, error statuses at Warn.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	work := name != "healthz" && name != "metrics"
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if work {
+			s.inflight.Add(1)
+		}
 		t0 := time.Now()
 		h(sw, r)
 		d := time.Since(t0)
+		if work {
+			s.inflight.Add(-1)
+		}
 		s.met.observe(name, sw.code, d)
 		level := slog.LevelDebug
 		if sw.code >= 400 {
@@ -223,13 +236,27 @@ func errCode(err error) int {
 	}
 }
 
+// Inflight reports how many work requests (anything but the /healthz and
+// /metrics probes) are currently inside a handler.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	live := s.mgr.NumSessions()
+	max := s.mgr.MaxSessions()
 	resp := map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
 		"design":   s.info,
-		"sessions": s.mgr.NumSessions(),
+		"sessions": live,
 		"epoch":    s.mgr.Epoch(),
+		// The live-load section a fleet router keys admission and hedging
+		// decisions off. Append-only: existing fields above never change shape.
+		"load": map[string]any{
+			"live_sessions": live,
+			"max_sessions":  max,
+			"headroom":      max - live,
+			"inflight":      int(s.inflight.Load()),
+		},
 	}
 	if bi := s.mgr.Boot(); bi != nil {
 		resp["boot"] = bi
@@ -331,6 +358,13 @@ func (s *Server) handleGradients(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Create()
 	if err != nil {
+		// A full admission cap is load, not breakage: answer 503 with a
+		// Retry-After hint so pool clients back off and retry instead of
+		// treating the replica as broken, and count it separately.
+		if errors.Is(err, ErrTooManySessions) {
+			s.met.admissionRejects.Inc()
+			w.Header().Set("Retry-After", "1")
+		}
 		writeErr(w, errCode(err), err)
 		return
 	}

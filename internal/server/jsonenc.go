@@ -32,6 +32,22 @@ type jsonEnc struct {
 	keys []string
 }
 
+// takeKeys detaches the key-sorting scratch for one map encode. Detaching —
+// rather than handing out e.keys directly — is what makes nested maps safe:
+// a nested map encode inside an outer map's value loop must not reuse (and
+// truncate) the backing array the outer loop is still ranging over. The
+// outermost map of a response gets the retained scratch at zero cost; a
+// nested map sees nil and grows its own small slice.
+func (e *jsonEnc) takeKeys() []string {
+	keys := e.keys
+	e.keys = nil
+	return keys[:0]
+}
+
+// putKeys returns a scratch after a map encode. The outermost map's putKeys
+// runs last, so the retained scratch is the top-level one.
+func (e *jsonEnc) putKeys(keys []string) { e.keys = keys[:0] }
+
 var encPool = sync.Pool{
 	New: func() any { return &jsonEnc{buf: make([]byte, 0, 4096)} },
 }
@@ -95,12 +111,11 @@ func (e *jsonEnc) appendValue(b []byte, v any) ([]byte, error) {
 		}
 		return append(b, ']'), nil
 	case map[string]any:
-		keys := e.keys[:0]
+		keys := e.takeKeys()
 		for k := range x {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		e.keys = keys
 		b = append(b, '{')
 		var err error
 		for i, k := range keys {
@@ -110,17 +125,18 @@ func (e *jsonEnc) appendValue(b []byte, v any) ([]byte, error) {
 			b = appendJSONString(b, k)
 			b = append(b, ':')
 			if b, err = e.appendValue(b, x[k]); err != nil {
+				e.putKeys(keys)
 				return b, err
 			}
 		}
+		e.putKeys(keys)
 		return append(b, '}'), nil
 	case map[string]string:
-		keys := e.keys[:0]
+		keys := e.takeKeys()
 		for k := range x {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		e.keys = keys
 		b = append(b, '{')
 		for i, k := range keys {
 			if i > 0 {
@@ -130,14 +146,14 @@ func (e *jsonEnc) appendValue(b []byte, v any) ([]byte, error) {
 			b = append(b, ':')
 			b = appendJSONString(b, x[k])
 		}
+		e.putKeys(keys)
 		return append(b, '}'), nil
 	case map[string]float64:
-		keys := e.keys[:0]
+		keys := e.takeKeys()
 		for k := range x {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		e.keys = keys
 		b = append(b, '{')
 		var err error
 		for i, k := range keys {
@@ -147,9 +163,11 @@ func (e *jsonEnc) appendValue(b []byte, v any) ([]byte, error) {
 			b = appendJSONString(b, k)
 			b = append(b, ':')
 			if b, err = appendJSONFloat(b, x[k]); err != nil {
+				e.putKeys(keys)
 				return b, err
 			}
 		}
+		e.putKeys(keys)
 		return append(b, '}'), nil
 	default:
 		raw, err := json.Marshal(v)

@@ -28,6 +28,16 @@ func FuzzPooledEncoder(f *testing.F) {
 			map[string]any{k: s, "x": fl, "n": n},
 			map[string]string{k: s, "x": k},
 			map[string]float64{k: fl, "x": -fl},
+			// Nested maps: the inner encode must not clobber the outer map's
+			// key-sorting scratch mid-iteration (keys sorting after the nested
+			// value used to be corrupted — the /healthz "load"/"latency_s"
+			// shape).
+			map[string]any{
+				"a": map[string]float64{k: fl, "q": -fl},
+				"m": map[string]any{"z": s, "b": n, k: b},
+				"x": s, "y": fl, "z": n,
+			},
+			map[string]any{k: map[string]string{"j": s}, "tail": s},
 		}
 		for _, v := range vals {
 			want, werr := json.Marshal(v)

@@ -23,19 +23,21 @@ var latBounds = []float64{
 // collectors. Family registration order fixes the /metrics exposition order,
 // which server_test.go pins byte-for-byte against the pre-obs output.
 type metrics struct {
-	reg      *obs.Registry
-	requests *obs.CounterVec
-	latency  *obs.Histogram // all routes
-	ecoLat   *obs.Histogram // POST /session/{id}/eco only
+	reg              *obs.Registry
+	requests         *obs.CounterVec
+	latency          *obs.Histogram // all routes
+	ecoLat           *obs.Histogram // POST /session/{id}/eco only
+	admissionRejects *obs.Counter   // session creates refused at the cap
 }
 
 func newMetrics(m *Manager) *metrics {
 	reg := obs.NewRegistry()
 	mt := &metrics{
-		reg:      reg,
-		requests: reg.CounterVec("insta_requests_total", "route", "code"),
-		latency:  reg.Histogram("insta_request_seconds", latBounds),
-		ecoLat:   reg.Histogram("insta_eco_seconds", latBounds),
+		reg:              reg,
+		requests:         reg.CounterVec("insta_requests_total", "route", "code"),
+		latency:          reg.Histogram("insta_request_seconds", latBounds),
+		ecoLat:           reg.Histogram("insta_eco_seconds", latBounds),
+		admissionRejects: reg.Counter("insta_admission_rejects_total"),
 	}
 	reg.Collector("insta_sessions", func(w io.Writer) {
 		c := m.Counters()

@@ -53,8 +53,9 @@ func getBody(t *testing.T, url string) (int, string) {
 // TestMetricsByteCompat pins the /metrics exposition byte-for-byte on a fresh
 // server: the obs-registry rewrite must render the exact same bytes the
 // pre-obs hand-rolled writer produced (scrape names, label format, family
-// order, %g float formatting). The first scrape is fully deterministic
-// because a request is only counted after its handler returns.
+// order, %g float formatting), with later additions append-only in family
+// order (insta_admission_rejects_total). The first scrape is fully
+// deterministic because a request is only counted after its handler returns.
 func TestMetricsByteCompat(t *testing.T) {
 	mgr, _ := newTestManager(t, "des", 8, 2, server.Options{})
 	srv := httptest.NewServer(server.New(mgr, "des").Handler())
@@ -64,6 +65,8 @@ func TestMetricsByteCompat(t *testing.T) {
 	want := "# TYPE insta_requests_total counter\n" +
 		emptyHistExposition("insta_request_seconds") +
 		emptyHistExposition("insta_eco_seconds") +
+		"# TYPE insta_admission_rejects_total counter\n" +
+		"insta_admission_rejects_total 0\n" +
 		"# TYPE insta_sessions gauge\n" +
 		"insta_sessions_live 0\n" +
 		"insta_sessions_created_total 0\n" +

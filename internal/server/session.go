@@ -310,6 +310,9 @@ func (m *Manager) NumSessions() int {
 	return len(m.sessions)
 }
 
+// MaxSessions returns the admission cap Create enforces.
+func (m *Manager) MaxSessions() int { return m.opt.MaxSessions }
+
 // Create opens a new session against the current base, or fails with
 // ErrTooManySessions at the admission cap.
 func (m *Manager) Create() (*Session, error) {
