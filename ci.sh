@@ -40,6 +40,13 @@
 #                      plus the unconditional gates (zero errors, zero
 #                      dropped sessions through a rolling snapshot swap),
 #                      rewriting BENCH_fleet.json
+#  10. topo gate     — the structural-ECO bench re-runs with the tentpole
+#                      bound armed (INSTA_TOPO_GATE=1): a steady-state
+#                      incremental edit batch (buffer insertions + patched
+#                      recompile + in-place reseed) must beat the cold
+#                      compile-and-propagate rebuild of the edited block-1
+#                      netlist by >= 10x, bit-identical to it, rewriting
+#                      BENCH_topo.json
 #
 # Run from the repo root: ./ci.sh
 set -eu
@@ -53,8 +60,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core + batch + server + obs + snap + fleet, short) =="
-go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/server/... ./internal/obs/... ./internal/snap/... ./internal/fleet/...
+echo "== go test -race (sched + core + batch + topo + server + obs + snap + fleet, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/topo/... ./internal/server/... ./internal/obs/... ./internal/snap/... ./internal/fleet/...
 
 echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
 go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/
@@ -70,5 +77,8 @@ INSTA_GC_GATE=1 go test -run TestGCBenchRegression .
 
 echo "== fleet gate (fleet p99 <= single p99, hedged reads, zero-drop rolling swap) =="
 INSTA_FLEET_GATE=1 go test -run TestFleetBenchRegression .
+
+echo "== topo gate (incremental structural edit >= 10x cold rebuild) =="
+INSTA_TOPO_GATE=1 go test -run TestTopoBenchRegression .
 
 echo "ci.sh: all checks passed"

@@ -287,6 +287,84 @@ func NewFromState(st *core.State, scns []Scenario, opt core.Options) (*Engine, e
 	return newFromState(st, scns, opt)
 }
 
+// NewSeeded stands up a batched engine over st — the compiled state of a
+// structurally edited netlist — warm-started from prev, a fully evaluated
+// batched engine over the pre-edit netlist with the same scenarios, TopK and
+// hold setting, by re-propagating only the fan-out cone of the seed pins
+// (every pin whose fan-in set changed, including appended pins) in all
+// scenarios at once. The result is bit-identical to a cold
+// NewFromState(st, scns, opt) + Run(), by the same argument as
+// core.NewEngineSeeded: pin ids are stable across structural edits, so
+// prev's converged per-scenario planes are valid arrival state outside the
+// seeds' cone, and the equality-stopping wavefront recomputes the rest.
+func NewSeeded(st *core.State, prev *Engine, seeds []int32, scns []Scenario, opt core.Options) (*Engine, error) {
+	if err := validateBatch(scns, opt); err != nil {
+		return nil, err
+	}
+	if prev == nil {
+		return nil, fmt.Errorf("batch: NewSeeded requires a previous engine")
+	}
+	if opt.TopK != prev.opt.TopK {
+		return nil, fmt.Errorf("batch: seeded engine TopK %d != previous %d", opt.TopK, prev.opt.TopK)
+	}
+	if opt.Hold != (prev.hold != nil) {
+		return nil, fmt.Errorf("batch: seeded engine hold=%v != previous %v", opt.Hold, prev.hold != nil)
+	}
+	if len(scns) != len(prev.scns) {
+		return nil, fmt.Errorf("batch: seeded engine has %d scenarios, previous %d", len(scns), len(prev.scns))
+	}
+	for i, s := range scns {
+		if s != prev.scns[i] {
+			return nil, fmt.Errorf("batch: seeded scenario %d (%q) differs from previous (%q)", i, s.Name, prev.scns[i].Name)
+		}
+	}
+	if st.NumPins < prev.numPins {
+		return nil, fmt.Errorf("batch: pin count shrank %d -> %d (pins are append-only)", prev.numPins, st.NumPins)
+	}
+	sp := opt.Tracer.StartArg("batch-engine-seed", "seeds", int64(len(seeds)))
+	defer sp.End()
+	e, err := newFromState(st, scns, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-rf block copy of prev's converged planes: the tensors are rf-major
+	// ((((rf*numPins)+pin)*S+s)*K), so each rf block of prev.numPins*S*K
+	// entries relocates when numPins grows.
+	k, S := opt.TopK, len(scns)
+	blk := prev.numPins * S * k
+	for rf := 0; rf < 2; rf++ {
+		dst, src := rf*st.NumPins*S*k, rf*blk
+		copy(e.topArr[dst:dst+blk], prev.topArr[src:src+blk])
+		copy(e.topMean[dst:dst+blk], prev.topMean[src:src+blk])
+		copy(e.topStd[dst:dst+blk], prev.topStd[src:src+blk])
+		copy(e.topSP[dst:dst+blk], prev.topSP[src:src+blk])
+		if e.hold != nil {
+			copy(e.hold.negArr[dst:dst+blk], prev.hold.negArr[src:src+blk])
+			copy(e.hold.mean[dst:dst+blk], prev.hold.mean[src:src+blk])
+			copy(e.hold.std[dst:dst+blk], prev.hold.std[src:src+blk])
+			copy(e.hold.sp[dst:dst+blk], prev.hold.sp[src:src+blk])
+		}
+		// Appended pins start with empty queues in every scenario, exactly
+		// like a cold engine entering its first propagatePin.
+		if st.NumPins > prev.numPins {
+			lo := e.qbase(rf, int32(prev.numPins), 0)
+			hi := e.qbase(rf, int32(st.NumPins-1), S-1) + k
+			clearQueues(e.topArr[lo:hi], e.topSP[lo:hi])
+			if e.hold != nil {
+				clearQueues(e.hold.negArr[lo:hi], e.hold.sp[lo:hi])
+			}
+		}
+	}
+
+	e.PropagateIncrementalPins(seeds)
+	e.EvalSlacks()
+	if e.hold != nil {
+		e.EvalHoldSlacks()
+	}
+	return e, nil
+}
+
 // validateBatch checks the scenario list and analysis knobs shared by both
 // constructors.
 func validateBatch(scns []Scenario, opt core.Options) error {
@@ -448,6 +526,10 @@ func (e *Engine) NumLevels() int { return e.lv.NumLevels }
 
 // TopK returns the configured K.
 func (e *Engine) TopK() int { return e.opt.TopK }
+
+// Options returns the engine's construction options (topo sessions use them
+// to build seeded engines with the base engine's exact configuration).
+func (e *Engine) Options() core.Options { return e.opt }
 
 // HoldEnabled reports whether the engine propagates early arrivals.
 func (e *Engine) HoldEnabled() bool { return e.hold != nil }

@@ -45,29 +45,58 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 	}
 	sp := e.tracer.StartArg(kIncremental, "arcs", int64(len(arcs)))
 	defer sp.End()
-	foStart, foAdj := e.fanoutCSR()
+	sc := e.incScratch()
+	for _, a := range arcs {
+		e.incPush(sc, e.arcTo[a])
+	}
+	e.runIncrementalWave(sc)
+}
 
-	// Wavefront state lives in engine-owned scratch: incremental propagation
-	// mutates base tensors, so calls are exclusive and the scratch is reused
-	// allocation-free across calls.
+// PropagateIncrementalPins is PropagateIncremental seeded by pins instead of
+// arcs: every listed pin is recomputed from its (possibly restructured)
+// fan-in in every scenario and the wavefront expands downstream. This is the
+// re-propagation entry point of seeded batched engine construction after a
+// structural edit (NewSeeded).
+func (e *Engine) PropagateIncrementalPins(pins []int32) {
+	if len(pins) == 0 {
+		return
+	}
+	sp := e.tracer.StartArg(kIncremental, "pins", int64(len(pins)))
+	defer sp.End()
+	sc := e.incScratch()
+	for _, p := range pins {
+		e.incPush(sc, p)
+	}
+	e.runIncrementalWave(sc)
+}
+
+// incScratch returns the engine's reset incremental-propagation scratch.
+// Wavefront state lives in engine-owned scratch: incremental propagation
+// mutates base tensors, so calls are exclusive and the scratch is reused
+// allocation-free across calls.
+func (e *Engine) incScratch() *propScratch {
 	if e.inc == nil {
 		e.inc = e.newPropScratch()
 	}
-	sc := e.inc
-	sc.reset()
-	buckets, queued := sc.buckets, sc.queued
-	push := func(p int32) {
-		if !queued[p] {
-			queued[p] = true
-			buckets[e.lv.Level[p]] = append(buckets[e.lv.Level[p]], p)
-		}
-	}
-	for _, a := range arcs {
-		push(e.arcTo[a])
-	}
+	e.inc.reset()
+	return e.inc
+}
 
-	for l := 0; l < len(buckets); l++ {
-		bucket := buckets[l]
+// incPush enqueues pin p into its level bucket once.
+func (e *Engine) incPush(sc *propScratch, p int32) {
+	if !sc.queued[p] {
+		sc.queued[p] = true
+		sc.buckets[e.lv.Level[p]] = append(sc.buckets[e.lv.Level[p]], p)
+	}
+}
+
+// runIncrementalWave walks the pre-seeded level buckets in order, recomputing
+// each bucket through the pool and expanding wavefronts whose queues changed
+// in any scenario.
+func (e *Engine) runIncrementalWave(sc *propScratch) {
+	foStart, foAdj := e.fanoutCSR()
+	for l := 0; l < len(sc.buckets); l++ {
+		bucket := sc.buckets[l]
 		if len(bucket) == 0 {
 			continue
 		}
@@ -107,7 +136,7 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 		for i, p := range bucket {
 			if changed[i] {
 				for _, to := range foAdj[foStart[p]:foStart[p+1]] {
-					push(to)
+					e.incPush(sc, to)
 				}
 			}
 		}

@@ -555,6 +555,48 @@ func (o *Overlay) Rebase() {
 	o.pending = append(o.pending[:0], o.touched...)
 }
 
+// RebaseStructural re-targets the overlay at a structurally edited
+// replacement of its batched base. remap maps the old engine's arc ids to
+// e's (-1 = removed); nil means identity (insert-only edits append arcs
+// without renumbering). Nominal deltas on surviving arcs are kept, re-keyed
+// and scheduled for re-propagation; deltas on removed arcs are dropped to
+// the freelist. Derived state is invalidated like Rebase and the wavefront
+// scratch is discarded (the new engine's level count differs). Pin-queue and
+// slack freelist storage survives: sizes depend only on TopK and S, which a
+// structural edit never changes.
+func (o *Overlay) RebaseStructural(e *Engine, remap []int32) {
+	o.releasePins()
+	o.releaseSlacks()
+	o.dirty = o.dirty[:0]
+	o.changedEPs = o.changedEPs[:0]
+	o.scratch = nil
+
+	// Re-key surviving deltas; old and new id ranges can overlap after a
+	// removal compaction, so drain the map first and reinsert.
+	oldTouched := append([]int32(nil), o.touched...)
+	oldDeltas := make([]*[2][2]float64, len(oldTouched))
+	for i, a := range oldTouched {
+		oldDeltas[i] = o.arcDelta[a]
+	}
+	clear(o.arcDelta)
+	o.touched = o.touched[:0]
+	o.pending = o.pending[:0]
+	for i, a := range oldTouched {
+		na := a
+		if remap != nil {
+			na = remap[a]
+		}
+		if na < 0 {
+			o.distFree = append(o.distFree, oldDeltas[i])
+			continue
+		}
+		o.arcDelta[na] = oldDeltas[i]
+		o.touched = append(o.touched, na)
+		o.pending = append(o.pending, na)
+	}
+	o.e = e
+}
+
 // Commit folds the overlay's nominal arc deltas into the batched base,
 // re-propagates the affected cone incrementally across all scenarios,
 // re-evaluates every scenario's slacks, and resets the overlay. The caller

@@ -74,8 +74,11 @@ type Engine struct {
 	opt     Options
 	st      *State // compiled state the engine was built over (ExportState)
 	numPins int
-	period  float64
-	nSigma  float64
+	capPins int // tensor row stride in pins: >= numPins; the surplus is
+	// headroom so a structural reseed can append pins without relocating
+	// the rf=1 tensor blocks (see ReseedStructural)
+	period float64
+	nSigma float64
 
 	// Fan-in CSR over pins: entries faninStart[p]..faninStart[p+1] index the
 	// incoming arcs of pin p (the paper's outPin_parent_start array, Fig. 3).
@@ -203,9 +206,14 @@ func (e *Engine) levelPlan() []levelGroup {
 // evaluate concurrently over one frozen base.
 type propScratch struct {
 	buckets [][]int32
-	queued  map[int32]bool
-	changed []bool
-	snaps   []snapshotBuf
+	// Queued-pin set as an epoch-stamped slice: queuedAt[p] == stamp means p
+	// is in a bucket this call. Reset is O(1) (bump the stamp), membership is
+	// one indexed load — a wavefront covering tens of thousands of pins pays
+	// no map overhead on its hottest dedupe check.
+	queuedAt []uint32
+	stamp    uint32
+	changed  []bool
+	snaps    []snapshotBuf
 
 	// Persistent kernel binding (see PropagateIncremental): the closure is
 	// created once and reads the current bucket through this field, so the
@@ -214,11 +222,12 @@ type propScratch struct {
 	kernFn func(id, lo, hi int)
 }
 
-func newPropScratch(levels, width, k int) *propScratch {
+func newPropScratch(levels, pins, width, k int) *propScratch {
 	s := &propScratch{
-		buckets: make([][]int32, levels),
-		queued:  make(map[int32]bool, 64),
-		snaps:   make([]snapshotBuf, width),
+		buckets:  make([][]int32, levels),
+		queuedAt: make([]uint32, pins),
+		stamp:    1,
+		snaps:    make([]snapshotBuf, width),
 	}
 	for i := range s.snaps {
 		s.snaps[i] = snapshotBuf{
@@ -231,12 +240,28 @@ func newPropScratch(levels, width, k int) *propScratch {
 	return s
 }
 
-// reset empties the wavefront state for reuse, keeping all capacity.
+// reset empties the wavefront state for reuse, keeping all capacity. The
+// queued set clears by bumping the stamp; on the (2^32 calls) wraparound the
+// slice is scrubbed so stale stamps can never read as queued.
 func (s *propScratch) reset() {
 	for i := range s.buckets {
 		s.buckets[i] = s.buckets[i][:0]
 	}
-	clear(s.queued)
+	s.stamp++
+	if s.stamp == 0 {
+		clear(s.queuedAt)
+		s.stamp = 1
+	}
+}
+
+// markQueued reports whether p was already queued this call, marking it
+// queued either way.
+func (s *propScratch) markQueued(p int32) bool {
+	if s.queuedAt[p] == s.stamp {
+		return true
+	}
+	s.queuedAt[p] = s.stamp
+	return false
 }
 
 // NewEngine initializes INSTA from extracted circuitops tables — the
@@ -251,7 +276,7 @@ func NewEngine(t *circuitops.Tables, opt Options) (*Engine, error) {
 	}
 	build := opt.Tracer.StartArg("engine-build", "pins", int64(t.NumPins))
 	defer build.End()
-	st, err := compile(t, build)
+	st, err := compile(t, build, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -342,9 +367,11 @@ func (e *Engine) KernelStats() []sched.KernelProfile {
 	return e.stats.Snapshot()
 }
 
-// base returns the flat offset of (rf, pin)'s Top-K block.
+// base returns the flat offset of (rf, pin)'s Top-K block. The row stride is
+// capPins, not numPins: an engine may carry tensor headroom beyond its live
+// pins so structural reseeds grow in place.
 func (e *Engine) base(rf int, pin int32) int {
-	return ((rf * e.numPins) + int(pin)) * e.opt.TopK
+	return ((rf * e.capPins) + int(pin)) * e.opt.TopK
 }
 
 // NumLevels returns the timing level count; INSTA's runtime scales with this

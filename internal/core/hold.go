@@ -32,7 +32,7 @@ type holdState struct {
 // initHold allocates the hold buffers from the extraction tables.
 func (e *Engine) initHold(holdRise, holdFall []float64) {
 	k := e.opt.TopK
-	sz := 2 * e.numPins * k
+	sz := 2 * e.capPins * k
 	e.hold = &holdState{
 		negArr:  make([]float64, sz),
 		mean:    make([]float64, sz),

@@ -57,31 +57,58 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 	}
 	sp := e.tracer.StartArg(kIncremental, "arcs", int64(len(arcs)))
 	defer sp.End()
-	foStart, foAdj := e.fanoutCSR()
-
-	// All wavefront state lives in engine-owned scratch: incremental
-	// propagation mutates base tensors, so calls are exclusive and the
-	// scratch is reused allocation-free across calls (the serving layer's
-	// commit path runs thousands of these).
-	if e.inc == nil {
-		e.inc = newPropScratch(e.lv.NumLevels, e.scratchWidth(), e.opt.TopK)
-	}
-	sc := e.inc
-	sc.reset()
-	buckets, queued := sc.buckets, sc.queued
-	push := func(p int32) {
-		if !queued[p] {
-			queued[p] = true
-			l := e.lv.Level[p]
-			buckets[l] = append(buckets[l], p)
-		}
-	}
+	sc := e.incScratch()
 	for _, a := range arcs {
-		push(e.arcTo[a])
+		e.incPush(sc, e.arcTo[a])
 	}
+	e.runIncrementalWave(sc)
+}
 
-	for l := 0; l < len(buckets); l++ {
-		bucket := buckets[l]
+// PropagateIncrementalPins is PropagateIncremental seeded by pins instead of
+// arcs: every listed pin is recomputed from its (possibly restructured)
+// fan-in and the wavefront expands downstream from there. This is the
+// re-propagation entry point of seeded engine construction after a
+// structural edit (NewEngineSeeded), where the changed unit is a pin's
+// fan-in set rather than a single arc's annotation.
+func (e *Engine) PropagateIncrementalPins(pins []int32) {
+	if len(pins) == 0 {
+		return
+	}
+	sp := e.tracer.StartArg(kIncremental, "pins", int64(len(pins)))
+	defer sp.End()
+	sc := e.incScratch()
+	for _, p := range pins {
+		e.incPush(sc, p)
+	}
+	e.runIncrementalWave(sc)
+}
+
+// incScratch returns the engine's reset incremental-propagation scratch.
+// All wavefront state lives in engine-owned scratch: incremental propagation
+// mutates base tensors, so calls are exclusive and the scratch is reused
+// allocation-free across calls (the serving layer's commit path runs
+// thousands of these).
+func (e *Engine) incScratch() *propScratch {
+	if e.inc == nil {
+		e.inc = newPropScratch(e.lv.NumLevels, e.numPins, e.scratchWidth(), e.opt.TopK)
+	}
+	e.inc.reset()
+	return e.inc
+}
+
+// incPush enqueues pin p into its level bucket once.
+func (e *Engine) incPush(sc *propScratch, p int32) {
+	if !sc.markQueued(p) {
+		sc.buckets[e.lv.Level[p]] = append(sc.buckets[e.lv.Level[p]], p)
+	}
+}
+
+// runIncrementalWave walks the pre-seeded level buckets in order, recomputing
+// each bucket through the pool and expanding wavefronts whose queues changed.
+func (e *Engine) runIncrementalWave(sc *propScratch) {
+	foStart, foAdj := e.fanoutCSR()
+	for l := 0; l < len(sc.buckets); l++ {
+		bucket := sc.buckets[l]
 		if len(bucket) == 0 {
 			continue
 		}
@@ -123,7 +150,7 @@ func (e *Engine) PropagateIncremental(arcs []int32) {
 		for i, p := range bucket {
 			if changed[i] {
 				for _, to := range foAdj[foStart[p]:foStart[p+1]] {
-					push(to)
+					e.incPush(sc, to)
 				}
 			}
 		}

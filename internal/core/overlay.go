@@ -225,14 +225,13 @@ func (o *Overlay) Propagate() {
 	// Wavefront state is per-overlay (concurrent overlays share one frozen
 	// base but never scratch), reused allocation-free across Propagate calls.
 	if o.scratch == nil {
-		o.scratch = newPropScratch(e.lv.NumLevels, e.scratchWidth(), e.opt.TopK)
+		o.scratch = newPropScratch(e.lv.NumLevels, e.numPins, e.scratchWidth(), e.opt.TopK)
 	}
 	sc := o.scratch
 	sc.reset()
-	buckets, queued := sc.buckets, sc.queued
+	buckets := sc.buckets
 	push := func(p int32) {
-		if !queued[p] {
-			queued[p] = true
+		if !sc.markQueued(p) {
 			buckets[e.lv.Level[p]] = append(buckets[e.lv.Level[p]], p)
 		}
 	}
@@ -521,6 +520,50 @@ func (o *Overlay) Rebase() {
 	// A delta that now matches the re-committed base annotation costs only a
 	// one-pin wavefront that stops on equality.
 	o.pending = append(o.pending[:0], o.touched...)
+}
+
+// RebaseStructural re-targets the overlay at a structurally edited
+// replacement of its base engine. remap maps the old engine's arc ids to
+// e's (-1 = arc removed by the edit); nil means identity (an insert-only
+// edit appends arcs without renumbering). Arc deltas on surviving arcs are
+// kept — SetArcDelay stores absolute per-rf delays, so the values remain
+// meaningful under the new engine — re-keyed through remap and scheduled for
+// re-propagation; deltas on removed arcs are dropped to the freelist. All
+// derived state (queues, slacks) is invalidated like Rebase, and the
+// wavefront scratch is discarded because the new engine's level count
+// differs. Pin-queue freelist storage survives: its size depends only on
+// TopK, which a structural edit never changes.
+func (o *Overlay) RebaseStructural(e *Engine, remap []int32) {
+	o.releasePins()
+	clear(o.epSlack)
+	o.dirty = o.dirty[:0]
+	o.changedEPs = o.changedEPs[:0]
+	o.scratch = nil
+
+	// Re-key surviving deltas. Old and new id ranges can overlap after a
+	// removal compaction, so drain the map first and reinsert.
+	oldTouched := append([]int32(nil), o.touched...)
+	oldDeltas := make([]*[2]num.Dist, len(oldTouched))
+	for i, a := range oldTouched {
+		oldDeltas[i] = o.arcDelta[a]
+	}
+	clear(o.arcDelta)
+	o.touched = o.touched[:0]
+	o.pending = o.pending[:0]
+	for i, a := range oldTouched {
+		na := a
+		if remap != nil {
+			na = remap[a]
+		}
+		if na < 0 {
+			o.distFree = append(o.distFree, oldDeltas[i])
+			continue
+		}
+		o.arcDelta[na] = oldDeltas[i]
+		o.touched = append(o.touched, na)
+		o.pending = append(o.pending, na)
+	}
+	o.e = e
 }
 
 // Commit folds the overlay's arc deltas into the base engine, re-propagates

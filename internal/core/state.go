@@ -102,16 +102,47 @@ type State struct {
 // tables: the one-time initialization of Fig. 1/Fig. 2 minus the engine's
 // working tensors. This is the expensive half of NewEngine; a snapshot of
 // the result warm-starts any engine configuration.
-func Compile(t *circuitops.Tables) (*State, error) { return compile(t, nil) }
+func Compile(t *circuitops.Tables) (*State, error) { return compile(t, nil, nil) }
 
 // CompileTraced is Compile recording its levelize phase as a child of
 // parent (used by the batched engine, which owns the enclosing build span).
 func CompileTraced(t *circuitops.Tables, parent *obs.Span) (*State, error) {
-	return compile(t, parent)
+	return compile(t, parent, nil)
 }
 
-// compile is Compile with an optional parent span for build tracing.
-func compile(t *circuitops.Tables, build *obs.Span) (*State, error) {
+// CompileIncremental recompiles extraction tables after a structural edit —
+// arcs spliced, retargeted or removed, pins appended — re-levelizing only
+// the forward closure of the seed pins (every pin whose fan-in set changed,
+// including appended pins) against the previous compiled state. The slab
+// building body is shared with Compile and levelize.Incremental is
+// bit-identical to a full levelization, so the returned State equals
+// Compile(t) of the same edited tables slab for slab; only the levelize
+// phase is localized. The returned stats report the re-levelized region for
+// telemetry (the serving layer's per-op histogram).
+func CompileIncremental(t *circuitops.Tables, prev *State, seeds []int32) (*State, levelize.IncStats, error) {
+	var is levelize.IncStats
+	if prev == nil {
+		return nil, is, fmt.Errorf("core: CompileIncremental requires a previous state")
+	}
+	prevLv := &levelize.Result{
+		Level:      prev.LvLevel,
+		NumLevels:  prev.NumLevels,
+		Order:      prev.LvOrder,
+		LevelStart: prev.LvLevelStart,
+	}
+	st, err := compile(t, nil, func(n int, arcs []levelize.Arc) (*levelize.Result, error) {
+		lv, s, err := levelize.Incremental(n, arcs, prevLv, seeds)
+		is = s
+		return lv, err
+	})
+	return st, is, err
+}
+
+// compile is Compile with an optional parent span for build tracing and an
+// optional levelizer override (nil = full levelize.Levelize; the incremental
+// path substitutes a localized re-levelization that is bit-identical on the
+// edited graph).
+func compile(t *circuitops.Tables, build *obs.Span, lvFn func(int, []levelize.Arc) (*levelize.Result, error)) (*State, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,7 +201,10 @@ func compile(t *circuitops.Tables, build *obs.Span) (*State, error) {
 	for i := range t.Arcs {
 		lvArcs[i] = levelize.Arc{From: t.Arcs[i].From, To: t.Arcs[i].To}
 	}
-	lv, err := levelize.Levelize(t.NumPins, lvArcs)
+	if lvFn == nil {
+		lvFn = levelize.Levelize
+	}
+	lv, err := lvFn(t.NumPins, lvArcs)
 	if err != nil {
 		return nil, err
 	}
@@ -519,6 +553,14 @@ func NewEngineFromState(st *State, opt Options) (*Engine, error) {
 // newEngineFromState is NewEngineFromState without the restore span, shared
 // with the cold NewEngine path (which records "engine-build" instead).
 func newEngineFromState(st *State, opt Options) (*Engine, error) {
+	return newEngineFromStateCap(st, opt, st.NumPins)
+}
+
+// newEngineFromStateCap is newEngineFromState with an explicit tensor row
+// stride capPins >= st.NumPins. The surplus rows are headroom the seeded
+// constructor reserves so later structural reseeds can append pins without
+// relocating the rf=1 tensor blocks; a plain engine gets no headroom.
+func newEngineFromStateCap(st *State, opt Options, capPins int) (*Engine, error) {
 	if opt.TopK < 1 {
 		return nil, fmt.Errorf("core: TopK must be >= 1, got %d", opt.TopK)
 	}
@@ -532,6 +574,7 @@ func newEngineFromState(st *State, opt Options) (*Engine, error) {
 		opt:     opt,
 		st:      st,
 		numPins: st.NumPins,
+		capPins: capPins,
 		period:  st.Period,
 		nSigma:  st.NSigma,
 		pool:    sched.New(opt.Workers, opt.Grain),
@@ -563,7 +606,7 @@ func newEngineFromState(st *State, opt Options) (*Engine, error) {
 	}
 
 	k := opt.TopK
-	sz := 2 * st.NumPins * k
+	sz := 2 * capPins * k
 	e.topArr = make([]float64, sz)
 	e.topMean = make([]float64, sz)
 	e.topStd = make([]float64, sz)
@@ -576,6 +619,206 @@ func newEngineFromState(st *State, opt Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// NewEngineSeeded stands up an engine over st — the compiled state of a
+// structurally edited netlist — warm-started from prev, a fully propagated
+// engine over the pre-edit netlist, by re-propagating only the fan-out cone
+// of the seed pins (every pin whose fan-in set changed, including appended
+// pins) instead of the whole graph.
+//
+// The result is bit-identical to a cold NewEngineFromState(st, opt) + Run():
+// pin ids are stable across structural edits (pins are append-only; removed
+// instances go floating), so prev's converged Top-K planes are valid arrival
+// state for every pin outside the seeds' cone, and the equality-stopping
+// incremental wavefront recomputes exactly the pins whose queues differ.
+// Requires opt.TopK == prev TopK and opt.Hold == prev hold so the copied
+// planes line up; prev must have completed a full Run (or an equivalent
+// incremental commit) so its queues are converged.
+func NewEngineSeeded(st *State, prev *Engine, seeds []int32, opt Options) (*Engine, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: NewEngineSeeded requires a previous engine")
+	}
+	if opt.TopK != prev.opt.TopK {
+		return nil, fmt.Errorf("core: seeded engine TopK %d != previous %d", opt.TopK, prev.opt.TopK)
+	}
+	if opt.Hold != (prev.hold != nil) {
+		return nil, fmt.Errorf("core: seeded engine hold=%v != previous %v", opt.Hold, prev.hold != nil)
+	}
+	if st.NumPins < prev.numPins {
+		return nil, fmt.Errorf("core: pin count shrank %d -> %d (pins are append-only)", prev.numPins, st.NumPins)
+	}
+	// Reserve tensor headroom so that the sessions holding this engine can
+	// keep appending pins through in-place reseeds (ReseedStructural) without
+	// relocating the rf blocks — the steady state of an optimizer issuing
+	// many small structural edits against one session.
+	e, err := newEngineFromStateCap(st, opt, st.NumPins+seedHeadroom)
+	if err != nil {
+		return nil, err
+	}
+	sp := e.tracer.StartArg("engine-seed", "seeds", int64(len(seeds)))
+	defer sp.End()
+
+	// Per-rf block copy of prev's converged planes. The tensors are rf-major
+	// (((rf*capPins)+pin)*K), so each rf block relocates when the stride
+	// grows.
+	k := opt.TopK
+	blk := prev.numPins * k
+	for rf := 0; rf < 2; rf++ {
+		dst, src := rf*e.capPins*k, rf*prev.capPins*k
+		copy(e.topArr[dst:dst+blk], prev.topArr[src:src+blk])
+		copy(e.topMean[dst:dst+blk], prev.topMean[src:src+blk])
+		copy(e.topStd[dst:dst+blk], prev.topStd[src:src+blk])
+		copy(e.topSP[dst:dst+blk], prev.topSP[src:src+blk])
+		if e.hold != nil {
+			copy(e.hold.negArr[dst:dst+blk], prev.hold.negArr[src:src+blk])
+			copy(e.hold.mean[dst:dst+blk], prev.hold.mean[src:src+blk])
+			copy(e.hold.std[dst:dst+blk], prev.hold.std[src:src+blk])
+			copy(e.hold.sp[dst:dst+blk], prev.hold.sp[src:src+blk])
+		}
+		// Appended pins start with empty queues, exactly like a cold engine
+		// entering its first propagatePin.
+		for p := int32(prev.numPins); int(p) < st.NumPins; p++ {
+			b := e.base(rf, p)
+			clearQueue(e.topArr[b:b+k], e.topSP[b:b+k])
+			if e.hold != nil {
+				clearQueue(e.hold.negArr[b:b+k], e.hold.sp[b:b+k])
+			}
+		}
+	}
+
+	e.PropagateIncrementalPins(seeds)
+	e.evalSlacks()
+	if e.hold != nil {
+		e.evalHoldSlacks()
+	}
+	return e, nil
+}
+
+// seedHeadroom is the pin headroom (tensor rows beyond NumPins) a seeded
+// engine reserves for in-place structural growth: 4096 pins = 2048 buffer
+// insertions before a reseed has to relocate the tensors. The cost is
+// 2*headroom*K float64 slots per tensor — a few MB at most.
+const seedHeadroom = 4096
+
+// ReseedStructural re-points a session-private engine at st — the compiled
+// state of the next structural edit over the engine's current netlist — and
+// re-propagates only the seed pins' fan-out cone, all in place: no tensor
+// allocation, no annotation copy, no exception recompile. It is the
+// steady-state counterpart of NewEngineSeeded for an optimizer applying many
+// edit batches to one session; the result is bit-identical to a cold
+// NewEngineFromState(st, opt) + Run() for the same reason the seeded
+// constructor is (pins are append-only, so converged queues outside the
+// seeds' cone remain exact).
+//
+// Contract: st must be derived from the engine's current compiled state by
+// CompileIncremental/CompileIncrementalPatched (pin count grows, SP/EP/
+// exception tables unchanged), and the engine must be private to the caller
+// — the engine ADOPTS st's annotation slabs (SetArcDelay writes them), and
+// every lazily built cache is dropped. Precondition violations are reported
+// before anything is mutated.
+func (e *Engine) ReseedStructural(st *State, seeds []int32) error {
+	if st == nil {
+		return fmt.Errorf("core: ReseedStructural requires a state")
+	}
+	if st.NumPins < e.numPins {
+		return fmt.Errorf("core: pin count shrank %d -> %d (pins are append-only)", e.numPins, st.NumPins)
+	}
+	if len(st.EpPin) != len(e.epPin) || len(st.SpPin) != len(e.spPin) {
+		return fmt.Errorf("core: ReseedStructural cannot change the SP/EP sets")
+	}
+	sp := e.tracer.StartArg("engine-reseed", "seeds", int64(len(seeds)))
+	defer sp.End()
+
+	k := e.opt.TopK
+	if st.NumPins > e.capPins {
+		// Out of headroom: relocate the rf blocks into fresh tensors with a
+		// new allowance. Rare — it takes headroom/2 insert batches to get
+		// here.
+		newCap := st.NumPins + seedHeadroom
+		grow := func(old []float64) []float64 {
+			nw := make([]float64, 2*newCap*k)
+			for rf := 0; rf < 2; rf++ {
+				copy(nw[rf*newCap*k:], old[rf*e.capPins*k:rf*e.capPins*k+e.numPins*k])
+			}
+			return nw
+		}
+		growI := func(old []int32) []int32 {
+			nw := make([]int32, 2*newCap*k)
+			for rf := 0; rf < 2; rf++ {
+				copy(nw[rf*newCap*k:], old[rf*e.capPins*k:rf*e.capPins*k+e.numPins*k])
+			}
+			return nw
+		}
+		e.topArr, e.topMean, e.topStd = grow(e.topArr), grow(e.topMean), grow(e.topStd)
+		e.topSP = growI(e.topSP)
+		if e.hold != nil {
+			e.hold.negArr, e.hold.mean, e.hold.std = grow(e.hold.negArr), grow(e.hold.mean), grow(e.hold.std)
+			e.hold.sp = growI(e.hold.sp)
+		}
+		e.capPins = newCap
+	}
+	// Appended pins start with empty queues, exactly like a cold engine
+	// entering its first propagatePin. base() depends only on capPins, so
+	// this is safe before numPins moves.
+	for rf := 0; rf < 2; rf++ {
+		for p := int32(e.numPins); int(p) < st.NumPins; p++ {
+			b := e.base(rf, p)
+			clearQueue(e.topArr[b:b+k], e.topSP[b:b+k])
+			if e.hold != nil {
+				clearQueue(e.hold.negArr[b:b+k], e.hold.sp[b:b+k])
+			}
+		}
+	}
+
+	// Adopt the new skeleton — including the annotation slabs: the session
+	// that owns this engine also owns st, and keeping one copy is what lets
+	// SetArcDelay, the tables and the compiled state stay coherent without a
+	// per-edit O(arcs) clone.
+	e.st = st
+	e.numPins = st.NumPins
+	e.faninStart, e.faninArc, e.faninFrom, e.faninSense =
+		st.FaninStart, st.FaninArc, st.FaninFrom, st.FaninSense
+	e.arcMean, e.arcStd = st.ArcMean, st.ArcStd
+	e.arcKind, e.arcCell, e.arcNet, e.arcFrom, e.arcTo =
+		st.ArcKind, st.ArcCell, st.ArcNet, st.ArcFrom, st.ArcTo
+	e.lv = &levelize.Result{
+		Level:      st.LvLevel,
+		NumLevels:  st.NumLevels,
+		Order:      st.LvOrder,
+		LevelStart: st.LvLevelStart,
+	}
+	e.spPin, e.spNode, e.spMean, e.spStd, e.spOfPin =
+		st.SpPin, st.SpNode, st.SpMean, st.SpStd, st.SpOfPin
+	e.epPin, e.epNode, e.epBase, e.epOfPin = st.EpPin, st.EpNode, st.EpBase, st.EpOfPin
+	e.clkParent, e.clkCumVar, e.clkDepth = st.ClkParent, st.ClkCumVar, st.ClkDepth
+	e.foStart, e.foAdj, e.foArc = st.FoStart, st.FoAdj, st.FoArc
+	if e.hold != nil {
+		e.hold.epHold = st.EpHold
+	}
+	// The exception lookup keys on SP/EP pins only, which structural edits
+	// never touch — e.exc stays. Every topology-derived lazy cache is
+	// invalidated; it rebuilds on first use at its usual (small) cost.
+	e.inc = nil
+	e.plan = nil
+	e.pinOwner, e.arcStage, e.stageAcc = nil, nil, nil
+	for rf := 0; rf < 2; rf++ {
+		e.gradArr[rf], e.gradArrStd[rf] = nil, nil
+		e.seedMean[rf], e.seedStd[rf] = nil, nil
+		e.flowMean[rf], e.flowStd[rf] = nil, nil
+		e.gradMean[rf], e.gradStd[rf] = nil, nil
+	}
+
+	e.PropagateIncrementalPins(seeds)
+	e.evalSlacks()
+	if e.hold != nil {
+		e.evalHoldSlacks()
+	}
+	return nil
+}
+
+// Options returns the engine's construction options (topo sessions use them
+// to build seeded engines with the base engine's exact configuration).
+func (e *Engine) Options() Options { return e.opt }
 
 // ExportState returns the engine's compiled state with its *current* arc
 // annotations — the payload of a snapshot save (e.g. the serving daemon's

@@ -2,6 +2,7 @@ package levelize
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -153,5 +154,167 @@ func TestDeterministicOrderWithinLevel(t *testing.T) {
 		if l0[i] <= l0[i-1] {
 			t.Fatalf("level 0 not ascending: %v", l0)
 		}
+	}
+}
+
+// incrementalMatchesFull applies an edit and checks Incremental against a
+// full Levelize of the edited graph, element for element.
+func incrementalMatchesFull(t *testing.T, n int, arcs []Arc, prev *Result, newN int, newArcs []Arc, seeds []int32) IncStats {
+	t.Helper()
+	inc, st, err := Incremental(newN, newArcs, prev, seeds)
+	if err != nil {
+		t.Fatalf("Incremental: %v", err)
+	}
+	full, err := Levelize(newN, newArcs)
+	if err != nil {
+		t.Fatalf("Levelize(edited): %v", err)
+	}
+	if !reflect.DeepEqual(inc, full) {
+		t.Fatalf("incremental != full:\ninc  %+v\nfull %+v", inc, full)
+	}
+	return st
+}
+
+func TestIncrementalSpliceMatchesFull(t *testing.T) {
+	// Chain 0->1->2->3 with a buffer (nodes 4,5) spliced into arc 1->2:
+	// 1->4->5->2. Seeds: the appended nodes and the rewired sink.
+	arcs := []Arc{{0, 1}, {1, 2}, {2, 3}}
+	prev, err := Levelize(4, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := []Arc{{0, 1}, {1, 4}, {4, 5}, {5, 2}, {2, 3}}
+	st := incrementalMatchesFull(t, 4, arcs, prev, 6, edited, []int32{4, 5, 2})
+	if st.Region != 4 { // 4, 5, 2, 3
+		t.Errorf("region = %d, want 4", st.Region)
+	}
+	if st.TotalLevels != 6 {
+		t.Errorf("total levels = %d, want 6", st.TotalLevels)
+	}
+}
+
+func TestIncrementalUpstreamUntouchedRegion(t *testing.T) {
+	// Wide graph: 0->{1..8}->9->10; splice into 9->10. Nodes 0..8 must stay
+	// outside the region.
+	var arcs []Arc
+	for i := int32(1); i <= 8; i++ {
+		arcs = append(arcs, Arc{0, i}, Arc{i, 9})
+	}
+	arcs = append(arcs, Arc{9, 10})
+	prev, err := Levelize(11, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := append(append([]Arc(nil), arcs[:len(arcs)-1]...), Arc{9, 11}, Arc{11, 12}, Arc{12, 10})
+	st := incrementalMatchesFull(t, 11, arcs, prev, 13, edited, []int32{11, 12, 10})
+	if st.Region != 3 {
+		t.Errorf("region = %d, want 3 (upstream nodes re-leveled)", st.Region)
+	}
+}
+
+func TestIncrementalRemovalMatchesFull(t *testing.T) {
+	// Remove the buffer 1->4->5->2 again: node count stays (nodes are
+	// append-only; 4 and 5 go floating), arc 1->2 is restored.
+	arcs := []Arc{{0, 1}, {1, 4}, {4, 5}, {5, 2}, {2, 3}}
+	prev, err := Levelize(6, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := []Arc{{0, 1}, {1, 2}, {2, 3}}
+	st := incrementalMatchesFull(t, 6, arcs, prev, 6, edited, []int32{2, 4, 5})
+	if st.Region < 4 { // 2, 3, 4, 5
+		t.Errorf("region = %d, want >= 4", st.Region)
+	}
+}
+
+func TestIncrementalRandomEditsMatchFull(t *testing.T) {
+	// Random layered DAGs with random arc retargets + node appends: the
+	// incremental result must always deep-equal the full one.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(40)
+		var arcs []Arc
+		for i := 0; i < n*2; i++ {
+			a := int32(rng.Intn(n - 1))
+			b := a + 1 + int32(rng.Intn(n-int(a)-1))
+			arcs = append(arcs, Arc{a, b})
+		}
+		prev, err := Levelize(n, arcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Edit: retarget a random arc through two appended nodes (splice),
+		// or rewire a random arc's head to another downstream node.
+		edited := append([]Arc(nil), arcs...)
+		var seeds []int32
+		newN := n
+		if rng.Intn(2) == 0 && len(edited) > 0 {
+			i := rng.Intn(len(edited))
+			from, to := edited[i].From, edited[i].To
+			x, y := int32(newN), int32(newN+1)
+			newN += 2
+			edited[i] = Arc{from, x}
+			edited = append(edited, Arc{x, y}, Arc{y, to})
+			seeds = []int32{x, y, to}
+		} else {
+			i := rng.Intn(len(edited))
+			to := edited[i].To
+			// Retarget tail to a random earlier node (keeps acyclicity).
+			nf := int32(rng.Intn(int(to)))
+			edited[i] = Arc{nf, to}
+			seeds = []int32{to}
+		}
+		incrementalMatchesFull(t, n, arcs, prev, newN, edited, seeds)
+	}
+}
+
+func TestIncrementalCycleRejected(t *testing.T) {
+	arcs := []Arc{{0, 1}, {1, 2}}
+	prev, err := Levelize(3, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire 0->1 into 2->1: creates 1->2->1.
+	if _, _, err := Incremental(3, []Arc{{2, 1}, {1, 2}}, prev, []int32{1}); err == nil {
+		t.Fatal("cycle not detected")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error %q does not mention cycle", err)
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	prev, err := Levelize(3, []Arc{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Incremental(2, nil, prev, nil); err == nil {
+		t.Error("shrinking node count not rejected")
+	}
+	if _, _, err := Incremental(3, nil, prev, []int32{7}); err == nil {
+		t.Error("out-of-range seed not rejected")
+	}
+	if _, _, err := Incremental(4, []Arc{{0, 3}}, prev, nil); err == nil {
+		t.Error("unseeded appended node not rejected")
+	}
+	if _, _, err := Incremental(3, nil, nil, nil); err == nil {
+		t.Error("nil prev not rejected")
+	}
+}
+
+func TestIncrementalNoSeedsIsIdentity(t *testing.T) {
+	arcs := []Arc{{0, 1}, {1, 2}}
+	prev, err := Levelize(3, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, st, err := Incremental(3, arcs, prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc, prev) {
+		t.Fatalf("no-op edit changed the schedule: %+v vs %+v", inc, prev)
+	}
+	if st.Region != 0 || st.LevelsSpan != 0 {
+		t.Errorf("no-op stats %+v", st)
 	}
 }

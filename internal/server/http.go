@@ -76,6 +76,7 @@ func New(mgr *Manager, design string) *Server {
 	mux.HandleFunc("GET /session/{id}/slacks", s.route("session-slacks", s.withSession(s.handleSessionSlacks)))
 	mux.HandleFunc("DELETE /session/{id}", s.route("session-delete", s.withSession(s.handleDelete)))
 	mux.HandleFunc("POST /session/{id}/eco", s.route("eco", s.withSession(s.handleECO)))
+	mux.HandleFunc("POST /session/{id}/topo", s.route("topo", s.withSession(s.handleTopo)))
 	mux.HandleFunc("POST /session/{id}/commit", s.route("commit", s.withSession(s.handleCommit)))
 	mux.HandleFunc("POST /session/{id}/rollback", s.route("rollback", s.withSession(s.handleRollback)))
 	mux.HandleFunc("POST /admin/snapshot", s.route("admin-snapshot", s.handleSnapshot))
@@ -231,6 +232,8 @@ func errCode(err error) int {
 		return http.StatusNotImplemented
 	case errors.Is(err, ErrUnknownScenario):
 		return http.StatusNotFound
+	case errors.Is(err, ErrStructuralConflict), errors.Is(err, ErrPendingAnnotations):
+		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}
@@ -459,6 +462,27 @@ func (s *Server) handleECO(w http.ResponseWriter, r *http.Request, sess *Session
 		return
 	}
 	res, err := sess.ApplyECO(req)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleTopo applies one structural edit batch to the session (buffer
+// insert/remove, repower, move, raw annotate). 409 when the session holds
+// uncommitted annotation ECOs or the base moved under its structural edits.
+func (s *Server) handleTopo(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var req TopoRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("server: empty topo batch"))
+		return
+	}
+	res, err := sess.ApplyTopo(req)
 	if err != nil {
 		writeErr(w, errCode(err), err)
 		return

@@ -65,6 +65,17 @@ func newMetrics(m *Manager) *metrics {
 			fmt.Fprintf(w, "insta_kernel_wall_seconds_total{kernel=%q} %g\n", p.Kernel, p.Wall.Seconds())
 		}
 	})
+	reg.Collector("insta_topo", func(w io.Writer) {
+		t := m.TopoCountersSnapshot()
+		fmt.Fprintf(w, "# TYPE insta_topo gauge\n")
+		fmt.Fprintf(w, "insta_topo_edits_total %d\n", t.Edits)
+		fmt.Fprintf(w, "insta_topo_buffers_inserted_total %d\n", t.Inserted)
+		fmt.Fprintf(w, "insta_topo_buffers_removed_total %d\n", t.Removed)
+		fmt.Fprintf(w, "insta_topo_commits_total %d\n", t.Commits)
+		fmt.Fprintf(w, "insta_topo_conflicts_total %d\n", t.Conflicts)
+		fmt.Fprintf(w, "insta_base_topo_gen %d\n", m.TopoGen())
+		m.RelevelHist().WritePrometheus(w, "insta_topo_relevel_levels")
+	})
 	// Snapshot cache counters render last so the exposition order of the
 	// families above stays byte-stable for servers without a cache.
 	if c := m.opt.Snapshots; c != nil {

@@ -25,9 +25,13 @@ var latBounds = []float64{
 }
 
 func emptyHistExposition(name string) string {
+	return emptyHistExpositionBounds(name, latBounds)
+}
+
+func emptyHistExpositionBounds(name string, bounds []float64) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
-	for _, b := range latBounds {
+	for _, b := range bounds {
 		fmt.Fprintf(&sb, "%s_bucket{le=\"%g\"} 0\n", name, b)
 	}
 	fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} 0\n", name)
@@ -77,7 +81,16 @@ func TestMetricsByteCompat(t *testing.T) {
 		"insta_eco_batches_total 0\n" +
 		"insta_base_epoch 0\n" +
 		fmt.Sprintf("insta_base_wns_ps %g\n", mgr.BaseWNS()) +
-		fmt.Sprintf("insta_base_tns_ps %g\n", mgr.BaseTNS())
+		fmt.Sprintf("insta_base_tns_ps %g\n", mgr.BaseTNS()) +
+		"# TYPE insta_topo gauge\n" +
+		"insta_topo_edits_total 0\n" +
+		"insta_topo_buffers_inserted_total 0\n" +
+		"insta_topo_buffers_removed_total 0\n" +
+		"insta_topo_commits_total 0\n" +
+		"insta_topo_conflicts_total 0\n" +
+		"insta_base_topo_gen 0\n" +
+		emptyHistExpositionBounds("insta_topo_relevel_levels",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 	if body != want {
 		t.Fatalf("fresh /metrics exposition drifted from the pre-obs bytes:\ngot:\n%s\nwant:\n%s", body, want)
 	}

@@ -35,6 +35,7 @@ import (
 	"insta/internal/obs"
 	"insta/internal/refsta"
 	"insta/internal/snap"
+	"insta/internal/topo"
 )
 
 // Errors the HTTP layer maps to status codes.
@@ -45,6 +46,17 @@ var (
 	ErrNoCorners       = errors.New("server: multi-corner queries need a -corners engine")
 	ErrNoSnapshots     = errors.New("server: snapshot save needs a -snapshot-dir cache")
 	ErrUnknownScenario = errors.New("server: unknown scenario")
+	// ErrStructuralConflict: the base was committed (annotation or structural)
+	// after this session started structural edits, or structurally replaced
+	// after annotation edits. The session's working engines were seeded from a
+	// base that no longer exists, so there is nothing to merge against —
+	// rollback and re-apply.
+	ErrStructuralConflict = errors.New("server: base changed under this session's edits; rollback and retry")
+	// ErrPendingAnnotations: a structural edit on a session holding
+	// uncommitted overlay annotations — the topo working set is derived from
+	// the committed base, so those deltas would silently vanish. Commit or
+	// roll back first.
+	ErrPendingAnnotations = errors.New("server: session has uncommitted annotation ECOs; commit or roll back before structural edits")
 )
 
 // Options tunes the session manager.
@@ -112,6 +124,20 @@ type Manager struct {
 	baseTNS float64
 	baseScn []ScenarioView // committed per-scenario + merged figures (be != nil)
 
+	// Structural-ECO state, guarded by mu. topoGen bumps on every structural
+	// commit (the base engine objects are replaced, not just re-annotated);
+	// remapHist records each commit's arc remap so annotation sessions opened
+	// against older structure can re-key their deltas lazily; baseRemap is the
+	// composed extraction→current arc remap (nil while identity), through
+	// which estimate_eco deltas — always in extraction space — are translated;
+	// ownsBase marks base engines installed by a structural commit (closed on
+	// the next swap; the boot engines stay caller-owned).
+	topoGen   uint64
+	remapHist []remapGen
+	baseRemap []int32
+	extArcs   int // boot engine arc count: the domain of baseRemap
+	ownsBase  bool
+
 	// smu guards the session table only. Lock ordering: smu may be taken
 	// while holding neither lock or after mu; never take mu or a session's
 	// mutex while holding smu.
@@ -121,9 +147,25 @@ type Manager struct {
 
 	created, rejected, evicted   atomic.Int64
 	commits, rollbacks, ecoTotal atomic.Int64
+	topoEdits, topoInserted      atomic.Int64
+	topoRemoved, topoCommits     atomic.Int64
+	topoConflicts                atomic.Int64
+	relevelHist                  *obs.Histogram // levels re-levelized per structural batch
 
 	log *slog.Logger
 }
+
+// remapGen is one structural commit's arc remap: old-current → new-current ids
+// over the pre-commit arc count, nil when the commit only appended arcs.
+type remapGen struct {
+	gen   uint64
+	remap []int32
+}
+
+// relevelBounds buckets the per-batch re-levelized level span — the locality
+// signal of incremental re-levelization (a design-deep edit re-levels
+// hundreds, a leaf edit a handful).
+var relevelBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // NewManager wraps an initialized engine. If e has not been propagated yet
 // (no slack state), the manager runs the one-time full evaluation here; the
@@ -138,12 +180,14 @@ func NewManager(e *core.Engine, ref *refsta.Engine, opt Options) *Manager {
 	}
 	e.Run()
 	m := &Manager{
-		e:        e,
-		ref:      ref,
-		be:       opt.Batch,
-		opt:      opt,
-		sessions: make(map[string]*Session),
-		log:      slog.Default(),
+		e:           e,
+		ref:         ref,
+		be:          opt.Batch,
+		opt:         opt,
+		sessions:    make(map[string]*Session),
+		extArcs:     e.NumArcs(),
+		relevelHist: obs.NewHistogram(relevelBounds),
+		log:         slog.Default(),
 	}
 	m.baseWNS, m.baseTNS = e.WNS(), e.TNS()
 	if m.be != nil {
@@ -291,6 +335,87 @@ func (m *Manager) BaseSlacksInto(dst []float64) []float64 {
 	return dst
 }
 
+// TopoCounters is a snapshot of the structural-ECO lifetime counters.
+type TopoCounters struct {
+	Edits     int64 // structural op batches applied
+	Inserted  int64 // buffers spliced in
+	Removed   int64 // buffers removed
+	Commits   int64 // structural commits (base engine swaps)
+	Conflicts int64 // edits/commits refused for a moved base
+}
+
+// TopoCountersSnapshot snapshots the structural-ECO counters.
+func (m *Manager) TopoCountersSnapshot() TopoCounters {
+	return TopoCounters{
+		Edits:     m.topoEdits.Load(),
+		Inserted:  m.topoInserted.Load(),
+		Removed:   m.topoRemoved.Load(),
+		Commits:   m.topoCommits.Load(),
+		Conflicts: m.topoConflicts.Load(),
+	}
+}
+
+// RelevelHist returns the histogram of levels re-levelized per structural
+// batch, for /metrics exposition.
+func (m *Manager) RelevelHist() *obs.Histogram { return m.relevelHist }
+
+// TopoGen returns the structural generation (bumped on every structural
+// commit; the epoch bumps too, so TopoGen only matters to callers that care
+// whether the engine *objects* were replaced).
+func (m *Manager) TopoGen() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.topoGen
+}
+
+// composedRemapSince folds the remaps of every structural commit after gen
+// into one old→current arc remap (-1 = removed), or nil when ids survived
+// unchanged. Caller holds at least m.mu.RLock.
+func (m *Manager) composedRemapSince(gen uint64) []int32 {
+	var acc []int32
+	for _, g := range m.remapHist {
+		if g.gen <= gen || g.remap == nil {
+			continue
+		}
+		if acc == nil {
+			acc = append([]int32(nil), g.remap...)
+			continue
+		}
+		for i, cur := range acc {
+			if cur >= 0 {
+				acc[i] = g.remap[cur]
+			}
+		}
+	}
+	return acc
+}
+
+// refArcLocked translates an extraction-space arc id (the reference engine's
+// space) to the current committed engine's space, or -1 if a structural
+// commit removed the arc. Caller holds at least m.mu.RLock.
+func (m *Manager) refArcLocked(a int32) int32 {
+	if m.baseRemap == nil {
+		return a
+	}
+	return m.baseRemap[a]
+}
+
+// curToRefLocked inverts refArcLocked: the extraction arc that became current
+// arc a, or -1 for arcs that only exist post-edit (inserted buffers). Caller
+// holds at least m.mu.RLock. Linear in the extraction arc count; only
+// resolution paths for structural requests take it.
+func (m *Manager) curToRefLocked(a int32) int32 {
+	if m.baseRemap == nil {
+		return a
+	}
+	for i, cur := range m.baseRemap {
+		if cur == a {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
 // Counters snapshots the lifetime counters.
 func (m *Manager) Counters() Counters {
 	return Counters{
@@ -316,8 +441,11 @@ func (m *Manager) MaxSessions() int { return m.opt.MaxSessions }
 // Create opens a new session against the current base, or fails with
 // ErrTooManySessions at the admission cap.
 func (m *Manager) Create() (*Session, error) {
+	// The overlays must bind to the engines of one consistent epoch: hold the
+	// read lock across the reads (a structural commit swaps m.e/m.be).
 	m.mu.RLock()
-	epoch := m.epoch
+	epoch, topoGen := m.epoch, m.topoGen
+	e, be := m.e, m.be
 	m.mu.RUnlock()
 
 	m.smu.Lock()
@@ -328,13 +456,14 @@ func (m *Manager) Create() (*Session, error) {
 	}
 	m.nextID++
 	s := &Session{
-		m:     m,
-		ID:    fmt.Sprintf("s%d", m.nextID),
-		ov:    core.NewOverlay(m.e),
-		epoch: epoch,
+		m:       m,
+		ID:      fmt.Sprintf("s%d", m.nextID),
+		ov:      core.NewOverlay(e),
+		epoch:   epoch,
+		topoGen: topoGen,
 	}
-	if m.be != nil {
-		s.bov = batch.NewOverlay(m.be)
+	if be != nil {
+		s.bov = batch.NewOverlay(be)
 	}
 	s.touch()
 	m.sessions[s.ID] = s
@@ -409,6 +538,22 @@ func (m *Manager) CloseAll() {
 	for _, s := range live {
 		s.Close()
 	}
+}
+
+// Close releases the engines the manager itself installed through structural
+// commits; the boot engines stay caller-owned. Call after CloseAll at
+// shutdown (or in tests that commit structural edits).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.ownsBase {
+		return
+	}
+	m.e.Close()
+	if m.be != nil {
+		m.be.Close()
+	}
+	m.ownsBase = false
 }
 
 // Exclusive runs fn with exclusive access to the base engine — no session
@@ -528,6 +673,55 @@ type resolvedResize struct {
 	lib  int32
 }
 
+// TopoOp is one structural edit in a topo batch. Arc ids are in the session's
+// current working space: identical to the committed engine's ids until the
+// session's first structural batch, and tracked through the new_arcs ranges
+// the topo responses report after that.
+//
+//   - "buffer":   splice a buffer into net arc Arc at position Frac (0 =
+//     driver, default 0.5); Lib names the buffer cell (default BUF_X4) and the
+//     gate delay comes from the reference engine's frozen-slew estimate.
+//   - "unbuffer": remove the buffer whose cell arc is Arc, restoring the
+//     through-wire.
+//   - "repower":  swap instance Cell to library cell Lib; resolved to arc
+//     re-annotations via estimate_eco and replayed into the signoff netlist
+//     on commit.
+//   - "move":     place instance Cell at (X, Y); resolved to wire/driver arc
+//     re-annotations via the frozen-slew move estimate, replayed on commit.
+//   - "annotate": set arc Arc's delay to Rise/Fall directly.
+type TopoOp struct {
+	Op   string   `json:"op"`
+	Arc  int32    `json:"arc,omitempty"`
+	Cell string   `json:"cell,omitempty"`
+	Lib  string   `json:"lib,omitempty"`
+	Frac float64  `json:"frac,omitempty"`
+	X    float64  `json:"x,omitempty"`
+	Y    float64  `json:"y,omitempty"`
+	Rise num.Dist `json:"rise,omitempty"`
+	Fall num.Dist `json:"fall,omitempty"`
+}
+
+// TopoRequest is one structural edit batch, validated and applied atomically.
+type TopoRequest struct {
+	Ops []TopoOp `json:"ops"`
+}
+
+// TopoResult reports one structural batch: the session's post-edit timing view
+// plus the batch's structural footprint. NewArcs is the session-space id range
+// [lo, hi) of arcs this batch appended (each inserted buffer contributes its
+// cell arc then its output net arc, in op order).
+type TopoResult struct {
+	View          *ECOResult `json:"view"`
+	Inserted      int        `json:"inserted"`
+	Removed       int        `json:"removed"`
+	Annotated     int        `json:"annotated"`
+	NewPins       int        `json:"new_pins"`
+	NewArcs       [2]int     `json:"new_arcs"`
+	RelevelLevels int        `json:"relevel_levels"`
+	RelevelRegion int        `json:"relevel_region"`
+	Edits         int        `json:"edits"` // cumulative structural batches this session
+}
+
 // Session is one copy-on-write what-if view. All methods are safe for
 // concurrent use; calls on one session serialize on its mutex, while calls
 // on different sessions share the base under the manager's read lock.
@@ -541,9 +735,17 @@ type Session struct {
 	ov      *core.Overlay
 	bov     *batch.Overlay // nil when the server runs single-corner
 	epoch   uint64
+	topoGen uint64        // structural generation the overlays bind to
+	ts      *topo.Session // non-nil once the session holds structural edits
 	resizes []resolvedResize // netlist changes to replay on commit
+	moves   []resolvedMove
 	closed  bool
 	ecoN    int
+}
+
+type resolvedMove struct {
+	cell netlist.CellID
+	x, y float64
 }
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
@@ -551,9 +753,40 @@ func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 // rebaseLocked re-derives the overlay against the current base if a commit
 // happened since this session last evaluated. Caller holds s.mu and at least
 // m.mu.RLock.
-func (s *Session) rebaseLocked() {
-	if s.epoch == s.m.epoch {
-		return
+//
+// Two rebase shapes exist. An annotation commit keeps the engine objects, so
+// the overlay re-derives in place (Rebase). A structural commit replaced them,
+// so the overlay re-binds to the new engines with its recorded deltas re-keyed
+// through the commits' arc remaps (RebaseStructural) — bit-identical to having
+// recorded the deltas against the new base from the start. A session that
+// itself holds structural edits cannot rebase: its working engines were seeded
+// from a base that no longer exists, so it conflicts instead.
+func (s *Session) rebaseLocked() error {
+	m := s.m
+	if s.topoGen != m.topoGen {
+		if s.ts != nil {
+			m.topoConflicts.Add(1)
+			return ErrStructuralConflict
+		}
+		remap := m.composedRemapSince(s.topoGen)
+		s.ov.RebaseStructural(m.e, remap)
+		s.ov.Propagate()
+		if s.bov != nil {
+			s.bov.RebaseStructural(m.be, remap)
+			s.bov.Propagate()
+		}
+		s.topoGen = m.topoGen
+		s.epoch = m.epoch
+		return nil
+	}
+	if s.epoch == m.epoch {
+		return nil
+	}
+	if s.ts != nil {
+		// An annotation commit moved the base under this session's seeded
+		// engines; their figures are against dead state.
+		m.topoConflicts.Add(1)
+		return ErrStructuralConflict
 	}
 	s.ov.Rebase()
 	s.ov.Propagate()
@@ -561,7 +794,8 @@ func (s *Session) rebaseLocked() {
 		s.bov.Rebase()
 		s.bov.Propagate()
 	}
-	s.epoch = s.m.epoch
+	s.epoch = m.epoch
+	return nil
 }
 
 // jsonSlack clamps ±Inf (untimed endpoints) to representable JSON numbers.
@@ -579,6 +813,9 @@ func jsonSlack(v float64) float64 {
 // least m.mu.RLock.
 func (s *Session) resultLocked() *ECOResult {
 	m := s.m
+	if s.ts != nil {
+		return s.topoResultLocked()
+	}
 	st := s.ov.Stats()
 	res := &ECOResult{
 		WNS:         s.ov.WNS(),
@@ -632,6 +869,62 @@ func (s *Session) scenarioViewsLocked() []ScenarioView {
 	return out
 }
 
+// topoResultLocked builds the view of a session holding structural edits from
+// its seeded working engines. Endpoint indices are stable across structural
+// edits (startpoints and endpoints can never be spliced), so Changed is the
+// per-endpoint diff against the committed base. OverlayPins reports the pin
+// count of the last re-levelized region — the structural analogue of the
+// overlay's recompute footprint. Caller holds s.mu and at least m.mu.RLock.
+func (s *Session) topoResultLocked() *ECOResult {
+	m := s.m
+	eng := s.ts.Engine()
+	st := s.ts.Stats()
+	res := &ECOResult{
+		WNS:         eng.WNS(),
+		TNS:         eng.TNS(),
+		TouchedArcs: st.Inserted*2 + st.Removed*2 + st.Annotated,
+		OverlayPins: st.Relevel.Region,
+		Epoch:       s.epoch,
+	}
+	res.DeltaWNS = res.WNS - m.baseWNS
+	res.DeltaTNS = res.TNS - m.baseTNS
+	if be := s.ts.Batch(); be != nil {
+		out := make([]ScenarioView, 0, len(m.baseScn))
+		for i, b := range m.baseScn {
+			var wns, tns float64
+			if b.Name == "merged" {
+				v := be.Merged()
+				wns, tns = v.WNS, v.TNS
+			} else {
+				wns, tns = be.WNS(i), be.TNS(i)
+			}
+			out = append(out, ScenarioView{
+				Name: b.Name, WNS: wns, TNS: tns,
+				DeltaWNS: wns - b.WNS, DeltaTNS: tns - b.TNS,
+			})
+		}
+		res.Scenarios = out
+	}
+	base := m.e.Slacks()
+	cur := eng.Slacks()
+	eps := m.e.Endpoints()
+	for i := range cur {
+		if cur[i] == base[i] {
+			continue
+		}
+		es := EndpointSlack{
+			Endpoint: i,
+			Slack:    jsonSlack(cur[i]),
+			Base:     jsonSlack(base[i]),
+		}
+		if m.ref != nil {
+			es.Pin = m.ref.D.Pins[eps[i]].Name
+		}
+		res.Changed = append(res.Changed, es)
+	}
+	return res
+}
+
 // applyArcLocked mirrors one arc re-annotation into both overlays (the
 // batched overlay takes the same nominal units; scenarios see them through
 // their scale factors).
@@ -666,7 +959,9 @@ func (s *Session) ApplyECO(req ECORequest) (*ECOResult, error) {
 	m := s.m
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	s.rebaseLocked()
+	if err := s.rebaseLocked(); err != nil {
+		return nil, err
+	}
 
 	// Resolve and validate the whole batch before applying any of it.
 	type resolved struct {
@@ -692,22 +987,55 @@ func (s *Session) ApplyECO(req ECORequest) (*ECOResult, error) {
 		}
 		resolvedRz = append(resolvedRz, resolved{deltas: deltas, rz: resolvedResize{cell: c, lib: lib}})
 	}
+	arcLimit := m.e.NumArcs()
+	if s.ts != nil {
+		arcLimit = len(s.ts.Tables().Arcs)
+	}
 	for _, a := range req.Arcs {
-		if a.Arc < 0 || int(a.Arc) >= m.e.NumArcs() {
-			return nil, fmt.Errorf("server: arc %d out of range [0,%d)", a.Arc, m.e.NumArcs())
+		if a.Arc < 0 || int(a.Arc) >= arcLimit {
+			return nil, fmt.Errorf("server: arc %d out of range [0,%d)", a.Arc, arcLimit)
 		}
 	}
 
-	for _, r := range resolvedRz {
-		for _, dl := range r.deltas {
-			s.applyArcLocked(dl.ArcID, dl.Delay[0], dl.Delay[1])
+	if s.ts != nil {
+		// Annotation ECOs landing on a session that already holds structural
+		// edits fold into the structural working set, so the one cone re-prop
+		// prices them against the edited topology.
+		deltas := make([]topo.Delta, 0, len(req.Arcs)+4*len(resolvedRz))
+		for _, r := range resolvedRz {
+			for _, dl := range r.deltas {
+				if a := s.tsArcFromRefLocked(dl.ArcID); a >= 0 {
+					deltas = append(deltas, topo.Delta{Arc: a, Delay: dl.Delay})
+				}
+			}
+			s.resizes = append(s.resizes, r.rz)
 		}
-		s.resizes = append(s.resizes, r.rz)
+		for _, a := range req.Arcs {
+			ta := s.tsArcLocked(a.Arc)
+			if ta < 0 {
+				return nil, fmt.Errorf("server: arc %d was removed by a structural edit", a.Arc)
+			}
+			deltas = append(deltas, topo.Delta{Arc: ta, Delay: [2]num.Dist{a.Rise, a.Fall}})
+		}
+		if err := s.ts.Annotate(deltas); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, r := range resolvedRz {
+			for _, dl := range r.deltas {
+				// estimate_eco speaks extraction arc ids; a structural commit
+				// may have moved (or removed) them in the served engine.
+				if a := m.refArcLocked(dl.ArcID); a >= 0 {
+					s.applyArcLocked(a, dl.Delay[0], dl.Delay[1])
+				}
+			}
+			s.resizes = append(s.resizes, r.rz)
+		}
+		for _, a := range req.Arcs {
+			s.applyArcLocked(a.Arc, a.Rise, a.Fall)
+		}
+		s.propagateLocked()
 	}
-	for _, a := range req.Arcs {
-		s.applyArcLocked(a.Arc, a.Rise, a.Fall)
-	}
-	s.propagateLocked()
 	s.ecoN++
 	m.ecoTotal.Add(1)
 	if m.debugLog() {
@@ -730,14 +1058,277 @@ func (s *Session) ApplyDeltas(deltas []refsta.ArcDelta) (*ECOResult, error) {
 	m := s.m
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	s.rebaseLocked()
-	for _, dl := range deltas {
-		s.applyArcLocked(dl.ArcID, dl.Delay[0], dl.Delay[1])
+	if err := s.rebaseLocked(); err != nil {
+		return nil, err
 	}
-	s.propagateLocked()
+	if s.ts != nil {
+		tds := make([]topo.Delta, 0, len(deltas))
+		for _, dl := range deltas {
+			if a := s.tsArcFromRefLocked(dl.ArcID); a >= 0 {
+				tds = append(tds, topo.Delta{Arc: a, Delay: dl.Delay})
+			}
+		}
+		if err := s.ts.Annotate(tds); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, dl := range deltas {
+			if a := m.refArcLocked(dl.ArcID); a >= 0 {
+				s.applyArcLocked(a, dl.Delay[0], dl.Delay[1])
+			}
+		}
+		s.propagateLocked()
+	}
 	s.ecoN++
 	m.ecoTotal.Add(1)
 	return s.resultLocked(), nil
+}
+
+// tsArcLocked maps a committed-engine arc id into the structural session's
+// current space (-1 = removed by an edit). Arcs the session itself appended
+// (ids past the remap) pass through unchanged, as does everything when the
+// session holds no structural edits. Caller holds s.mu.
+func (s *Session) tsArcLocked(a int32) int32 {
+	if s.ts == nil {
+		return a
+	}
+	r := s.ts.Remap()
+	if r == nil || int(a) >= len(r) {
+		return a
+	}
+	return r[a]
+}
+
+// sessionToRefLocked inverts the full id chain: a session-current arc id back
+// to the extraction-space id the reference engine speaks, or -1 when the arc
+// only exists post-edit (an inserted buffer's arcs) and so has no signoff
+// counterpart to estimate from. Caller holds s.mu and at least m.mu.RLock.
+func (s *Session) sessionToRefLocked(a int32) int32 {
+	cur := a
+	if s.ts != nil {
+		if r := s.ts.Remap(); r != nil {
+			cur = -1
+			for i, v := range r {
+				if v == a {
+					cur = int32(i)
+					break
+				}
+			}
+			if cur < 0 {
+				return -1
+			}
+		}
+	}
+	ref := s.m.curToRefLocked(cur)
+	if ref < 0 || s.m.ref == nil || int(ref) >= s.m.ref.NumArcs() {
+		return -1
+	}
+	return ref
+}
+
+// tsArcFromRefLocked maps an extraction-space arc id (estimate_eco output)
+// into the structural session's current space, or -1 when some structural
+// edit — committed or session-local — removed it.
+func (s *Session) tsArcFromRefLocked(ref int32) int32 {
+	cur := s.m.refArcLocked(ref)
+	if cur < 0 {
+		return -1
+	}
+	return s.tsArcLocked(cur)
+}
+
+// resolveTopoLocked validates one structural batch and resolves its ops into
+// topo.Ops (delays priced by the reference engine's frozen-slew estimators)
+// plus the netlist changes to replay on commit. Nothing is applied. Caller
+// holds s.mu and at least m.mu.RLock.
+func (s *Session) resolveTopoLocked(req TopoRequest) ([]topo.Op, []resolvedResize, []resolvedMove, error) {
+	m := s.m
+	arcLimit := int32(m.e.NumArcs())
+	if s.ts != nil {
+		arcLimit = int32(len(s.ts.Tables().Arcs))
+	}
+	ops := make([]topo.Op, 0, len(req.Ops))
+	var rzs []resolvedResize
+	var mvs []resolvedMove
+	for i, op := range req.Ops {
+		switch op.Op {
+		case "buffer":
+			if m.ref == nil {
+				return nil, nil, nil, ErrNoRefEngine
+			}
+			if op.Arc < 0 || op.Arc >= arcLimit {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: arc %d out of range [0,%d)", i, op.Arc, arcLimit)
+			}
+			libName := op.Lib
+			if libName == "" {
+				libName = "BUF_X4"
+			}
+			lib, ok := m.ref.Lib.CellByName(libName)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: unknown library cell %q", i, libName)
+			}
+			frac := op.Frac
+			if frac == 0 {
+				frac = 0.5
+			}
+			ref := s.sessionToRefLocked(op.Arc)
+			if ref < 0 {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: arc %d has no signoff counterpart to estimate from", i, op.Arc)
+			}
+			d, err := m.ref.EstimateBuffer(ref, lib, frac)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: %w", i, err)
+			}
+			// Inserted buffers have no design instance, so the spliced cell
+			// arc carries no cell id (gradients skip it).
+			ops = append(ops, topo.InsertBuffer(op.Arc, -1, d, frac))
+			// The driver sheds the sink-side wire and pin for the buffer's
+			// input cap: re-annotate its cell arcs at the reduced load (this
+			// is the half of buffering that helps — every other sink of the
+			// net rides the faster driver). At most one buffered branch per
+			// driver per batch: a second would claim the same driver arcs.
+			dds, err := m.ref.EstimateBufferDriver(ref, lib, frac)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: %w", i, err)
+			}
+			for _, dl := range dds {
+				if a := s.tsArcFromRefLocked(dl.ArcID); a >= 0 {
+					ops = append(ops, topo.Annotate(a, dl.Delay))
+				}
+			}
+		case "unbuffer":
+			if op.Arc < 0 || op.Arc >= arcLimit {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: arc %d out of range [0,%d)", i, op.Arc, arcLimit)
+			}
+			ops = append(ops, topo.RemoveBuffer(op.Arc))
+		case "repower":
+			if m.ref == nil {
+				return nil, nil, nil, ErrNoRefEngine
+			}
+			c, ok := m.ref.D.CellByName(op.Cell)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: unknown cell %q", i, op.Cell)
+			}
+			lib, ok := m.ref.Lib.CellByName(op.Lib)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: unknown library cell %q", i, op.Lib)
+			}
+			deltas, err := m.ref.EstimateECO(c, lib)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: estimate_eco %s -> %s: %w", i, op.Cell, op.Lib, err)
+			}
+			for _, dl := range deltas {
+				if a := s.tsArcFromRefLocked(dl.ArcID); a >= 0 {
+					ops = append(ops, topo.Annotate(a, dl.Delay))
+				}
+			}
+			rzs = append(rzs, resolvedResize{cell: c, lib: lib})
+		case "move":
+			if m.ref == nil {
+				return nil, nil, nil, ErrNoRefEngine
+			}
+			c, ok := m.ref.D.CellByName(op.Cell)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: unknown cell %q", i, op.Cell)
+			}
+			deltas, err := m.ref.EstimateMove(c, op.X, op.Y)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: estimate_move %s: %w", i, op.Cell, err)
+			}
+			for _, dl := range deltas {
+				if a := s.tsArcFromRefLocked(dl.ArcID); a >= 0 {
+					ops = append(ops, topo.Annotate(a, dl.Delay))
+				}
+			}
+			mvs = append(mvs, resolvedMove{cell: c, x: op.X, y: op.Y})
+		case "annotate":
+			if op.Arc < 0 || op.Arc >= arcLimit {
+				return nil, nil, nil, fmt.Errorf("server: topo op %d: arc %d out of range [0,%d)", i, op.Arc, arcLimit)
+			}
+			ops = append(ops, topo.Annotate(op.Arc, [2]num.Dist{op.Rise, op.Fall}))
+		default:
+			return nil, nil, nil, fmt.Errorf("server: topo op %d: unknown op %q", i, op.Op)
+		}
+	}
+	return ops, rzs, mvs, nil
+}
+
+// ApplyTopo validates and applies one structural edit batch — buffer
+// insertions/removals, repowers, moves, raw annotations — to the session's
+// structural working set, re-levelizing and re-propagating only the edited
+// cone, and returns the post-edit view. The committed base is untouched until
+// Commit. The batch is atomic: on any error the session is exactly as it was.
+//
+// The first structural batch converts the session: it must hold no
+// uncommitted annotation ECOs (ErrPendingAnnotations), and from then on every
+// evaluation runs against the session's own seeded engines; a commit to the
+// base by any other session conflicts it (ErrStructuralConflict).
+func (s *Session) ApplyTopo(req TopoRequest) (*TopoResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if len(req.Ops) == 0 {
+		return nil, errors.New("server: empty topo batch")
+	}
+	s.touch()
+	m := s.m
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := s.rebaseLocked(); err != nil {
+		return nil, err
+	}
+	if s.ts == nil && s.ov.Stats().TouchedArcs > 0 {
+		return nil, ErrPendingAnnotations
+	}
+	ops, rzs, mvs, err := s.resolveTopoLocked(req)
+	if err != nil {
+		return nil, err
+	}
+	created := false
+	if s.ts == nil {
+		ts, err := topo.NewSession(m.e, m.be)
+		if err != nil {
+			return nil, err
+		}
+		s.ts = ts
+		created = true
+	}
+	res, err := s.ts.Apply(ops)
+	if err != nil {
+		if created {
+			s.ts.Close()
+			s.ts = nil
+		}
+		return nil, err
+	}
+	s.resizes = append(s.resizes, rzs...)
+	s.moves = append(s.moves, mvs...)
+	st := s.ts.Stats()
+	m.topoEdits.Add(1)
+	m.topoInserted.Add(int64(res.Inserted))
+	m.topoRemoved.Add(int64(res.Removed))
+	m.relevelHist.Observe(float64(st.Relevel.LevelsSpan))
+	finalArcs := len(s.ts.Tables().Arcs)
+	tr := &TopoResult{
+		View:          s.topoResultLocked(),
+		Inserted:      res.Inserted,
+		Removed:       res.Removed,
+		Annotated:     res.Annotated,
+		NewPins:       res.NewPins,
+		NewArcs:       [2]int{finalArcs - 2*res.Inserted, finalArcs},
+		RelevelLevels: st.Relevel.LevelsSpan,
+		RelevelRegion: st.Relevel.Region,
+		Edits:         st.Edits,
+	}
+	if m.debugLog() {
+		m.log.Debug("topo applied", "session", s.ID, "edits", st.Edits,
+			"inserted", res.Inserted, "removed", res.Removed,
+			"annotated", res.Annotated, "relevel_levels", st.Relevel.LevelsSpan,
+			"relevel_region", st.Relevel.Region)
+	}
+	return tr, nil
 }
 
 // Result returns the session's current view without applying anything
@@ -751,7 +1342,9 @@ func (s *Session) Result() (*ECOResult, error) {
 	s.touch()
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
-	s.rebaseLocked()
+	if err := s.rebaseLocked(); err != nil {
+		return nil, err
+	}
 	return s.resultLocked(), nil
 }
 
@@ -774,15 +1367,22 @@ func (s *Session) SlacksInto(dst []float64) ([]float64, error) {
 	s.touch()
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
-	s.rebaseLocked()
+	if err := s.rebaseLocked(); err != nil {
+		return nil, err
+	}
 	base := s.m.e.Slacks()
+	if s.ts != nil {
+		base = s.ts.Engine().Slacks()
+	}
 	if cap(dst) < len(base) {
 		dst = make([]float64, len(base))
 	}
 	dst = dst[:len(base)]
 	copy(dst, base)
-	for _, ep := range s.ov.ChangedEndpointsView() {
-		dst[ep] = s.ov.Slack(ep)
+	if s.ts == nil {
+		for _, ep := range s.ov.ChangedEndpointsView() {
+			dst[ep] = s.ov.Slack(ep)
+		}
 	}
 	return dst, nil
 }
@@ -810,7 +1410,20 @@ func (s *Session) ScenarioSlacksInto(name string, dst []float64) ([]float64, err
 	m := s.m
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	s.rebaseLocked()
+	if err := s.rebaseLocked(); err != nil {
+		return nil, err
+	}
+	if s.ts != nil {
+		be := s.ts.Batch()
+		if name == "merged" {
+			return be.MergedSlacksInto(dst), nil
+		}
+		sc := be.ScenarioIndex(name)
+		if sc < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
+		}
+		return be.SlacksInto(sc, dst), nil
+	}
 	if name == "merged" {
 		out := m.be.MergedSlacksInto(dst)
 		for _, ep := range s.bov.ChangedEndpointsView() {
@@ -846,6 +1459,20 @@ func (s *Session) Commit() (*ECOResult, error) {
 	t0 := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if s.ts != nil {
+		return s.commitStructuralLocked(t0)
+	}
+	if s.topoGen != m.topoGen {
+		// A structural commit replaced the engine objects under this
+		// annotation session: re-bind (re-keying recorded deltas through the
+		// commits' arc remaps) before folding them in.
+		remap := m.composedRemapSince(s.topoGen)
+		s.ov.RebaseStructural(m.e, remap)
+		if s.bov != nil {
+			s.bov.RebaseStructural(m.be, remap)
+		}
+		s.topoGen = m.topoGen
+	}
 	prevWNS, prevTNS := m.baseWNS, m.baseTNS
 	s.ov.Commit()
 	if s.bov != nil {
@@ -918,8 +1545,152 @@ func (s *Session) Commit() (*ECOResult, error) {
 	return res, nil
 }
 
-// Rollback discards the session's uncommitted deltas, re-syncing it to the
-// current base. The session stays open.
+// commitStructuralLocked commits a session's structural working set: the
+// manager swaps its base engines for the session's seeded ones (the sequel
+// bit-identical to a cold compile of the edited netlist), records the arc
+// remap so annotation sessions opened against the old structure can re-key,
+// replays the session's repowers/moves into the signoff netlist, and bumps
+// both the epoch and the structural generation. Caller holds s.mu and
+// m.mu.Lock (every in-flight evaluation has drained).
+func (s *Session) commitStructuralLocked(t0 time.Time) (*ECOResult, error) {
+	m := s.m
+	if s.epoch != m.epoch {
+		// Someone committed after this session's last edit; the working set
+		// was seeded from a base that no longer exists.
+		m.topoConflicts.Add(1)
+		return nil, ErrStructuralConflict
+	}
+	d, err := s.ts.Detach()
+	if err != nil {
+		return nil, err
+	}
+	prevWNS, prevTNS := m.baseWNS, m.baseTNS
+	oldE, oldBe := m.e, m.be
+	m.e = d.Engine
+	if d.Batch != nil {
+		m.be = d.Batch
+	}
+	if m.ownsBase {
+		// Engines installed by an earlier structural commit: nothing else can
+		// reference them once every overlay rebases, and Close only stops the
+		// scheduler pool — the tensors stay readable for overlays that rebase
+		// lazily later.
+		oldE.Close()
+		if oldBe != nil && d.Batch != nil {
+			oldBe.Close()
+		}
+	}
+	m.ownsBase = true
+	m.topoGen++
+	m.remapHist = append(m.remapHist, remapGen{gen: m.topoGen, remap: d.Remap})
+	m.baseRemap = composeArcRemap(m.baseRemap, d.Remap, m.extArcs)
+	// Replay repowers and moves into the signoff netlist so later estimate_eco
+	// calls price against fresh loads and placement. Inserted buffers have no
+	// netlist counterpart: the reference stays the estimation oracle over the
+	// original instances (documented limitation).
+	if m.ref != nil && (len(s.resizes) > 0 || len(s.moves) > 0) {
+		for _, rz := range s.resizes {
+			_, _ = m.ref.ResizeCell(rz.cell, rz.lib)
+		}
+		for _, mv := range s.moves {
+			_, _, _ = m.ref.MoveCell(mv.cell, mv.x, mv.y)
+		}
+		m.ref.UpdateTimingIncremental()
+	}
+	s.resizes = s.resizes[:0]
+	s.moves = s.moves[:0]
+	m.epoch++
+	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
+	res := &ECOResult{
+		WNS:       m.baseWNS,
+		TNS:       m.baseTNS,
+		DeltaWNS:  m.baseWNS - prevWNS,
+		DeltaTNS:  m.baseTNS - prevTNS,
+		Epoch:     m.epoch,
+		Committed: true,
+	}
+	if m.be != nil {
+		prev := m.baseScn
+		m.baseScn = scenarioBaseViews(m.be)
+		res.Scenarios = make([]ScenarioView, len(m.baseScn))
+		for i, v := range m.baseScn {
+			v.DeltaWNS = v.WNS - prev[i].WNS
+			v.DeltaTNS = v.TNS - prev[i].TNS
+			res.Scenarios[i] = v
+		}
+	}
+	// Re-bind this session's overlays to the engines it just installed. It
+	// holds no overlay deltas (structural sessions reject them), so the
+	// rebase is a pure re-point.
+	s.ov.RebaseStructural(m.e, nil)
+	if s.bov != nil {
+		s.bov.RebaseStructural(m.be, nil)
+	}
+	s.ts = nil // detached: the manager owns the working set now
+	s.epoch = m.epoch
+	s.topoGen = m.topoGen
+	m.commits.Add(1)
+	m.topoCommits.Add(1)
+	m.log.Info("structural commit", "session", s.ID,
+		"edits", d.Stats.Edits, "inserted", d.Stats.Inserted,
+		"removed", d.Stats.Removed, "annotated", d.Stats.Annotated,
+		"new_pins", d.Stats.NewPins, "epoch", m.epoch, "topo_gen", m.topoGen,
+		"wns", m.baseWNS, "tns", m.baseTNS, "duration", time.Since(t0))
+	if m.opt.ManifestDir != "" {
+		man := &obs.Manifest{
+			Tool:      "insta-served-commit",
+			Design:    m.opt.Design,
+			StartedAt: t0,
+			WallMS:    float64(time.Since(t0).Nanoseconds()) / 1e6,
+			Pins:      m.e.NumPins(),
+			Arcs:      m.e.NumArcs(),
+			Endpoints: len(m.e.Endpoints()),
+			Levels:    m.e.NumLevels(),
+			TopK:      m.e.TopK(),
+			Workers:   m.e.Pool().Workers(),
+			WNSBefore: prevWNS,
+			TNSBefore: prevTNS,
+			WNSAfter:  m.baseWNS,
+			TNSAfter:  m.baseTNS,
+		}
+		man.AddExtra("session", s.ID)
+		man.AddExtra("structural", true)
+		man.AddExtra("inserted", d.Stats.Inserted)
+		man.AddExtra("removed", d.Stats.Removed)
+		man.AddExtra("epoch", m.epoch)
+		if path, err := obs.WriteManifest(m.opt.ManifestDir, man); err != nil {
+			m.log.Warn("commit manifest write failed", "err", err)
+		} else if m.debugLog() {
+			m.log.Debug("commit manifest written", "path", path)
+		}
+	}
+	return res, nil
+}
+
+// composeArcRemap folds one structural commit's remap (old-current → new
+// ids, nil = identity) into the composed extraction→current remap. n is the
+// extraction arc count, the domain of the composed remap.
+func composeArcRemap(prev, next []int32, n int) []int32 {
+	if next == nil {
+		return prev
+	}
+	if prev == nil {
+		prev = make([]int32, n)
+		for i := range prev {
+			prev[i] = int32(i)
+		}
+	}
+	for i, cur := range prev {
+		if cur >= 0 {
+			prev[i] = next[cur]
+		}
+	}
+	return prev
+}
+
+// Rollback discards the session's uncommitted deltas — annotation and
+// structural alike — re-syncing it to the current base. The session stays
+// open.
 func (s *Session) Rollback() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -927,15 +1698,30 @@ func (s *Session) Rollback() error {
 		return ErrSessionClosed
 	}
 	s.touch()
-	s.m.mu.RLock()
-	defer s.m.mu.RUnlock()
+	m := s.m
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if s.ts != nil {
+		s.ts.Close()
+		s.ts = nil
+	}
 	s.ov.Reset()
 	if s.bov != nil {
 		s.bov.Reset()
 	}
+	if s.topoGen != m.topoGen {
+		// The base engines were structurally replaced; re-point the emptied
+		// overlays (no deltas survive a reset, so no remap needed).
+		s.ov.RebaseStructural(m.e, nil)
+		if s.bov != nil {
+			s.bov.RebaseStructural(m.be, nil)
+		}
+		s.topoGen = m.topoGen
+	}
 	s.resizes = s.resizes[:0]
-	s.epoch = s.m.epoch
-	s.m.rollbacks.Add(1)
+	s.moves = s.moves[:0]
+	s.epoch = m.epoch
+	m.rollbacks.Add(1)
 	return nil
 }
 
@@ -948,6 +1734,10 @@ func (s *Session) Close() bool {
 		return false
 	}
 	s.closed = true
+	if s.ts != nil {
+		s.ts.Close()
+		s.ts = nil
+	}
 	s.ov.Reset()
 	if s.bov != nil {
 		s.bov.Reset()

@@ -1,0 +1,338 @@
+package topo
+
+// Structural ECO sessions: a working clone of the extraction tables plus
+// fully evaluated working engines (single-corner and, when serving corners,
+// scenario-batched), rebuilt incrementally per edit batch. The session is
+// the preview/commit/rollback unit the serving layer wraps:
+//
+//	preview  = Apply/Annotate against the working set; the base engines
+//	           stay frozen and shared with concurrent annotation sessions
+//	commit   = Detach hands the working set to the owner, which swaps it in
+//	           as the new base
+//	rollback = Reset closes the working engines and points the session back
+//	           at the base
+//
+// Each Apply recompiles the edited tables with core.CompileIncremental
+// (localized re-levelization) and stands up the next working engines with
+// core.NewEngineSeeded / batch.NewSeeded (cone-limited re-propagation), so
+// the cost of an edit scales with its fan-out cone, not the design — while
+// staying bit-identical to a cold compile + full propagation of the edited
+// netlist (the differential tests in this package pin that down).
+
+import (
+	"fmt"
+
+	"insta/internal/batch"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/levelize"
+	"insta/internal/num"
+)
+
+// Delta is one annotation in the session's *current* arc id space (after any
+// structural remaps), used by Annotate.
+type Delta struct {
+	Arc   int32
+	Delay [2]num.Dist
+}
+
+// SessionStats accumulates what a session's edits did, for metrics.
+type SessionStats struct {
+	Edits     int // structural Apply batches
+	Inserted  int // buffers spliced in
+	Removed   int // buffers removed
+	Annotated int // arcs rewritten via structural batches
+	NewPins   int // pins appended
+	Relevel   levelize.IncStats
+}
+
+// Session is one structural ECO session over a frozen base.
+//
+// Concurrency contract: a Session is single-threaded. Apply and Annotate
+// read the base engines' tensors (seeded construction), so the base must be
+// frozen for the duration of the call — the serving layer holds its engine
+// read lock. Reset, Detach and Close touch only session-owned state.
+type Session struct {
+	baseTab   *circuitops.Tables
+	baseState *core.State
+	baseEng   *core.Engine
+	baseBatch *batch.Engine
+
+	tab   *circuitops.Tables
+	state *core.State
+	eng   *core.Engine
+	beng  *batch.Engine
+
+	remap    []int32 // base arc id -> current arc id; nil = identity
+	stats    SessionStats
+	detached bool
+	closed   bool
+}
+
+// NewSession opens a structural session over base engine e (which must be
+// fully evaluated — Run, or a previous structural commit) and, optionally,
+// the scenario-batched engine be kept delay-synchronized with e. The base
+// tables are reconstructed from the engine's current state, so annotation
+// ECOs committed before the session opened are already folded in.
+func NewSession(e *core.Engine, be *batch.Engine) (*Session, error) {
+	if e == nil {
+		return nil, fmt.Errorf("topo: nil base engine")
+	}
+	st := e.ExportState()
+	s := &Session{
+		baseTab:   st.Tables(),
+		baseState: st,
+		baseEng:   e,
+		baseBatch: be,
+	}
+	s.tab, s.state, s.eng, s.beng = s.baseTab, s.baseState, s.baseEng, s.baseBatch
+	return s, nil
+}
+
+// Engine returns the session's current working engine: the base engine until
+// the first Apply, the latest seeded engine after. Read-only for callers.
+func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Batch returns the working scenario-batched engine (nil when the session
+// was opened without one).
+func (s *Session) Batch() *batch.Engine { return s.beng }
+
+// Tables returns the session's current working tables. Callers must not
+// mutate them; a cold core.Compile of this value is the session's
+// bit-identity oracle.
+func (s *Session) Tables() *circuitops.Tables { return s.tab }
+
+// Remap returns the composed base→current arc id remap (-1 = removed), or
+// nil when every base arc id is still valid. The returned slice is owned by
+// the session.
+func (s *Session) Remap() []int32 { return s.remap }
+
+// Stats returns the session's cumulative edit statistics; Relevel reflects
+// the most recent Apply.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Edited reports whether the session holds uncommitted structural edits.
+func (s *Session) Edited() bool { return s.stats.Edits > 0 }
+
+// Apply validates and applies one structural op batch, recompiles the edited
+// tables with localized re-levelization, and stands up fresh working engines
+// seeded from the current ones. On any error the session — tables, compiled
+// state, engines, remap — is left exactly as it was (the op batch itself is
+// validate-then-apply on a clone, and engine construction failures discard
+// the partial objects before the swap).
+func (s *Session) Apply(ops []Op) (*Result, error) {
+	if s.detached || s.closed {
+		return nil, fmt.Errorf("topo: session is no longer active")
+	}
+	// Once the working tables are session-private (after the first edit) the
+	// batch applies in place — the arc-table clone, like the slab rebuild and
+	// the tensor allocation below, drops out of the steady-state preview.
+	res, err := applyOps(s.tab, ops, s.tab != s.baseTab)
+	if err != nil {
+		return nil, err
+	}
+	// Recompile: append/rewrite batches (nil remap) patch the previous
+	// compiled state — cannibalizing it in place once it is session-private —
+	// instead of rebuilding every O(arcs) slab; removal batches and any
+	// unpatchable shape take the slow slab rebuild. Both are bit-identical
+	// to a cold Compile of the edited tables.
+	var st *core.State
+	var inc levelize.IncStats
+	if res.Remap == nil {
+		st, inc, err = core.CompileIncrementalPatched(res.Tables, s.state, res.Seeds, res.Changed, s.state != s.baseState)
+		if err != nil {
+			st = nil
+		}
+	}
+	if st == nil {
+		st, inc, err = core.CompileIncremental(res.Tables, s.state, res.Seeds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Stand up the working engines. The scenario-batched engine (if any) is
+	// built first so its failure leaves the session untouched; the
+	// single-corner engine is then either seeded fresh off the base (first
+	// edit) or reseeded in place (session-private already — the steady state,
+	// where an edit costs no tensor allocation at all).
+	var beng *batch.Engine
+	if s.beng != nil {
+		beng, err = batch.NewSeeded(st, s.beng, res.Seeds, s.beng.Scenarios(), s.beng.Options())
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng := s.eng
+	if s.eng == s.baseEng {
+		eng, err = core.NewEngineSeeded(st, s.eng, res.Seeds, s.eng.Options())
+		if err != nil {
+			if beng != nil {
+				beng.Close()
+			}
+			return nil, err
+		}
+	} else if err := s.eng.ReseedStructural(st, res.Seeds); err != nil {
+		if beng != nil {
+			beng.Close()
+		}
+		return nil, err
+	}
+
+	if s.beng != nil && s.beng != s.baseBatch {
+		s.beng.Close()
+	}
+	s.tab, s.state, s.eng, s.beng = res.Tables, st, eng, beng
+	s.remap = composeRemap(s.remap, res.Remap, len(s.baseTab.Arcs))
+	s.stats.Edits++
+	s.stats.Inserted += res.Inserted
+	s.stats.Removed += res.Removed
+	s.stats.Annotated += res.Annotated
+	s.stats.NewPins += res.NewPins
+	s.stats.Relevel = inc
+	return res, nil
+}
+
+// Annotate rewrites arc delays in the session's current arc id space —
+// annotation ECOs arriving on a session that already holds structural edits
+// fold in here, keeping the working tables and engines delay-synchronized so
+// the cold-compile oracle stays exact. Only legal after the first Apply: the
+// working set before that IS the shared base, which a session must never
+// mutate (pre-structural annotations belong in the serving overlay).
+func (s *Session) Annotate(deltas []Delta) error {
+	if s.detached || s.closed {
+		return fmt.Errorf("topo: session is no longer active")
+	}
+	if s.stats.Edits == 0 {
+		return fmt.Errorf("topo: no structural edits; annotate through the overlay")
+	}
+	for _, d := range deltas {
+		if d.Arc < 0 || int(d.Arc) >= len(s.tab.Arcs) {
+			return fmt.Errorf("topo: annotate: arc %d out of range [0,%d)", d.Arc, len(s.tab.Arcs))
+		}
+		for rf := 0; rf < 2; rf++ {
+			if d.Delay[rf].Std < 0 {
+				return fmt.Errorf("topo: annotate: negative sigma on arc %d", d.Arc)
+			}
+		}
+	}
+	arcs := make([]int32, 0, len(deltas))
+	for _, d := range deltas {
+		a := &s.tab.Arcs[d.Arc]
+		a.MeanRise, a.StdRise = d.Delay[0].Mean, d.Delay[0].Std
+		a.MeanFall, a.StdFall = d.Delay[1].Mean, d.Delay[1].Std
+		for rf := 0; rf < 2; rf++ {
+			s.eng.SetArcDelay(d.Arc, rf, d.Delay[rf])
+			if s.beng != nil {
+				s.beng.SetArcDelay(d.Arc, rf, d.Delay[rf].Mean, d.Delay[rf].Std)
+			}
+			// The session-private compiled state is the `prev` of the next
+			// patched recompile, whose unchanged rows are taken on faith —
+			// keep its annotation slabs coherent with the tables. (After an
+			// in-place reseed the engine aliases these slabs and the write
+			// above already landed here; this is then a harmless re-store.)
+			s.state.ArcMean[rf][d.Arc] = d.Delay[rf].Mean
+			s.state.ArcStd[rf][d.Arc] = d.Delay[rf].Std
+		}
+		arcs = append(arcs, d.Arc)
+	}
+	s.eng.PropagateIncremental(arcs)
+	s.eng.EvalSlacks()
+	if s.eng.HoldEnabled() {
+		s.eng.EvalHoldSlacks()
+	}
+	if s.beng != nil {
+		s.beng.PropagateIncremental(arcs)
+		s.beng.EvalSlacks()
+		if s.beng.HoldEnabled() {
+			s.beng.EvalHoldSlacks()
+		}
+	}
+	return nil
+}
+
+// Reset rolls every structural edit back: the working engines are closed and
+// the session points at the untouched base again.
+func (s *Session) Reset() {
+	if s.detached || s.closed {
+		return
+	}
+	if s.eng != s.baseEng {
+		s.eng.Close()
+	}
+	if s.beng != nil && s.beng != s.baseBatch {
+		s.beng.Close()
+	}
+	s.tab, s.state, s.eng, s.beng = s.baseTab, s.baseState, s.baseEng, s.baseBatch
+	s.remap = nil
+	s.stats = SessionStats{}
+}
+
+// Detached is the working set a commit takes over from a session.
+type Detached struct {
+	Tables *circuitops.Tables
+	State  *core.State
+	Engine *core.Engine
+	Batch  *batch.Engine
+	Remap  []int32 // base→current arc remap, nil = identity
+	Stats  SessionStats
+}
+
+// Detach hands the session's working set to the caller — the commit path:
+// the caller becomes the owner of the engines (and their Close), and the
+// session deactivates without touching them. Fails when there is nothing to
+// commit.
+func (s *Session) Detach() (*Detached, error) {
+	if s.detached || s.closed {
+		return nil, fmt.Errorf("topo: session is no longer active")
+	}
+	if s.stats.Edits == 0 {
+		return nil, fmt.Errorf("topo: no structural edits to commit")
+	}
+	d := &Detached{
+		Tables: s.tab,
+		State:  s.state,
+		Engine: s.eng,
+		Batch:  s.beng,
+		Remap:  s.remap,
+		Stats:  s.stats,
+	}
+	s.detached = true
+	return d, nil
+}
+
+// Close releases the session's working engines unless they were detached (or
+// are the shared base). Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	if !s.detached {
+		if s.eng != nil && s.eng != s.baseEng {
+			s.eng.Close()
+		}
+		if s.beng != nil && s.beng != s.baseBatch {
+			s.beng.Close()
+		}
+	}
+	s.closed = true
+}
+
+// composeRemap folds the latest batch remap (pre-edit current ids → new ids,
+// nil = identity) into the session's cumulative base→current remap.
+func composeRemap(prev, next []int32, baseArcs int) []int32 {
+	if next == nil {
+		return prev
+	}
+	if prev == nil {
+		prev = make([]int32, baseArcs)
+		for i := range prev {
+			prev[i] = int32(i)
+		}
+	}
+	for i, cur := range prev {
+		if cur >= 0 {
+			prev[i] = next[cur]
+		}
+	}
+	return prev
+}

@@ -1,0 +1,439 @@
+package topo
+
+// Differential suite for structural ECOs. The correctness contract: a
+// session's working engine after any sequence of Apply/Annotate batches is
+// *bit-identical* — endpoint slacks, hold slacks, WNS/TNS, Top-K queues,
+// timing gradients — to a cold core.Compile + NewEngineFromState + Run over
+// the session's working tables, at any worker count (ci.sh runs this package
+// under -race as well). The batched working engine is held to the same
+// standard against a cold batch.New per scenario.
+
+import (
+	"testing"
+
+	"insta/internal/bench"
+	"insta/internal/batch"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/liberty"
+	"insta/internal/num"
+	"insta/internal/refsta"
+)
+
+func buildTables(t testing.TB, seed int64) *circuitops.Tables {
+	t.Helper()
+	b, err := bench.Generate(bench.Spec{
+		Name: "topotest", Seed: seed, Tech: liberty.TechN3(),
+		Groups: 2, FFsPerGroup: 8, Layers: 4, Width: 8,
+		CrossFrac: 0.1, NumPIs: 3, NumPOs: 3,
+		Period: 1, Uncertainty: 10, Die: 80, VioFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return circuitops.Extract(ref)
+}
+
+// netArcs returns the ids of positive-unate net arcs, the insertion targets.
+func netArcs(tab *circuitops.Tables) []int32 {
+	var out []int32
+	for i := range tab.Arcs {
+		if tab.Arcs[i].Kind == 1 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// mustEngine builds and fully evaluates a cold engine over tab.
+func mustEngine(t *testing.T, tab *circuitops.Tables, opt core.Options) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if e.HoldEnabled() {
+		e.EvalHoldSlacks()
+	}
+	return e
+}
+
+// assertEnginesIdentical compares got against a cold oracle over tab:
+// slacks, hold slacks, WNS/TNS, every endpoint's Top-K queues, and the
+// backward pass's per-arc timing gradients.
+func assertEnginesIdentical(t *testing.T, tag string, got *core.Engine, tab *circuitops.Tables, opt core.Options) {
+	t.Helper()
+	want := mustEngine(t, tab, opt)
+	defer want.Close()
+
+	gs, ws := got.Slacks(), want.Slacks()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: %d endpoints != cold %d", tag, len(gs), len(ws))
+	}
+	for i := range ws {
+		if gs[i] != ws[i] {
+			t.Fatalf("%s: ep %d slack %v != cold %v", tag, i, gs[i], ws[i])
+		}
+	}
+	if got.WNS() != want.WNS() || got.TNS() != want.TNS() {
+		t.Fatalf("%s: WNS/TNS %v/%v != cold %v/%v", tag, got.WNS(), got.TNS(), want.WNS(), want.TNS())
+	}
+	if want.HoldEnabled() {
+		gh, wh := got.EvalHoldSlacks(), want.EvalHoldSlacks()
+		for i := range wh {
+			if gh[i] != wh[i] {
+				t.Fatalf("%s: ep %d hold slack %v != cold %v", tag, i, gh[i], wh[i])
+			}
+		}
+	}
+	for _, p := range want.Endpoints() {
+		for rf := 0; rf < 2; rf++ {
+			ga, gm, gsd, gsp := got.TopEntries(rf, p)
+			wa, wm, wsd, wsp := want.TopEntries(rf, p)
+			for kk := range wa {
+				if ga[kk] != wa[kk] || gm[kk] != wm[kk] || gsd[kk] != wsd[kk] || gsp[kk] != wsp[kk] {
+					t.Fatalf("%s: pin %d rf %d slot %d: queue mismatch", tag, p, rf, kk)
+				}
+			}
+		}
+	}
+	got.Backward()
+	want.Backward()
+	for a := 0; a < want.NumArcs(); a++ {
+		if gg, wg := got.TimingGradient(int32(a)), want.TimingGradient(int32(a)); gg != wg {
+			t.Fatalf("%s: arc %d gradient %v != cold %v", tag, a, gg, wg)
+		}
+	}
+}
+
+func bufDelay(m, s float64) [2]num.Dist {
+	return [2]num.Dist{{Mean: m, Std: s}, {Mean: m * 1.05, Std: s}}
+}
+
+func TestInsertBufferDifferential(t *testing.T) {
+	tab := buildTables(t, 31)
+	for _, workers := range []int{1, 2, 4} {
+		opt := core.Options{TopK: 8, Hold: true, Workers: workers}
+		base := mustEngine(t, tab, opt)
+		s, err := NewSession(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets := netArcs(tab)
+		ops := []Op{
+			InsertBuffer(nets[0], 7, bufDelay(3, 0.2), 0),
+			InsertBuffer(nets[len(nets)/2], 7, bufDelay(2.5, 0.15), 0.3),
+			InsertBuffer(nets[len(nets)-1], -1, bufDelay(4, 0.3), 0.7),
+		}
+		res, err := s.Apply(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Remap != nil {
+			t.Fatalf("insert-only batch produced a remap")
+		}
+		if res.NewPins != 6 || res.Inserted != 3 {
+			t.Fatalf("unexpected result %+v", res)
+		}
+		if st := s.Stats(); st.Relevel.Region <= 0 || st.Relevel.Region >= tab.NumPins {
+			t.Fatalf("re-levelized region %d not localized (pins %d)", st.Relevel.Region, tab.NumPins)
+		}
+		assertEnginesIdentical(t, "insert", s.Engine(), s.Tables(), opt)
+		s.Close()
+		base.Close()
+	}
+}
+
+func TestRemoveBufferDifferential(t *testing.T) {
+	tab := buildTables(t, 32)
+	opt := core.Options{TopK: 8, Hold: true, Workers: 2}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Insert a buffer, then remove it in a second batch: the remove batch
+	// must produce a compaction remap and a graph that cold-compiles to the
+	// same bits as the session's preview.
+	target := netArcs(tab)[2]
+	if _, err := s.Apply([]Op{InsertBuffer(target, 7, bufDelay(3, 0.2), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// The inserted buffer's cell arc is the second-to-last arc.
+	cellArc := int32(len(s.Tables().Arcs) - 2)
+	if s.Tables().Arcs[cellArc].Kind != 0 {
+		t.Fatalf("arc %d is not the inserted cell arc", cellArc)
+	}
+	res, err := s.Apply([]Op{RemoveBuffer(cellArc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remap == nil {
+		t.Fatal("removal batch returned no remap")
+	}
+	if res.Remap[target] != -1 {
+		t.Fatalf("split driver arc %d should be removed, remap says %d", target, res.Remap[target])
+	}
+	if s.Remap() == nil {
+		t.Fatal("session remap not composed")
+	}
+	assertEnginesIdentical(t, "remove", s.Engine(), s.Tables(), opt)
+
+	// Pin count never shrinks; the buffer pins are floating now.
+	if s.Tables().NumPins != tab.NumPins+2 {
+		t.Fatalf("pin count %d, want %d", s.Tables().NumPins, tab.NumPins+2)
+	}
+}
+
+func TestAnnotateOnStructuralSessionDifferential(t *testing.T) {
+	tab := buildTables(t, 33)
+	opt := core.Options{TopK: 8, Hold: true, Workers: 2}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Annotate([]Delta{{Arc: 0, Delay: bufDelay(9, 0.5)}}); err == nil {
+		t.Fatal("annotate before any structural edit must be rejected")
+	}
+	if _, err := s.Apply([]Op{InsertBuffer(netArcs(tab)[0], 7, bufDelay(3, 0.2), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Annotate a few arcs, including one appended by the insert.
+	newArc := int32(len(s.Tables().Arcs) - 1)
+	deltas := []Delta{
+		{Arc: 5, Delay: bufDelay(7, 0.4)},
+		{Arc: newArc, Delay: bufDelay(1.5, 0.1)},
+	}
+	if err := s.Annotate(deltas); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesIdentical(t, "annotate", s.Engine(), s.Tables(), opt)
+}
+
+func TestMixedBatchWithAnnotateOps(t *testing.T) {
+	tab := buildTables(t, 34)
+	opt := core.Options{TopK: 8, Workers: 2}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	nets := netArcs(tab)
+	ops := []Op{
+		InsertBuffer(nets[1], 7, bufDelay(2, 0.1), 0),
+		Annotate(nets[3], bufDelay(6, 0.3)),
+		Annotate(0, bufDelay(4, 0.2)),
+	}
+	if _, err := s.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesIdentical(t, "mixed", s.Engine(), s.Tables(), opt)
+}
+
+func TestBatchedEngineDifferential(t *testing.T) {
+	tab := buildTables(t, 35)
+	scns := batch.DefaultScenarios()
+	for _, workers := range []int{1, 4} {
+		opt := core.Options{TopK: 8, Hold: true, Workers: workers}
+		base := mustEngine(t, tab, opt)
+		bbase, err := batch.New(tab, scns, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbase.Run()
+		s, err := NewSession(base, bbase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets := netArcs(tab)
+		if _, err := s.Apply([]Op{
+			InsertBuffer(nets[0], 7, bufDelay(3, 0.2), 0),
+			InsertBuffer(nets[4], 7, bufDelay(2, 0.1), 0.4),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		cellArc := int32(len(s.Tables().Arcs) - 2)
+		if s.Tables().Arcs[cellArc].Kind != 0 {
+			t.Fatalf("arc %d is not a cell arc", cellArc)
+		}
+		if _, err := s.Apply([]Op{RemoveBuffer(cellArc)}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Per-scenario bit-identity against a cold batched engine over the
+		// session's working tables.
+		cold, err := batch.New(s.Tables(), scns, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold.Run()
+		got := s.Batch()
+		for sc := range scns {
+			gs, ws := got.Slacks(sc), cold.Slacks(sc)
+			for i := range ws {
+				if gs[i] != ws[i] {
+					t.Fatalf("workers=%d scenario %d ep %d: %v != cold %v", workers, sc, i, gs[i], ws[i])
+				}
+			}
+			gh, wh := got.HoldSlacks(sc), cold.HoldSlacks(sc)
+			for i := range wh {
+				if gh[i] != wh[i] {
+					t.Fatalf("workers=%d scenario %d ep %d: hold %v != cold %v", workers, sc, i, gh[i], wh[i])
+				}
+			}
+		}
+		cold.Close()
+		s.Close()
+		bbase.Close()
+		base.Close()
+	}
+}
+
+func TestApplyAtomicOnInvalidBatch(t *testing.T) {
+	tab := buildTables(t, 36)
+	opt := core.Options{TopK: 8, Workers: 2}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	nets := netArcs(tab)
+	before := s.Tables()
+	beforeEng := s.Engine()
+	// Valid insert + claim conflict on the same arc: whole batch rejected.
+	bad := []Op{
+		InsertBuffer(nets[0], 7, bufDelay(3, 0.2), 0),
+		Annotate(nets[0], bufDelay(1, 0.1)),
+	}
+	if _, err := s.Apply(bad); err == nil {
+		t.Fatal("conflicting batch accepted")
+	}
+	if s.Tables() != before || s.Engine() != beforeEng || s.Edited() {
+		t.Fatal("failed batch mutated the session")
+	}
+	// Bad arc id, bad fraction, wrong arc kind, cell arc removal shape.
+	for _, ops := range [][]Op{
+		{InsertBuffer(int32(len(tab.Arcs)), 7, bufDelay(1, 0.1), 0)},
+		{InsertBuffer(nets[0], 7, bufDelay(1, 0.1), 1.5)},
+		{RemoveBuffer(nets[0])},
+		{Annotate(-1, bufDelay(1, 0.1))},
+		{},
+	} {
+		if _, err := s.Apply(ops); err == nil {
+			t.Fatalf("invalid batch %+v accepted", ops)
+		}
+	}
+	if s.Edited() {
+		t.Fatal("rejected batches left the session edited")
+	}
+}
+
+func TestResetRestoresBase(t *testing.T) {
+	tab := buildTables(t, 37)
+	opt := core.Options{TopK: 8, Workers: 2}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	baseWNS := base.WNS()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Apply([]Op{InsertBuffer(netArcs(tab)[0], 7, bufDelay(30, 1), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine() == base {
+		t.Fatal("apply did not create a working engine")
+	}
+	s.Reset()
+	if s.Engine() != base || s.Edited() || s.Remap() != nil {
+		t.Fatal("reset did not restore the base")
+	}
+	if base.WNS() != baseWNS {
+		t.Fatalf("base WNS moved across preview+reset: %v != %v", base.WNS(), baseWNS)
+	}
+}
+
+func TestDetachTransfersOwnership(t *testing.T) {
+	tab := buildTables(t, 38)
+	opt := core.Options{TopK: 8, Workers: 2}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detach(); err == nil {
+		t.Fatal("detach with no edits accepted")
+	}
+	if _, err := s.Apply([]Op{InsertBuffer(netArcs(tab)[0], 7, bufDelay(3, 0.2), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Engine == base || d.Tables == nil || d.State == nil {
+		t.Fatal("detached set incomplete")
+	}
+	// Close after detach must not kill the detached engine.
+	s.Close()
+	if got := d.Engine.WNS(); got != d.Engine.WNS() {
+		t.Fatal("detached engine unusable after session close")
+	}
+	assertEnginesIdentical(t, "detached", d.Engine, d.Tables, opt)
+	d.Engine.Close()
+}
+
+func TestRepeatedEditsStayIdentical(t *testing.T) {
+	// A chain of structural batches — insert, annotate, insert, remove —
+	// must stay bit-identical to the cold oracle at every step.
+	tab := buildTables(t, 39)
+	opt := core.Options{TopK: 8, Hold: true, Workers: 4}
+	base := mustEngine(t, tab, opt)
+	defer base.Close()
+	s, err := NewSession(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	nets := netArcs(tab)
+	if _, err := s.Apply([]Op{InsertBuffer(nets[0], 7, bufDelay(3, 0.2), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesIdentical(t, "step1", s.Engine(), s.Tables(), opt)
+
+	if err := s.Annotate([]Delta{{Arc: nets[1], Delay: bufDelay(5, 0.25)}}); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesIdentical(t, "step2", s.Engine(), s.Tables(), opt)
+
+	if _, err := s.Apply([]Op{InsertBuffer(nets[2], 7, bufDelay(2, 0.1), 0.25)}); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesIdentical(t, "step3", s.Engine(), s.Tables(), opt)
+
+	cellArc := int32(len(s.Tables().Arcs) - 2)
+	if _, err := s.Apply([]Op{RemoveBuffer(cellArc)}); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesIdentical(t, "step4", s.Engine(), s.Tables(), opt)
+}
