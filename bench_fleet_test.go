@@ -292,6 +292,22 @@ func TestFleetBenchRegression(t *testing.T) {
 			fleet4.P99Us, single.P99Us)
 	}
 
+	// The fleet phase runs behind the router, which stamps every response with
+	// a Traceparent echo even with the span tracer off — so the report's
+	// slowest-request list must carry well-formed trace IDs, the handles a
+	// debugging session would feed to GET /debug/trace/{trace}.
+	if len(fleet4.Slowest) == 0 {
+		t.Error("fleet_of_4: loadgen captured no slowest-request traces behind the router")
+	}
+	for i, s := range fleet4.Slowest {
+		if len(s.Trace) != 32 || s.Us <= 0 || s.Route == "" {
+			t.Errorf("fleet_of_4 slowest[%d] malformed: %+v", i, s)
+		}
+		if i > 0 && s.Us > fleet4.Slowest[i-1].Us {
+			t.Errorf("fleet_of_4 slowest not sorted descending at %d: %+v", i, fleet4.Slowest)
+		}
+	}
+
 	// Phase 3 — hedged reads: two replicas, one straggling 10ms on every base
 	// read. Unhedged, round-robin parks half the reads behind the straggler;
 	// hedged, a second attempt fires after the p95-derived delay (clamped to

@@ -6,11 +6,15 @@
 // gated at < 1% when INSTA_OBS_GATE=1 (ci.sh sets it); ad-hoc runs only get
 // a loose noise guard so a loaded laptop doesn't fail the suite. The
 // enabled-tracer ratio is recorded ungated as a diagnostic of what a capture
-// window costs.
+// window costs. The same report also covers the per-request observability hot
+// path added in PR 9 — FlightRecorder.Record and SLOTracker.Record ns/op with
+// unconditional zero-allocation gates, plus a deterministic burn-rate
+// arithmetic fixture.
 package insta
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -38,6 +42,18 @@ type obsBenchReport struct {
 	EnabledNs           int64   `json:"run_enabled_ns"`
 	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
 	SpansPerRun         int     `json:"spans_per_run"`
+	// Per-request observability hot path (DESIGN.md §15): the flight recorder
+	// and SLO tracker sit on every served request, so both Record calls must
+	// stay allocation-free — the allocs fields are asserted to be exactly 0
+	// (allocation counts are deterministic, so this holds gated or not).
+	RecorderRecordNs     int64   `json:"recorder_record_ns"`
+	RecorderRecordAllocs float64 `json:"recorder_record_allocs"`
+	SLORecordNs          int64   `json:"slo_record_ns"`
+	SLORecordAllocs      float64 `json:"slo_record_allocs"`
+	// BurnFixture is a deterministic burn-rate arithmetic check: 900 good +
+	// 50 slow + 50 failed requests against a 10% error budget must read back
+	// as bad_fraction 0.1 and burn_rate 1.0 exactly.
+	BurnFixture obs.BurnRate `json:"burn_fixture"`
 }
 
 func TestObsBenchRegression(t *testing.T) {
@@ -117,9 +133,50 @@ func TestObsBenchRegression(t *testing.T) {
 	tr.Disable()
 	rep.EnabledOverheadPct = 100 * (float64(rep.EnabledNs) - float64(rep.BaselineNs)) / float64(rep.BaselineNs)
 
-	t.Logf("%s: baseline %v, disabled-tracer %v (%+.2f%%), enabled %v (%+.2f%%, %d spans/run)",
+	// Flight-recorder + SLO hot path. A pin threshold of an hour keeps the
+	// anomaly path (which snapshots span trees, and may allocate) out of the
+	// steady-state measurement — the served path only pins on breach.
+	fr := obs.NewFlightRecorder(obs.FlightRecorderOptions{Size: 4096, PinThreshold: time.Hour})
+	slo := obs.NewSLOTracker(obs.SLOOptions{Objective: 100 * time.Millisecond, ErrorBudget: 0.01})
+	now := time.Unix(1_700_000_000, 0) // fixed clock: bucket math without wall-time jitter
+	reqRec := obs.ReqRecord{
+		Trace: obs.NewTraceID(), Route: "eco", Shard: "s-1", Replica: 1,
+		Status: 200, QueueNs: 1_000, ServeNs: 2_000_000, TotalNs: 2_001_000,
+		Unix: now.UnixNano(),
+	}
+	rep.RecorderRecordAllocs = testing.AllocsPerRun(1024, func() { fr.Record(reqRec) })
+	rep.SLORecordAllocs = testing.AllocsPerRun(1024, func() { slo.Record(2*time.Millisecond, false, now) })
+	const hotN = 1 << 16
+	rep.RecorderRecordNs = medianNs(3, func() {
+		for i := 0; i < hotN; i++ {
+			fr.Record(reqRec)
+		}
+	}) / hotN
+	rep.SLORecordNs = medianNs(3, func() {
+		for i := 0; i < hotN; i++ {
+			slo.Record(2*time.Millisecond, false, now)
+		}
+	}) / hotN
+
+	// Burn-rate arithmetic fixture: 1000 requests in one 5m window — 900
+	// inside the objective, 50 over it, 50 failed outright — against a 10%
+	// budget is exactly a 1.0x burn (spending the budget exactly as allowed).
+	fix := obs.NewSLOTracker(obs.SLOOptions{Objective: 10 * time.Millisecond, ErrorBudget: 0.1})
+	for i := 0; i < 900; i++ {
+		fix.Record(time.Millisecond, false, now)
+	}
+	for i := 0; i < 50; i++ {
+		fix.Record(50*time.Millisecond, false, now) // slow: breaches the objective
+	}
+	for i := 0; i < 50; i++ {
+		fix.Record(time.Millisecond, true, now) // fast but failed
+	}
+	rep.BurnFixture = fix.Burn(5*time.Minute, now.Add(time.Second))
+
+	t.Logf("%s: baseline %v, disabled-tracer %v (%+.2f%%), enabled %v (%+.2f%%, %d spans/run); recorder %dns/op (%.0f allocs), slo %dns/op (%.0f allocs), burn fixture %.3f",
 		preset, time.Duration(rep.BaselineNs), time.Duration(rep.DisabledNs), rep.DisabledOverheadPct,
-		time.Duration(rep.EnabledNs), rep.EnabledOverheadPct, rep.SpansPerRun)
+		time.Duration(rep.EnabledNs), rep.EnabledOverheadPct, rep.SpansPerRun,
+		rep.RecorderRecordNs, rep.RecorderRecordAllocs, rep.SLORecordNs, rep.SLORecordAllocs, rep.BurnFixture.Burn)
 
 	// Gate. The strict 1% bound is the ISSUE acceptance bar; it needs the
 	// quiet interleaved-min conditions ci.sh provides, so casual runs get a
@@ -134,6 +191,19 @@ func TestObsBenchRegression(t *testing.T) {
 	}
 	if rep.SpansPerRun == 0 {
 		t.Error("enabled tracer recorded no spans — the engine hot paths lost their instrumentation")
+	}
+	// Zero-alloc and arithmetic gates are unconditional: neither depends on
+	// machine load, so a failure here is a real regression, not CI noise.
+	if rep.RecorderRecordAllocs != 0 {
+		t.Errorf("FlightRecorder.Record allocates %.1f/op, want 0 — the per-request ring must stay allocation-free", rep.RecorderRecordAllocs)
+	}
+	if rep.SLORecordAllocs != 0 {
+		t.Errorf("SLOTracker.Record allocates %.1f/op, want 0 — burn-rate bookkeeping must stay allocation-free", rep.SLORecordAllocs)
+	}
+	fx := rep.BurnFixture
+	if fx.Total != 1000 || fx.Bad != 100 ||
+		math.Abs(fx.BadFraction-0.1) > 1e-12 || math.Abs(fx.Burn-1.0) > 1e-12 {
+		t.Errorf("burn fixture: got total=%d bad=%d bad_fraction=%g burn=%g, want 1000/100/0.1/1.0", fx.Total, fx.Bad, fx.BadFraction, fx.Burn)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -15,14 +15,19 @@
 #                      kernels that run on it, the scenario-batched engine
 #                      (including the pooled-scratch overlay-reuse
 #                      differential under 8 concurrent sessions), the serving
-#                      layer's session manager, the telemetry layer, and the
-#                      snapshot codec/cache (tracer/registry and concurrent
-#                      cache store/load, the concurrency surface)
+#                      layer's session manager, the telemetry layer (tracer /
+#                      registry / flight recorder / SLO tracker), the
+#                      snapshot codec/cache, and the fleet router — including
+#                      the hedge-race trace test, where the losing attempt's
+#                      span ends concurrently with the request's root span
 #   5. load smoke    — 100 concurrent ECO requests against the HTTP serving
 #                      surface under -race must complete with zero errors
 #   6. obs gate      — the disabled-tracer overhead bench re-runs with the
 #                      strict < 1% bound (INSTA_OBS_GATE=1), rewriting
-#                      BENCH_obs.json
+#                      BENCH_obs.json; the same run asserts the per-request
+#                      flight-recorder and SLO burn-rate bookkeeping is
+#                      allocation-free (0 allocs/op) and checks the burn-rate
+#                      arithmetic fixture
 #   7. sched gate    — the scheduler bench re-runs with the hard parallel
 #                      parity bound armed (INSTA_SCHED_GATE=1): pool_w4 must
 #                      not lose to pool_w1 on block-1 (speedup >= 1.0),
@@ -38,7 +43,8 @@
 #                      p99 on the heavy-tailed closed-loop workload, hedged
 #                      base-read p99 < unhedged against a straggler replica,
 #                      plus the unconditional gates (zero errors, zero
-#                      dropped sessions through a rolling snapshot swap),
+#                      dropped sessions through a rolling snapshot swap, and
+#                      well-formed trace IDs on the slowest-request list),
 #                      rewriting BENCH_fleet.json
 #  10. topo gate     — the structural-ECO bench re-runs with the tentpole
 #                      bound armed (INSTA_TOPO_GATE=1): a steady-state

@@ -27,7 +27,15 @@
 // Endpoints are the daemon's plus POST /admin/swap (rolling snapshot-swap;
 // inproc and spawn modes). GET /healthz aggregates per-replica state; GET
 // /metrics exposes the fleet counters (per-replica requests, hedge
-// fires/wins, retries, unready transitions, admission timeouts). SIGTERM
+// fires/wins, retries, unready transitions, admission timeouts) and the SLO
+// burn-rate gauges. Every routed request carries a W3C traceparent (minted
+// here or joined from the caller) that the replicas' serve spans attach to:
+// GET /debug/trace/{traceid} exports one request's stitched router+replica
+// Chrome trace (full tree in inproc mode), GET /debug/flightrecorder dumps
+// the always-on request ring with pinned anomalies, and GET /debug/fleet is
+// the operator view — a live scrape of every replica with session/epoch skew
+// and burn rates (-flight-size/-flight-pin/-slo-objective/-slo-budget tune
+// these; -trace/-manifest/-log-level as in the other tools). SIGTERM
 // drains: new work is refused with 503 + Retry-After, in-flight requests
 // finish, then children (spawn) or managers (inproc) shut down — each
 // persisting its committed base when a snapshot cache is configured.
@@ -50,6 +58,7 @@ import (
 	"insta/internal/cmdutil"
 	"insta/internal/core"
 	"insta/internal/fleet"
+	"insta/internal/obs"
 	"insta/internal/server"
 )
 
@@ -79,10 +88,22 @@ func main() {
 	admissionWait := flag.Duration("admission-wait", 2*time.Second, "max admission queue wait before 503")
 	noHedge := flag.Bool("no-hedge", false, "disable hedged base reads")
 	healthEvery := flag.Duration("health-interval", 500*time.Millisecond, "replica health probe period")
+	flightSize := flag.Int("flight-size", 4096, "request flight-recorder ring entries (negative disables)")
+	flightPin := flag.Duration("flight-pin", 250*time.Millisecond, "latency at which a routed request pins as an anomaly")
+	sloObjective := flag.Duration("slo-objective", 100*time.Millisecond, "routed-request latency SLO objective")
+	sloBudget := flag.Float64("slo-budget", 0.01, "SLO error budget fraction")
 
 	sf := cmdutil.SchedFlags() // -workers is per replica in inproc mode
 	sn := cmdutil.SnapFlags()
+	ob := cmdutil.ObsFlags()
 	flag.Parse()
+	tr := ob.Setup("insta-router")
+	if tr == nil {
+		// Always keep a live router tracer: request spans are cheap, and the
+		// stitched /debug/trace/{trace} export needs them to reconstruct a
+		// slow request after the fact.
+		tr = obs.NewTracer()
+	}
 
 	fopt := fleet.Options{
 		HealthInterval:     *healthEvery,
@@ -90,15 +111,21 @@ func main() {
 		GlobalInflight:     *globalInflight,
 		AdmissionWait:      *admissionWait,
 		DisableHedge:       *noHedge,
+		Tracer:             tr,
+		FlightRecorderSize: *flightSize,
+		PinThreshold:       *flightPin,
+		SLOObjective:       *sloObjective,
+		SLOErrorBudget:     *sloBudget,
 	}
 
 	var (
-		urls    []string
-		cleanup func(grace time.Duration)
+		urls       []string
+		cleanup    func(grace time.Duration)
+		repTracers []*obs.Tracer
 	)
 	switch *mode {
 	case "inproc":
-		urls, fopt.Swap, cleanup = bootInproc(sf, sn, *design, *dir, *tech, *topK, *maxSessions, *ttl, *replicas)
+		urls, repTracers, fopt.Swap, cleanup = bootInproc(sf, sn, *design, *dir, *tech, *topK, *maxSessions, *ttl, *replicas)
 	case "spawn":
 		urls, fopt.Swap, cleanup = bootSpawn(sf, sn, *servedBin, *design, *dir, *tech, *topK, *maxSessions, *basePort, *replicas)
 	case "attach":
@@ -119,6 +146,22 @@ func main() {
 	if err != nil {
 		fatalf("fleet: %v", err)
 	}
+	// In inproc mode every replica's span stream lives in this process, so
+	// GET /debug/trace/{trace} exports the full router+replica tree for one
+	// request as a single stitched Chrome trace file.
+	for i, rtr := range repTracers {
+		pool.AddTraceStream(fmt.Sprintf("replica-%d", i), rtr)
+	}
+	pool.EnableDebug() // /debug/pprof/*
+	defer ob.Finish(func(m *obs.Manifest) {
+		m.Design = *design
+		if m.Design == "" {
+			m.Design = *dir
+		}
+		m.Workers = sf.Workers
+		m.TopK = *topK
+		m.Extra = map[string]any{"mode": *mode, "replicas": len(urls)}
+	})
 	ready := 0
 	for _, r := range pool.Replicas() {
 		if r.Ready() {
@@ -155,10 +198,11 @@ func main() {
 }
 
 // bootInproc builds the design once and stands up n replicas inside this
-// process, each with its own engine over the shared compiled state. The
+// process, each with its own engine over the shared compiled state and its
+// own span tracer (returned for the router's stitched trace export). The
 // returned swap function rebuilds one replica's engine from the latest
 // committed snapshot (when a cache is configured) behind the same URL.
-func bootInproc(sf *cmdutil.Sched, sn *cmdutil.Snap, design, dir, tech string, topK, maxSessions int, ttl time.Duration, n int) ([]string, func(context.Context, *fleet.Replica) error, func(time.Duration)) {
+func bootInproc(sf *cmdutil.Sched, sn *cmdutil.Snap, design, dir, tech string, topK, maxSessions int, ttl time.Duration, n int) ([]string, []*obs.Tracer, func(context.Context, *fleet.Replica) error, func(time.Duration)) {
 	if n <= 0 {
 		fatalf("-replicas must be positive")
 	}
@@ -167,14 +211,26 @@ func bootInproc(sf *cmdutil.Sched, sn *cmdutil.Snap, design, dir, tech string, t
 	opt := sf.Options()
 	opt.TopK = topK
 
-	mkManager := func(st *core.State) (*server.Manager, *core.Engine) {
-		e, err := core.NewEngineFromState(st, opt)
+	tracers := make([]*obs.Tracer, n)
+	mkManager := func(st *core.State, tr *obs.Tracer) (*server.Manager, *core.Engine) {
+		o := opt
+		o.Tracer = tr
+		e, err := core.NewEngineFromState(st, o)
 		if err != nil {
 			fatalf("insta: %v", err)
 		}
 		srvOpt := server.Options{MaxSessions: maxSessions, TTL: ttl, Design: name, Snapshots: bt.Cache}
 		srvOpt.Boot = &server.BootInfo{Mode: bt.Mode(), SnapshotKey: bt.Key}
 		return server.NewManager(e, bt.Ref, srvOpt), e
+	}
+	// Each replica serves with the daemon's full observability stack so a
+	// routed request's serve spans join the router's trace (DESIGN.md §15).
+	mkHandler := func(mgr *server.Manager, tr *obs.Tracer) http.Handler {
+		srv := server.New(mgr, name)
+		srv.EnableTracing(tr)
+		srv.EnableFlightRecorder(obs.NewFlightRecorder(obs.FlightRecorderOptions{Tracer: tr}))
+		srv.EnableSLO(obs.NewSLOTracker(obs.SLOOptions{}))
+		return srv.Handler()
 	}
 
 	var mu sync.Mutex // guards managers/engines against swap vs sweeper races
@@ -183,8 +239,9 @@ func bootInproc(sf *cmdutil.Sched, sn *cmdutil.Snap, design, dir, tech string, t
 	locals := make([]*fleet.LocalReplica, n)
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
-		managers[i], engines[i] = mkManager(bt.State)
-		lr, err := fleet.NewLocalReplica(server.New(managers[i], name).Handler())
+		tracers[i] = obs.NewTracer()
+		managers[i], engines[i] = mkManager(bt.State, tracers[i])
+		lr, err := fleet.NewLocalReplica(mkHandler(managers[i], tracers[i]))
 		if err != nil {
 			fatalf("fleet: %v", err)
 		}
@@ -233,8 +290,10 @@ func bootInproc(sf *cmdutil.Sched, sn *cmdutil.Snap, design, dir, tech string, t
 				st = snp.State
 			}
 		}
-		mgr, e := mkManager(st)
-		locals[i].SetHandler(server.New(mgr, name).Handler())
+		// The replacement keeps the replica's tracer, so the router's stitched
+		// export stays wired across swaps.
+		mgr, e := mkManager(st, tracers[i])
+		locals[i].SetHandler(mkHandler(mgr, tracers[i]))
 		managers[i], engines[i] = mgr, e
 		old.CloseAll()
 		oldEngine.Close()
@@ -251,7 +310,7 @@ func bootInproc(sf *cmdutil.Sched, sn *cmdutil.Snap, design, dir, tech string, t
 			engines[i].Close()
 		}
 	}
-	return urls, swap, cleanup
+	return urls, tracers, swap, cleanup
 }
 
 // bootSpawn execs n insta-served children on consecutive loopback ports,

@@ -21,8 +21,11 @@
 // Endpoints: POST /session, POST /session/{id}/eco, POST
 // /session/{id}/commit, POST /session/{id}/rollback, GET/DELETE
 // /session/{id}, GET /session/{id}/slacks, GET /slacks, GET /gradients, GET
-// /healthz, GET /metrics, plus the debug surface: GET /debug/pprof/* and
-// GET /debug/trace?dur= (windowed Chrome trace capture). SIGINT/SIGTERM
+// /healthz, GET /metrics, plus the debug surface: GET /debug/pprof/*, GET
+// /debug/trace?dur= (windowed Chrome trace capture) and GET
+// /debug/flightrecorder (the always-on request ring with pinned anomalies;
+// -flight-size/-flight-pin tune it, -slo-objective/-slo-budget set the
+// burn-rate objective surfaced on /healthz and /metrics). SIGINT/SIGTERM
 // drains in-flight requests before exiting — and, with -snapshot-dir, saves
 // the committed base back to the cache so the next boot warm-starts into it;
 // idle sessions are evicted past -ttl.
@@ -68,6 +71,10 @@ func main() {
 	ttl := flag.Duration("ttl", 5*time.Minute, "idle session lifetime")
 	sweepEvery := flag.Duration("sweep", 30*time.Second, "eviction sweep interval")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	flightSize := flag.Int("flight-size", 4096, "request flight-recorder ring entries (negative disables)")
+	flightPin := flag.Duration("flight-pin", 250*time.Millisecond, "latency at which a request pins as an anomaly")
+	sloObjective := flag.Duration("slo-objective", 100*time.Millisecond, "request latency SLO objective")
+	sloBudget := flag.Float64("slo-budget", 0.01, "SLO error budget fraction")
 	sf := cmdutil.SchedFlags()
 	cf := cmdutil.CornersFlag()
 	sn := cmdutil.SnapFlags()
@@ -164,7 +171,17 @@ func main() {
 	}
 
 	srv := server.New(mgr, name)
-	srv.EnableDebug(tr) // /debug/pprof/* and windowed /debug/trace?dur=
+	// Request observability (DESIGN.md §15): trace identity on every request
+	// (joined from the router's Traceparent or minted locally), the always-on
+	// flight recorder with anomaly pinning, and SLO burn-rate gauges.
+	srv.EnableTracing(tr)
+	if *flightSize >= 0 {
+		srv.EnableFlightRecorder(obs.NewFlightRecorder(obs.FlightRecorderOptions{
+			Size: *flightSize, PinThreshold: *flightPin, Tracer: tr,
+		}))
+	}
+	srv.EnableSLO(obs.NewSLOTracker(obs.SLOOptions{Objective: *sloObjective, ErrorBudget: *sloBudget}))
+	srv.EnableDebug(tr) // /debug/pprof/*, windowed /debug/trace?dur=, /debug/flightrecorder
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

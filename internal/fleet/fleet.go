@@ -74,6 +74,16 @@ type Options struct {
 
 	DrainPoll time.Duration // swap drain/ready poll period (default 20ms)
 
+	// Observability (DESIGN.md §15). The router mints W3C traceparent ids for
+	// every routed request, records each into an always-on flight recorder,
+	// and tracks SLO burn rates over the recorded outcomes. The span tracer is
+	// optional (nil = spans off, trace ids still minted and propagated).
+	Tracer             *obs.Tracer   // router-side span tracer (nil = ids only)
+	FlightRecorderSize int           // request ring entries (0 = 4096, < 0 disables)
+	PinThreshold       time.Duration // anomaly latency pin threshold (default 250ms)
+	SLOObjective       time.Duration // latency objective for burn rates (default 100ms)
+	SLOErrorBudget     float64       // error budget fraction (default 0.01)
+
 	Logger *slog.Logger
 }
 
@@ -140,6 +150,11 @@ type Pool struct {
 	log      *slog.Logger
 	start    time.Time
 
+	tr      *obs.Tracer         // router span stream (may be nil)
+	fr      *obs.FlightRecorder // always-on request ring (nil when disabled)
+	slo     *obs.SLOTracker
+	streams []obs.StitchStream // extra span streams for stitched export (inproc replicas)
+
 	global  chan struct{} // fleet-wide admission gate (nil = unlimited)
 	readLat *latTracker   // read-path latency ring feeding the hedge delay
 	rr      atomic.Uint64 // round-robin cursor for read placement
@@ -182,6 +197,14 @@ func New(urls []string, opt Options) (*Pool, error) {
 	if o.GlobalInflight > 0 {
 		p.global = make(chan struct{}, o.GlobalInflight)
 	}
+	p.tr = o.Tracer
+	if o.FlightRecorderSize >= 0 {
+		p.fr = obs.NewFlightRecorder(obs.FlightRecorderOptions{
+			Size: o.FlightRecorderSize, PinThreshold: o.PinThreshold, Tracer: p.tr,
+		})
+	}
+	p.slo = obs.NewSLOTracker(obs.SLOOptions{Objective: o.SLOObjective, ErrorBudget: o.SLOErrorBudget})
+	p.slo.RegisterMetrics(p.met.reg, "fleet")
 	for i, u := range urls {
 		r := newReplica(i, u, o.PerReplicaInflight)
 		p.replicas = append(p.replicas, r)
@@ -201,6 +224,24 @@ func (p *Pool) Replicas() []*Replica { return p.replicas }
 
 // Metrics returns the pool's obs registry (mounted at /metrics by Handler).
 func (p *Pool) Metrics() *obs.Registry { return p.met.reg }
+
+// Tracer returns the router's span tracer (nil when Options.Tracer was nil).
+func (p *Pool) Tracer() *obs.Tracer { return p.tr }
+
+// FlightRecorder returns the router's request recorder (nil when disabled).
+func (p *Pool) FlightRecorder() *obs.FlightRecorder { return p.fr }
+
+// SLO returns the router's burn-rate tracker.
+func (p *Pool) SLO() *obs.SLOTracker { return p.slo }
+
+// AddTraceStream registers an extra span stream for the stitched trace export
+// (GET /debug/trace/{trace}) — in inproc mode the router wires each replica's
+// tracer here so one request's full router+replica tree exports as one file.
+func (p *Pool) AddTraceStream(name string, tr *obs.Tracer) {
+	if tr != nil {
+		p.streams = append(p.streams, obs.StitchStream{Name: name, Tracer: tr})
+	}
+}
 
 // SetDraining flips the router-level drain bit: once set, new requests are
 // refused with 503 while in-flight ones complete. cmd/insta-router sets it on
@@ -246,6 +287,9 @@ func (p *Pool) nextKey() string {
 // head-of-line block a global slot behind one busy replica, which is accepted
 // — the configurations this pool ships with keep per-replica ≥ global/N.
 func (p *Pool) admit(ctx context.Context, rep *Replica) (func(), error) {
+	m := metaFrom(ctx)
+	t0 := time.Now()
+	sp := m.span().Child("admit")
 	var timer *time.Timer
 	deadline := func() <-chan time.Time {
 		if timer == nil {
@@ -257,17 +301,23 @@ func (p *Pool) admit(ctx context.Context, rep *Replica) (func(), error) {
 		if timer != nil {
 			timer.Stop()
 		}
+		sp.End()
+		m.addQueue(time.Since(t0))
 	}()
 	if p.global != nil {
 		select {
 		case p.global <- struct{}{}:
 		default:
+			p.met.admissionWaiting.Inc()
 			select {
 			case p.global <- struct{}{}:
+				p.met.admissionWaiting.Dec()
 			case <-deadline():
+				p.met.admissionWaiting.Dec()
 				p.met.admissionTimeouts.Inc()
 				return nil, errAdmission
 			case <-ctx.Done():
+				p.met.admissionWaiting.Dec()
 				return nil, ctx.Err()
 			}
 		}
@@ -276,15 +326,19 @@ func (p *Pool) admit(ctx context.Context, rep *Replica) (func(), error) {
 		select {
 		case rep.slots <- struct{}{}:
 		default:
+			p.met.admissionWaiting.Inc()
 			select {
 			case rep.slots <- struct{}{}:
+				p.met.admissionWaiting.Dec()
 			case <-deadline():
+				p.met.admissionWaiting.Dec()
 				if p.global != nil {
 					<-p.global
 				}
 				p.met.admissionTimeouts.Inc()
 				return nil, errAdmission
 			case <-ctx.Done():
+				p.met.admissionWaiting.Dec()
 				if p.global != nil {
 					<-p.global
 				}
@@ -293,10 +347,12 @@ func (p *Pool) admit(ctx context.Context, rep *Replica) (func(), error) {
 		}
 	}
 	rep.inflight.Add(1)
+	p.met.inflight.Inc()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			rep.inflight.Add(-1)
+			p.met.inflight.Dec()
 			if rep.slots != nil {
 				<-rep.slots
 			}
@@ -321,6 +377,8 @@ type fleetMetrics struct {
 	createRedraws     *obs.Counter
 	swaps             *obs.Counter
 	latency           *obs.Histogram
+	inflight          *obs.Gauge // admitted session-scoped requests in flight
+	admissionWaiting  *obs.Gauge // requests currently queued at the admission gate
 }
 
 // latBounds mirrors the serving layer's request-latency buckets.
@@ -344,11 +402,14 @@ func newFleetMetrics() *fleetMetrics {
 		createRedraws:     reg.Counter("fleet_create_redraws_total"),
 		swaps:             reg.Counter("fleet_rolling_swaps_total"),
 		latency:           reg.Histogram("fleet_request_seconds", latBounds),
+		inflight:          reg.Gauge("fleet_inflight"),
+		admissionWaiting:  reg.Gauge("fleet_admission_waiting"),
 	}
 }
 
 // registerCollectors adds the live-state gauges that render from the pool
-// rather than stored counters.
+// rather than stored counters. fleet_inflight and fleet_admission_waiting are
+// real gauges maintained by admit/release, not per-scrape snapshot loops.
 func (m *fleetMetrics) registerCollectors(p *Pool) {
 	m.reg.Collector("fleet_replicas_ready", func(w io.Writer) {
 		n := 0
@@ -357,18 +418,7 @@ func (m *fleetMetrics) registerCollectors(p *Pool) {
 				n++
 			}
 		}
-		writeGauge(w, "fleet_replicas_ready", int64(n))
+		fmt.Fprintf(w, "# TYPE fleet_replicas_ready gauge\n")
+		fmt.Fprintf(w, "fleet_replicas_ready %d\n", n)
 	})
-	m.reg.Collector("fleet_inflight", func(w io.Writer) {
-		var n int64
-		for _, r := range p.replicas {
-			n += r.inflight.Load()
-		}
-		writeGauge(w, "fleet_inflight", n)
-	})
-}
-
-func writeGauge(w io.Writer, name string, v int64) {
-	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-	fmt.Fprintf(w, "%s %d\n", name, v)
 }

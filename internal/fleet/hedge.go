@@ -115,6 +115,7 @@ func (p *Pool) hedgedRead(w http.ResponseWriter, r *http.Request, primary *Repli
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
+	m := metaFrom(r.Context())
 	results := make(chan readResult, 2)
 	launch := func(rep *Replica, hedged bool) {
 		// Detached context: the loser must be cancellable independently of
@@ -127,9 +128,19 @@ func (p *Pool) hedgedRead(w http.ResponseWriter, r *http.Request, primary *Repli
 			results <- readResult{rep: rep, hedged: hedged, err: err}
 			return
 		}
+		// Each racing attempt is its own span under the request's root, so a
+		// stitched trace shows the hedge race: two read-attempt spans sharing
+		// one trace id, each parenting its replica's serve span. The loser's
+		// span ends when its response (or error) lands, which may be after
+		// the root has ended — the tracer is append-only, so that is fine.
+		asp := m.span().ChildArg("read-attempt", "replica", int64(rep.ID))
+		if tp := tpFor(asp, m.context()); tp != "" {
+			req.Header.Set("Traceparent", tp)
+		}
 		p.met.requests.With(rep.idStr).Inc()
 		rep.requests.Add(1)
 		resp, err := p.client.Do(req)
+		asp.End()
 		if err != nil {
 			cancel()
 			rep.errors.Add(1)
@@ -212,6 +223,7 @@ func (p *Pool) hedgedRead(w http.ResponseWriter, r *http.Request, primary *Repli
 	if winner.hedged {
 		p.met.hedgeWins.Inc()
 	}
+	m.place(winner.rep)
 	copyResponse(w, winner.resp)
 	winner.cancel()
 	p.readLat.observe(time.Since(t0))

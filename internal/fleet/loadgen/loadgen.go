@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"insta/internal/bench"
+	"insta/internal/obs"
 )
 
 // Op kinds in the mix.
@@ -57,6 +59,21 @@ type Options struct {
 	Timeout     time.Duration // per-request budget (default 30s)
 }
 
+// slowN bounds the per-run (and per-worker) slowest-request capture.
+const slowN = 8
+
+// SlowRequest identifies one of the slowest successful requests of a run by
+// its distributed trace ID — the handle for pulling the stitched Chrome trace
+// from the router's GET /debug/trace/{trace} endpoint after the run, while
+// the span streams are still in the tracer rings. Only requests whose
+// response carried a Traceparent echo are eligible (a bare daemon with
+// observability disabled returns none).
+type SlowRequest struct {
+	Us    int64  `json:"us"`
+	Route string `json:"route"`
+	Trace string `json:"trace"`
+}
+
 // Report is one run's outcome.
 type Report struct {
 	Ops             int     `json:"ops"`
@@ -74,6 +91,10 @@ type Report struct {
 	ReadP50Us  int64 `json:"read_p50_us"`
 	ReadP99Us  int64 `json:"read_p99_us"`
 	ReadP999Us int64 `json:"read_p999_us"`
+	// Slowest holds the run's slowN slowest successful requests (latency
+	// descending) with their trace IDs, so a bench report doubles as a
+	// worklist for post-hoc stitched-trace debugging.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 }
 
 // worker is one closed-loop client.
@@ -85,6 +106,7 @@ type worker struct {
 	pattern []int
 	lat     *bench.LatencyRecorder
 	readLat *bench.LatencyRecorder
+	slow    []SlowRequest // worker-local top-slowN by latency, unordered
 
 	sid     string // current fleet/daemon session ID ("" = none)
 	sessOps int
@@ -166,6 +188,11 @@ func Run(ctx context.Context, baseURL string, opt Options) (*Report, error) {
 		rep.SessionsCreated += w.sessionsCreated
 		rep.SessionsClosed += w.sessionsClosed
 		rep.CreateRetries += w.createRetries
+		rep.Slowest = append(rep.Slowest, w.slow...)
+	}
+	sort.Slice(rep.Slowest, func(a, b int) bool { return rep.Slowest[a].Us > rep.Slowest[b].Us })
+	if len(rep.Slowest) > slowN {
+		rep.Slowest = rep.Slowest[:slowN]
 	}
 	rep.Ops = lat.Count()
 	if wall > 0 {
@@ -214,21 +241,21 @@ func (w *worker) run(ctx context.Context, ops int) {
 			}
 		}
 		var (
-			method, path string
-			body         []byte
+			method, path, route string
+			body                []byte
 		)
 		switch kind {
 		case opECO:
-			method, path = http.MethodPost, "/session/"+w.sid+"/eco"
+			method, path, route = http.MethodPost, "/session/"+w.sid+"/eco", "eco"
 			body = w.opt.Bodies[bodyIdx%len(w.opt.Bodies)]
 			bodyIdx++
 		case opSessionRead:
-			method, path = http.MethodGet, "/session/"+w.sid+"/slacks"
+			method, path, route = http.MethodGet, "/session/"+w.sid+"/slacks", "session-slacks"
 		case opBaseRead:
-			method, path = http.MethodGet, "/slacks"
+			method, path, route = http.MethodGet, "/slacks", "slacks"
 		}
 		t0 := time.Now()
-		code, err := w.do(ctx, method, path, body)
+		code, trace, err := w.do(ctx, method, path, body)
 		d := time.Since(t0)
 		if err != nil || code != http.StatusOK {
 			if ctx.Err() != nil {
@@ -246,6 +273,7 @@ func (w *worker) run(ctx context.Context, ops int) {
 			continue
 		}
 		w.lat.Record(d)
+		w.noteSlow(d, route, trace)
 		if kind == opBaseRead {
 			w.readLat.Record(d)
 		}
@@ -324,7 +352,7 @@ func (w *worker) closeSession(ctx context.Context) {
 	if ctx.Err() == nil {
 		dctx = ctx
 	}
-	code, err := w.do(dctx, http.MethodDelete, "/session/"+w.sid, nil)
+	code, _, err := w.do(dctx, http.MethodDelete, "/session/"+w.sid, nil)
 	if err == nil && code == http.StatusOK {
 		w.sessionsClosed++
 	}
@@ -332,25 +360,54 @@ func (w *worker) closeSession(ctx context.Context) {
 	w.sessOps = 0
 }
 
-func (w *worker) do(ctx context.Context, method, path string, body []byte) (int, error) {
+// do issues one request and returns the status plus the trace ID echoed in
+// the response's Traceparent header ("" when the target runs with
+// observability off).
+func (w *worker) do(ctx context.Context, method, path string, body []byte) (int, string, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	var trace string
+	if sc, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent")); ok {
+		trace = sc.Trace.String()
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, trace, nil
+}
+
+// noteSlow keeps the worker's slowN slowest successful traced requests,
+// replacing the current minimum when a slower one lands.
+func (w *worker) noteSlow(d time.Duration, route, trace string) {
+	if trace == "" {
+		return
+	}
+	s := SlowRequest{Us: d.Microseconds(), Route: route, Trace: trace}
+	if len(w.slow) < slowN {
+		w.slow = append(w.slow, s)
+		return
+	}
+	mi := 0
+	for i := 1; i < len(w.slow); i++ {
+		if w.slow[i].Us < w.slow[mi].Us {
+			mi = i
+		}
+	}
+	if s.Us > w.slow[mi].Us {
+		w.slow[mi] = s
+	}
 }
 
 // EncodeECOBodies marshals ECO requests once up front so the measured loop

@@ -1,0 +1,278 @@
+package fleet
+
+// Request observability at the router (DESIGN.md §15): every routed request
+// gets a W3C traceparent — joined from the caller's header when present,
+// minted otherwise — that is propagated to each downstream attempt so the
+// replicas' serve spans stitch into one tree with the router's. The wrapper
+// also feeds the always-on flight recorder and the SLO burn-rate tracker with
+// one record per completed request: route, shard key, chosen replica,
+// admission wait vs total time, and status.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"insta/internal/obs"
+)
+
+var (
+	errFlightOff  = errors.New("fleet: flight recorder disabled")
+	errBadTraceID = errors.New("fleet: bad trace id (want 32 hex digits)")
+)
+
+// reqMeta rides the request context from the obsWrap entry point through the
+// handlers, collecting the placement facts only they know: the session shard
+// key, the replica that served it, and the admission queue wait. All mutators
+// are nil-safe so helper paths without a wrapper (health probes, swaps) can
+// share the same code.
+type reqMeta struct {
+	sc      obs.SpanContext // trace context minted or joined at entry
+	sp      *obs.Span       // router root span (nil when tracing is off)
+	shard   string
+	replica int32
+	queueNs int64
+}
+
+type metaKey struct{}
+
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(metaKey{}).(*reqMeta)
+	return m
+}
+
+func (m *reqMeta) span() *obs.Span {
+	if m == nil {
+		return nil
+	}
+	return m.sp
+}
+
+func (m *reqMeta) context() obs.SpanContext {
+	if m == nil {
+		return obs.SpanContext{}
+	}
+	return m.sc
+}
+
+func (m *reqMeta) place(rep *Replica) {
+	if m != nil && rep != nil {
+		m.replica = int32(rep.ID)
+	}
+}
+
+func (m *reqMeta) setShard(key string) {
+	if m != nil {
+		m.shard = key
+	}
+}
+
+func (m *reqMeta) addQueue(d time.Duration) {
+	if m != nil {
+		m.queueNs += int64(d)
+	}
+}
+
+// tpFor picks the traceparent to send downstream: the given span's context
+// when the tracer is live (so the replica's serve span parents to this
+// attempt), else the request-level context (so replicas still join the same
+// trace when router spans are off).
+func tpFor(sp *obs.Span, sc obs.SpanContext) string {
+	if c := sp.Context(); !c.Trace.IsZero() {
+		return obs.Traceparent(c)
+	}
+	return obs.Traceparent(sc)
+}
+
+// statusCapture records the status code a handler wrote.
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusCapture) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusCapture) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// obsWrap is the router's per-route observability shell: trace identity in,
+// Traceparent echo out, one flight-recorder record and one SLO sample per
+// completed request. Probe routes (/healthz, /metrics) are not wrapped —
+// pollers would otherwise dominate the recorder window.
+func (p *Pool) obsWrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	spanName := "route-" + route
+	return func(w http.ResponseWriter, r *http.Request) {
+		sc, _ := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+		sp := p.tr.StartRemote(spanName, sc)
+		if sp != nil {
+			sc = sp.Context()
+		} else if sc.Trace.IsZero() {
+			sc.Trace = obs.NewTraceID()
+		}
+		if tp := obs.Traceparent(sc); tp != "" {
+			w.Header().Set("Traceparent", tp)
+		}
+		m := &reqMeta{sc: sc, sp: sp, replica: -1}
+		sw := &statusCapture{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), metaKey{}, m)))
+		d := time.Since(t0)
+		sp.End()
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		now := t0.Add(d)
+		if p.fr != nil {
+			p.fr.Record(obs.ReqRecord{
+				Trace:   sc.Trace,
+				Route:   route,
+				Shard:   m.shard,
+				Replica: m.replica,
+				Status:  int32(code),
+				QueueNs: m.queueNs,
+				ServeNs: int64(d) - m.queueNs,
+				TotalNs: int64(d),
+				Unix:    now.UnixNano(),
+			})
+		}
+		p.slo.Record(d, code >= 500, now)
+	}
+}
+
+// handleFlightRecorder dumps the router's request ring and pinned anomalies.
+func (p *Pool) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if p.fr == nil {
+		writeProxyErr(w, http.StatusNotImplemented, errFlightOff)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = p.fr.WriteJSON(w)
+}
+
+// handleStitchedTrace exports one request's merged span tree as a Chrome
+// trace_event file: the router's stream plus any registered replica streams
+// (AddTraceStream — inproc mode wires every replica tracer). In spawn/attach
+// modes only the router stream is local, so the export shows the routing half;
+// replica-side spans live in the replica processes' own /debug/trace surface.
+func (p *Pool) handleStitchedTrace(w http.ResponseWriter, r *http.Request) {
+	trace, ok := obs.ParseTraceID(r.PathValue("trace"))
+	if !ok {
+		writeProxyErr(w, http.StatusBadRequest, errBadTraceID)
+		return
+	}
+	streams := append([]obs.StitchStream{{Name: "router", Tracer: p.tr}}, p.streams...)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", "attachment; filename=\"trace-"+trace.String()+".json\"")
+	_ = obs.WriteStitchedChromeTrace(w, trace, streams...)
+}
+
+// handleDebugFleet is the fleet-wide operator view: a live parallel scrape of
+// every replica's /healthz (not the health loop's cached copy — an operator
+// chasing an incident wants now, not one probe period ago), the router's SLO
+// burn rates and recorder state, and per-shard skew over live sessions and
+// epochs. Session-count skew exposes placement imbalance; epoch skew exposes
+// replicas serving different committed bases after a partial swap.
+func (p *Pool) handleDebugFleet(w http.ResponseWriter, r *http.Request) {
+	type repScrape struct {
+		ID       int    `json:"id"`
+		URL      string `json:"url"`
+		State    string `json:"state"`
+		Inflight int64  `json:"inflight"` // router-side admitted requests
+		Sessions int    `json:"live_sessions"`
+		Epoch    uint64 `json:"epoch"`
+		Err      string `json:"err,omitempty"`
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	views := make([]repScrape, len(p.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range p.replicas {
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			v := repScrape{ID: rep.ID, URL: rep.URL(), State: rep.state(), Inflight: rep.inflight.Load()}
+			if h, err := fetchHealthz(ctx, p.client, rep.URL()); err != nil {
+				v.Err = err.Error()
+			} else {
+				v.Sessions, v.Epoch = h.LiveSessions, h.Epoch
+			}
+			views[i] = v
+		}(i, rep)
+	}
+	wg.Wait()
+
+	minS, maxS, sumS, n := 0, 0, 0, 0
+	var minE, maxE uint64
+	for _, v := range views {
+		if v.Err != "" {
+			continue
+		}
+		if n == 0 || v.Sessions < minS {
+			minS = v.Sessions
+		}
+		if v.Sessions > maxS {
+			maxS = v.Sessions
+		}
+		if n == 0 || v.Epoch < minE {
+			minE = v.Epoch
+		}
+		if v.Epoch > maxE {
+			maxE = v.Epoch
+		}
+		sumS += v.Sessions
+		n++
+	}
+	mean := 0.0
+	if n > 0 {
+		mean = float64(sumS) / float64(n)
+	}
+	resp := map[string]any{
+		"replicas":       views,
+		"scraped":        n,
+		"hedge_delay_ms": float64(p.hedgeDelay().Nanoseconds()) / 1e6,
+		"slo":            p.slo.Snapshot(time.Now()),
+		"skew": map[string]any{
+			"sessions_min":  minS,
+			"sessions_max":  maxS,
+			"sessions_mean": mean,
+			"epoch_min":     minE,
+			"epoch_max":     maxE,
+		},
+	}
+	if p.fr != nil {
+		resp["flight_recorder"] = map[string]any{
+			"size":            p.fr.Size(),
+			"total":           p.fr.Total(),
+			"pin_threshold_s": p.fr.PinThreshold().Seconds(),
+			"pinned":          len(p.fr.Pinned()),
+		}
+	}
+	b, _ := json.Marshal(resp)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// EnableDebug mounts the router's profiling surface under /debug/pprof/.
+// The trace and flight-recorder endpoints are always mounted (buildMux); the
+// pprof handlers are opt-in because they expose process internals.
+func (p *Pool) EnableDebug() {
+	p.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	p.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	p.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	p.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	p.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

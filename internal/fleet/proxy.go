@@ -31,19 +31,25 @@ var (
 
 func (p *Pool) buildMux() {
 	mux := http.NewServeMux()
+	p.mux = mux
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
-	mux.HandleFunc("GET /slacks", p.gate(p.handleRead))
-	mux.HandleFunc("GET /gradients", p.gate(p.handleRead))
-	mux.HandleFunc("POST /session", p.gate(p.handleCreate))
-	mux.HandleFunc("GET /session/{id}", p.gate(p.proxySession("")))
-	mux.HandleFunc("DELETE /session/{id}", p.gate(p.proxySession("")))
-	mux.HandleFunc("GET /session/{id}/slacks", p.gate(p.proxySession("/slacks")))
-	mux.HandleFunc("POST /session/{id}/eco", p.gate(p.proxySession("/eco")))
-	mux.HandleFunc("POST /session/{id}/commit", p.gate(p.proxySession("/commit")))
-	mux.HandleFunc("POST /session/{id}/rollback", p.gate(p.proxySession("/rollback")))
-	mux.HandleFunc("POST /admin/swap", p.handleSwap)
-	p.mux = mux
+	mux.HandleFunc("GET /debug/flightrecorder", p.handleFlightRecorder)
+	mux.HandleFunc("GET /debug/fleet", p.handleDebugFleet)
+	mux.HandleFunc("GET /debug/trace/{trace}", p.handleStitchedTrace)
+	// Work routes run inside the observability shell (trace identity, flight
+	// recorder, SLO) with the drain gate inside it, so refusals are recorded.
+	mux.HandleFunc("GET /slacks", p.obsWrap("slacks", p.gate(p.handleRead)))
+	mux.HandleFunc("GET /gradients", p.obsWrap("gradients", p.gate(p.handleRead)))
+	mux.HandleFunc("POST /session", p.obsWrap("session-create", p.gate(p.handleCreate)))
+	mux.HandleFunc("GET /session/{id}", p.obsWrap("session-get", p.gate(p.proxySession(""))))
+	mux.HandleFunc("DELETE /session/{id}", p.obsWrap("session-delete", p.gate(p.proxySession(""))))
+	mux.HandleFunc("GET /session/{id}/slacks", p.obsWrap("session-slacks", p.gate(p.proxySession("/slacks"))))
+	mux.HandleFunc("POST /session/{id}/eco", p.obsWrap("eco", p.gate(p.proxySession("/eco"))))
+	mux.HandleFunc("POST /session/{id}/topo", p.obsWrap("topo", p.gate(p.proxySession("/topo"))))
+	mux.HandleFunc("POST /session/{id}/commit", p.obsWrap("commit", p.gate(p.proxySession("/commit"))))
+	mux.HandleFunc("POST /session/{id}/rollback", p.obsWrap("rollback", p.gate(p.proxySession("/rollback"))))
+	mux.HandleFunc("POST /admin/swap", p.obsWrap("swap", p.handleSwap))
 }
 
 // Handler returns the router's root handler.
@@ -108,6 +114,9 @@ func (p *Pool) handleCreate(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			p.met.sessionsCreated.Inc()
+			m := metaFrom(r.Context())
+			m.setShard(key)
+			m.place(rep)
 			writeCreated(w, key+"."+cr.ID, cr.Epoch, rep.ID)
 			return
 		}
@@ -149,6 +158,9 @@ func (p *Pool) proxySession(tail string) http.HandlerFunc {
 			return
 		}
 		rep := p.replicas[p.ring.owner(key)]
+		m := metaFrom(r.Context())
+		m.setShard(key)
+		m.place(rep)
 		release, err := p.admit(r.Context(), rep)
 		if err != nil {
 			w.Header().Set("Retry-After", "1")
@@ -194,6 +206,7 @@ func (p *Pool) forward(w http.ResponseWriter, r *http.Request, rep *Replica, pat
 		}
 		body = buf.Bytes()
 	}
+	m := metaFrom(r.Context())
 	t0 := time.Now()
 	attempts := 1 + p.opt.MaxRetries
 	var lastErr error
@@ -220,9 +233,14 @@ func (p *Pool) forward(w http.ResponseWriter, r *http.Request, rep *Replica, pat
 		if ct := r.Header.Get("Content-Type"); ct != "" {
 			req.Header.Set("Content-Type", ct)
 		}
+		asp := m.span().ChildArg("proxy-attempt", "attempt", int64(a))
+		if tp := tpFor(asp, m.context()); tp != "" {
+			req.Header.Set("Traceparent", tp)
+		}
 		p.met.requests.With(rep.idStr).Inc()
 		rep.requests.Add(1)
 		resp, err := p.client.Do(req)
+		asp.End()
 		if err == nil {
 			copyResponse(w, resp)
 			p.met.latency.Observe(time.Since(t0).Seconds())
@@ -248,9 +266,15 @@ func (p *Pool) doBuffered(ctx context.Context, rep *Replica, method, path string
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	m := metaFrom(ctx)
+	asp := m.span().ChildArg("create-attempt", "replica", int64(rep.ID))
+	if tp := tpFor(asp, m.context()); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
 	p.met.requests.With(rep.idStr).Inc()
 	rep.requests.Add(1)
 	resp, err := p.client.Do(req)
+	asp.End()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -359,6 +383,16 @@ func (p *Pool) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"replicas":       views,
 		"hedge_delay_ms": float64(p.hedgeDelay().Nanoseconds()) / 1e6,
 		"draining":       p.draining.Load(),
+	}
+	if p.slo != nil {
+		resp["slo"] = p.slo.Snapshot(time.Now())
+	}
+	if p.fr != nil {
+		resp["flight_recorder"] = map[string]any{
+			"size":            p.fr.Size(),
+			"total":           p.fr.Total(),
+			"pin_threshold_s": p.fr.PinThreshold().Seconds(),
+		}
 	}
 	b, _ := json.Marshal(resp)
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderOptions{Size: 4, PinThreshold: time.Hour})
+	for i := 0; i < 10; i++ {
+		fr.Record(ReqRecord{Route: "read", Status: 200, TotalNs: int64(i)})
+	}
+	if fr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", fr.Total())
+	}
+	snap := fr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot = %d records, want 4", len(snap))
+	}
+	for i, r := range snap {
+		if want := int64(6 + i); r.TotalNs != want {
+			t.Fatalf("snap[%d].TotalNs = %d, want %d (oldest-first window)", i, r.TotalNs, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderOptions{Size: 8, PinThreshold: time.Hour})
+	fr.Record(ReqRecord{Status: 200, TotalNs: 7})
+	snap := fr.Snapshot()
+	if len(snap) != 1 || snap[0].TotalNs != 7 {
+		t.Fatalf("Snapshot = %+v, want the single record", snap)
+	}
+}
+
+func TestFlightRecorderPinsAnomalies(t *testing.T) {
+	tr := NewTracer()
+	fr := NewFlightRecorder(FlightRecorderOptions{Size: 4, PinThreshold: time.Millisecond, PinCapacity: 2, Tracer: tr})
+
+	sp := tr.StartTrace("route-eco")
+	sp.Child("admit").End()
+	sp.End()
+	trace := sp.Context().Trace
+
+	// Fast + OK: not pinned.
+	fr.Record(ReqRecord{Status: 200, TotalNs: 1000})
+	// Slow: pinned with span tree.
+	fr.Record(ReqRecord{Trace: trace, Route: "eco", Status: 200, TotalNs: int64(5 * time.Millisecond)})
+	// Error: pinned (no spans for the zero trace).
+	fr.Record(ReqRecord{Route: "read", Status: 503, TotalNs: 10})
+	// Transport failure (status 0): pinned.
+	fr.Record(ReqRecord{Route: "read", Status: 0, TotalNs: 10})
+
+	pinned := fr.Pinned()
+	if len(pinned) != 2 {
+		t.Fatalf("Pinned = %d entries, want 2 (capacity-bounded, oldest evicted)", len(pinned))
+	}
+	// Oldest (the slow eco) was evicted by the two errors.
+	if pinned[0].Rec.Status != 503 || pinned[1].Rec.Status != 0 {
+		t.Fatalf("pinned order wrong: %+v", pinned)
+	}
+
+	// Re-check span capture with room: fresh recorder, same tracer.
+	fr2 := NewFlightRecorder(FlightRecorderOptions{Size: 4, PinThreshold: time.Millisecond, Tracer: tr})
+	fr2.Record(ReqRecord{Trace: trace, Route: "eco", Status: 200, TotalNs: int64(5 * time.Millisecond)})
+	p2 := fr2.Pinned()
+	if len(p2) != 1 || len(p2[0].Spans) != 2 {
+		t.Fatalf("pinned anomaly should capture its 2-span tree, got %+v", p2)
+	}
+}
+
+func TestFlightRecorderRecordAllocFree(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderOptions{Size: 1024, PinThreshold: time.Hour})
+	rec := ReqRecord{Trace: NewTraceID(), Route: "read", Shard: "k", Status: 200, TotalNs: 100, ServeNs: 100}
+	allocs := testing.AllocsPerRun(10000, func() { fr.Record(rec) })
+	if allocs != 0 {
+		t.Fatalf("FlightRecorder.Record allocates %.2f/op on the normal path, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(ReqRecord{})
+	if fr.Total() != 0 || fr.Snapshot() != nil || fr.Pinned() != nil || fr.Size() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	var sb strings.Builder
+	if err := fr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("nil dump not valid JSON: %s", sb.String())
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderOptions{Size: 4, PinThreshold: time.Millisecond})
+	fr.Record(ReqRecord{Trace: NewTraceID(), Route: "read", Status: 200, TotalNs: 10})
+	fr.Record(ReqRecord{Route: "eco", Status: 500, TotalNs: 99})
+	var sb strings.Builder
+	if err := fr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Size   int `json:"size"`
+		Total  int `json:"total"`
+		Recent []struct {
+			Trace string `json:"trace"`
+			Route string `json:"route"`
+		} `json:"recent"`
+		Pinned []struct {
+			Rec struct {
+				Status int `json:"status"`
+			} `json:"rec"`
+		} `json:"pinned"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &dump); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, sb.String())
+	}
+	if dump.Size != 4 || dump.Total != 2 || len(dump.Recent) != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if len(dump.Recent[0].Trace) != 32 {
+		t.Fatalf("trace id should render as 32-hex, got %q", dump.Recent[0].Trace)
+	}
+	if len(dump.Pinned) != 1 || dump.Pinned[0].Rec.Status != 500 {
+		t.Fatalf("pinned = %+v, want the 500", dump.Pinned)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -138,6 +139,124 @@ func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
 	cv := &CounterVec{name: name, labels: labels, series: make(map[string]*Counter)}
 	r.register(name, cv)
 	return cv
+}
+
+// Gauge is a settable instantaneous value (in-flight depth, live sessions,
+// burn rates). Stored as float64 bits in an atomic word so Inc/Dec from
+// request paths never take a lock.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; contention is per-request, not per-pin).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type gaugePart struct {
+	name string
+	g    *Gauge
+}
+
+func (p *gaugePart) render(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n", p.name)
+	fmt.Fprintf(w, "%s %g\n", p.name, p.g.Value())
+}
+
+// Gauge registers and returns a single unlabeled gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.register(name, &gaugePart{name: name, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time — for
+// values already maintained elsewhere (SLO burn rates, ring occupancy).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.register(name, &gaugeFuncPart{name: name, fn: fn})
+}
+
+type gaugeFuncPart struct {
+	name string
+	fn   func() float64
+}
+
+func (p *gaugeFuncPart) render(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n", p.name)
+	fmt.Fprintf(w, "%s %g\n", p.name, p.fn())
+}
+
+// GaugeVec is a gauge family with a fixed label set; series are created on
+// first use and render sorted by label values.
+type GaugeVec struct {
+	name   string
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*Gauge
+}
+
+// With returns (creating if needed) the series for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(gv.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", gv.name, len(gv.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	g := gv.series[key]
+	if g == nil {
+		g = &Gauge{}
+		gv.series[key] = g
+	}
+	return g
+}
+
+func (gv *GaugeVec) render(w io.Writer) {
+	gv.mu.Lock()
+	keys := make([]string, 0, len(gv.series))
+	for k := range gv.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", gv.name)
+	for _, k := range keys {
+		values := strings.Split(k, "\x00")
+		var sb strings.Builder
+		for i, l := range gv.labels {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%s=%q", l, values[i])
+		}
+		fmt.Fprintf(w, "%s{%s} %g\n", gv.name, sb.String(), gv.series[k].Value())
+	}
+	gv.mu.Unlock()
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{name: name, labels: labels, series: make(map[string]*Gauge)}
+	r.register(name, gv)
+	return gv
 }
 
 // Collector registers a callback rendered in place at its registration

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Stitched trace export: joining span streams from several processes (the
+// router and every replica a request touched) into one connected tree keyed
+// by a shared TraceID.
+//
+// Within a process, parent links are local span ids; across processes they
+// are wire ids carried in traceparent headers and recorded by StartRemote.
+// CollectTrace resolves both into wire-id space and converts each tracer's
+// epoch-relative timestamps to absolute time, so WriteStitchedChromeTrace can
+// emit one Chrome trace_event file where a hedged read renders as a router
+// span with two replica subtrees racing underneath it.
+
+// SpanView is one completed span in cross-process (wire-id) coordinates.
+type SpanView struct {
+	Name   string        `json:"name"`
+	Trace  TraceID       `json:"trace"`
+	Span   uint64        `json:"span"`             // wire id, non-zero
+	Parent uint64        `json:"parent,omitempty"` // wire id of parent (local or remote); 0 = root
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	ArgKey string        `json:"arg_key,omitempty"`
+	ArgVal int64         `json:"arg_val,omitempty"`
+}
+
+// TraceSpans returns the completed spans belonging to the given trace, in
+// wire-id coordinates with absolute timestamps. Nil for a nil tracer or the
+// zero trace id (engine-internal spans carry the zero trace and are not a
+// trace in this sense).
+func (t *Tracer) TraceSpans(trace TraceID) []SpanView {
+	if t == nil || trace.IsZero() {
+		return nil
+	}
+	recs := t.snapshot(0)
+	var out []SpanView
+	for _, r := range recs {
+		if r.trace != trace {
+			continue
+		}
+		out = append(out, t.viewOf(r))
+	}
+	return out
+}
+
+// viewOf converts one record to wire coordinates. A span with a local parent
+// links to that parent's wire id; a root span with a remote parent links to
+// it; otherwise Parent is 0.
+func (t *Tracer) viewOf(r spanRecord) SpanView {
+	parent := r.remote
+	if r.parent != 0 {
+		parent = t.wireID(r.parent)
+	}
+	return SpanView{
+		Name:   r.name,
+		Trace:  r.trace,
+		Span:   t.wireID(r.id),
+		Parent: parent,
+		Start:  t.epoch.Add(r.start),
+		Dur:    r.dur,
+		ArgKey: r.argKey,
+		ArgVal: r.argVal,
+	}
+}
+
+// StitchStream is one process's contribution to a stitched export: a display
+// name ("router", "replica-2") and its tracer.
+type StitchStream struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// StitchedSpan is a SpanView tagged with the stream it came from.
+type StitchedSpan struct {
+	Stream string `json:"stream"`
+	SpanView
+}
+
+// CollectTrace gathers every span of the given trace across the streams,
+// sorted by start time. This is the stitching primitive: the result is one
+// flat span set in a single wire-id namespace, parent links resolving across
+// process boundaries wherever a traceparent header crossed them.
+func CollectTrace(trace TraceID, streams ...StitchStream) []StitchedSpan {
+	var out []StitchedSpan
+	for _, st := range streams {
+		for _, v := range st.Tracer.TraceSpans(trace) {
+			out = append(out, StitchedSpan{Stream: st.Name, SpanView: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// WriteStitchedChromeTrace exports one request's stitched trace as Chrome
+// trace_event JSON: each stream renders as its own process (with a
+// process_name metadata record), spans as ph:"X" complete events carrying the
+// trace/span/parent wire ids in args. Complete events sidestep the B/E
+// nesting rules, which cross-process clock skew would otherwise violate.
+// Timestamps are microseconds relative to the earliest span in the trace.
+func WriteStitchedChromeTrace(w io.Writer, trace TraceID, streams ...StitchStream) error {
+	spans := CollectTrace(trace, streams...)
+	if _, err := fmt.Fprintf(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	pidOf := map[string]int{}
+	for _, st := range streams {
+		if _, ok := pidOf[st.Name]; ok {
+			continue
+		}
+		pid := len(pidOf) + 1
+		pidOf[st.Name] = pid
+		if err := emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%q}}`, pid, st.Name); err != nil {
+			return err
+		}
+	}
+	var t0 time.Time
+	if len(spans) > 0 {
+		t0 = spans[0].Start
+	}
+	for _, s := range spans {
+		extra := ""
+		if s.ArgKey != "" {
+			extra = fmt.Sprintf(`,%q:%d`, s.ArgKey, s.ArgVal)
+		}
+		if err := emit(`{"name":%q,"ph":"X","pid":%d,"tid":1,"ts":%.3f,"dur":%.3f,"args":{"trace":%q,"span":"%016x","parent":"%016x"%s}}`,
+			s.Name, pidOf[s.Stream], float64(s.Start.Sub(t0).Nanoseconds())/1e3,
+			float64(s.Dur.Nanoseconds())/1e3, trace.String(), s.Span, s.Parent, extra); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, `],"displayTimeUnit":"ms","otherData":{"trace":%q}}`, trace.String())
+	return err
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStitchTwoProcesses models a hedged request crossing a process boundary:
+// a router tracer with a root span and two attempt children, two replica
+// tracers each serving one attempt with the attempt's wire id as remote
+// parent. The stitched collection must form one connected tree under the
+// shared trace id.
+func TestStitchTwoProcesses(t *testing.T) {
+	router := NewTracer()
+	repA, repB := NewTracer(), NewTracer()
+
+	root := router.StartTrace("route-read")
+	trace := root.Context().Trace
+
+	att1 := root.ChildArg("read-attempt", "replica", 0)
+	srvA := repA.StartRemote("serve-read", att1.Context())
+	srvA.Child("encode").End()
+	srvA.End()
+	att1.End()
+
+	att2 := root.ChildArg("read-attempt", "replica", 1)
+	srvB := repB.StartRemote("serve-read", att2.Context())
+	srvB.End()
+	att2.End()
+	root.End()
+
+	spans := CollectTrace(trace,
+		StitchStream{Name: "router", Tracer: router},
+		StitchStream{Name: "replica-0", Tracer: repA},
+		StitchStream{Name: "replica-1", Tracer: repB},
+	)
+	if len(spans) != 6 {
+		t.Fatalf("stitched %d spans, want 6", len(spans))
+	}
+	// Every span's parent must resolve within the set (except the one root),
+	// across process boundaries.
+	byWire := map[uint64]StitchedSpan{}
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("span %q carries trace %s, want %s", s.Name, s.Trace, trace)
+		}
+		if s.Span == 0 {
+			t.Fatalf("span %q has zero wire id", s.Name)
+		}
+		if _, dup := byWire[s.Span]; dup {
+			t.Fatalf("duplicate wire id %x", s.Span)
+		}
+		byWire[s.Span] = s
+	}
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		p, ok := byWire[s.Parent]
+		if !ok {
+			t.Fatalf("span %q (stream %s) parent %x not in stitched set", s.Name, s.Stream, s.Parent)
+		}
+		if s.Stream != "router" && p.Stream == s.Stream && s.Name == "serve-read" {
+			t.Fatalf("replica serve span should parent into the router stream, got %s", p.Stream)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("stitched tree has %d roots, want 1", roots)
+	}
+
+	// The Chrome export is valid JSON naming every stream as a process and
+	// carrying the trace id on every event.
+	var sb strings.Builder
+	if err := WriteStitchedChromeTrace(&sb, trace,
+		StitchStream{Name: "router", Tracer: router},
+		StitchStream{Name: "replica-0", Tracer: repA},
+		StitchStream{Name: "replica-1", Tracer: repB},
+	); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("stitched export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			args := ev["args"].(map[string]any)
+			if args["trace"] != trace.String() {
+				t.Fatalf("event %v missing trace id arg", ev)
+			}
+		}
+	}
+	if meta != 3 || complete != 6 {
+		t.Fatalf("export has %d metadata + %d complete events, want 3 + 6", meta, complete)
+	}
+}
+
+// TestStitchSkipsForeignTraces pins that stitching is per-trace: spans of
+// other requests and untraced engine spans never leak into an export.
+func TestStitchSkipsForeignTraces(t *testing.T) {
+	tr := NewTracer()
+	a := tr.StartTrace("req-a")
+	a.End()
+	b := tr.StartTrace("req-b")
+	b.End()
+	tr.Start("engine").End()
+
+	spans := CollectTrace(a.Context().Trace, StitchStream{Name: "p", Tracer: tr})
+	if len(spans) != 1 || spans[0].Name != "req-a" {
+		t.Fatalf("CollectTrace leaked foreign spans: %+v", spans)
+	}
+}

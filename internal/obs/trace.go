@@ -50,6 +50,8 @@ type spanRecord struct {
 	dur    time.Duration
 	argKey string // "" = no argument
 	argVal int64
+	trace  TraceID // zero for spans outside any request trace
+	remote uint64  // wire id of a remote parent (StartRemote); 0 = none
 }
 
 // Tracer collects spans. The zero value is not usable; construct with
@@ -59,6 +61,7 @@ type Tracer struct {
 	enabled atomic.Bool
 	nextID  atomic.Int64
 	epoch   time.Time
+	seed    uint64 // per-process wire-id seed (see wireID)
 
 	mu      sync.Mutex
 	spans   []spanRecord
@@ -68,9 +71,31 @@ type Tracer struct {
 // NewTracer returns an enabled tracer. Use Disable for a tracer that is wired
 // in but dormant until a debug endpoint (or a flag) switches it on.
 func NewTracer() *Tracer {
-	t := &Tracer{epoch: time.Now()}
+	t := &Tracer{epoch: time.Now(), seed: mix64(uint64(time.Now().UnixNano()) ^ traceCtr.Add(1)<<17)}
 	t.enabled.Store(true)
 	return t
+}
+
+// wireID projects a process-local span id to its cross-process wire id: the
+// tracer seed and local id through one splitmix64 round. Deterministic per
+// tracer, so exports can resolve parent links without storing the wire id per
+// span. Never zero (zero means "no span" on the wire).
+func (t *Tracer) wireID(id int64) uint64 {
+	w := mix64(t.seed ^ uint64(id))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Epoch returns the tracer's time origin; span starts are offsets from it.
+// The stitched exporter uses it to place spans from different processes on
+// one absolute timeline.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
 }
 
 // Enable switches span recording on. Safe on nil (no-op).
@@ -109,6 +134,28 @@ func (t *Tracer) StartArg(name, key string, val int64) *Span {
 		sp.argKey, sp.argVal = key, val
 	}
 	return sp
+}
+
+// StartRemote opens a root span joined to a request trace: the span adopts
+// sc.Trace (minting a fresh TraceID when sc is zero — the edge case where
+// this process *is* the edge) and records sc.Span as its remote parent, so
+// the stitched export can hang this process's subtree under the caller's
+// attempt span. Returns nil when the tracer is nil or disabled, like Start.
+func (t *Tracer) StartRemote(name string, sc SpanContext) *Span {
+	sp := t.Start(name)
+	if sp != nil {
+		if sc.Trace.IsZero() {
+			sc.Trace = NewTraceID()
+		}
+		sp.trace, sp.remote = sc.Trace, sc.Span
+	}
+	return sp
+}
+
+// StartTrace opens a root span under a freshly minted TraceID — StartRemote
+// with no remote parent, for edge processes minting request identity.
+func (t *Tracer) StartTrace(name string) *Span {
+	return t.StartRemote(name, SpanContext{})
 }
 
 // Mark returns a watermark identifying the current end of the span buffer;
@@ -166,15 +213,29 @@ type Span struct {
 	start  time.Duration
 	argKey string
 	argVal int64
+	trace  TraceID
+	remote uint64
 }
 
-// Child opens a nested span. Returns nil when s is nil.
+// Context returns the span's cross-process coordinate: the trace it belongs
+// to plus its wire id, ready to serialize with Traceparent. Zero for a nil
+// span or a span outside any request trace, so callers can fall through to
+// minting their own TraceID.
+func (s *Span) Context() SpanContext {
+	if s == nil || s.trace.IsZero() {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.tr.wireID(s.id)}
+}
+
+// Child opens a nested span. The child inherits the parent's trace
+// membership. Returns nil when s is nil.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	t := s.tr
-	return &Span{tr: t, id: t.nextID.Add(1), parent: s.id, name: name, start: time.Since(t.epoch)}
+	return &Span{tr: t, id: t.nextID.Add(1), parent: s.id, name: name, start: time.Since(t.epoch), trace: s.trace}
 }
 
 // ChildArg is Child with one integer argument.
@@ -200,6 +261,8 @@ func (s *Span) End() {
 		dur:    time.Since(t.epoch) - s.start,
 		argKey: s.argKey,
 		argVal: s.argVal,
+		trace:  s.trace,
+		remote: s.remote,
 	}
 	t.mu.Lock()
 	if len(t.spans) < maxSpans {
@@ -432,6 +495,15 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 func FromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxSpan).(*Span)
 	return sp
+}
+
+// WithSpan returns a context carrying sp, so obs.Start(ctx, ...) nests under
+// it. No-op (returns ctx) when sp is nil.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxSpan, sp)
 }
 
 // Start opens a span as a child of the context's span — or as a root of the

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: TraceID{0x0123456789abcdef, 0xfedcba9876543210}, Span: 0xdeadbeefcafef00d}
+	h := Traceparent(sc)
+	want := "00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01"
+	if h != want {
+		t.Fatalf("Traceparent = %q, want %q", h, want)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("ParseTraceparent(%q) = %+v, %v; want %+v", h, got, ok, sc)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-0123456789abcdeffedcba9876543210-deadbeefcafef00d",      // missing flags
+		"01-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01",   // wrong version
+		"00-00000000000000000000000000000000-deadbeefcafef00d-01",   // zero trace
+		"00-0123456789abcdeffedcba987654321g-deadbeefcafef00d-01",   // bad hex
+		"00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01-x", // trailing junk
+	}
+	for _, c := range cases {
+		if _, ok := ParseTraceparent(c); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", c)
+		}
+	}
+	// Zero context renders empty, so callers can set-if-nonempty.
+	if h := Traceparent(SpanContext{}); h != "" {
+		t.Errorf("Traceparent(zero) = %q, want empty", h)
+	}
+}
+
+func TestParseTraceparentAllocFree(t *testing.T) {
+	h := Traceparent(SpanContext{Trace: NewTraceID(), Span: 42})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := ParseTraceparent(h); !ok {
+			t.Fatal("parse failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseTraceparent allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("NewTraceID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate TraceID %s after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDStringParse(t *testing.T) {
+	id := NewTraceID()
+	s := id.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("String() = %q, want 32 lowercase hex chars", s)
+	}
+	got, ok := ParseTraceID(s)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", s, got, ok)
+	}
+	if _, ok := ParseTraceID("short"); ok {
+		t.Error("ParseTraceID accepted malformed input")
+	}
+}
+
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	tr := NewTracer()
+	remote := SpanContext{Trace: NewTraceID(), Span: 0x1234}
+	sp := tr.StartRemote("serve", remote)
+	if sp == nil {
+		t.Fatal("StartRemote returned nil on enabled tracer")
+	}
+	sc := sp.Context()
+	if sc.Trace != remote.Trace {
+		t.Fatalf("span trace %s, want %s", sc.Trace, remote.Trace)
+	}
+	if sc.Span == 0 || sc.Span == remote.Span {
+		t.Fatalf("span wire id %x should be fresh and non-zero", sc.Span)
+	}
+	child := sp.Child("encode")
+	if cc := child.Context(); cc.Trace != remote.Trace || cc.Span == sc.Span {
+		t.Fatalf("child context %+v should inherit trace with distinct wire id", cc)
+	}
+	child.End()
+	sp.End()
+
+	views := tr.TraceSpans(remote.Trace)
+	if len(views) != 2 {
+		t.Fatalf("TraceSpans = %d spans, want 2", len(views))
+	}
+	byName := map[string]SpanView{}
+	for _, v := range views {
+		byName[v.Name] = v
+	}
+	if byName["serve"].Parent != remote.Span {
+		t.Errorf("serve parent %x, want remote %x", byName["serve"].Parent, remote.Span)
+	}
+	if byName["encode"].Parent != byName["serve"].Span {
+		t.Errorf("encode parent %x, want serve %x", byName["encode"].Parent, byName["serve"].Span)
+	}
+}
+
+func TestStartTraceMintsFreshTrace(t *testing.T) {
+	tr := NewTracer()
+	a, b := tr.StartTrace("req-a"), tr.StartTrace("req-b")
+	ca, cb := a.Context(), b.Context()
+	if ca.Trace.IsZero() || cb.Trace.IsZero() || ca.Trace == cb.Trace {
+		t.Fatalf("StartTrace must mint distinct trace ids, got %s / %s", ca.Trace, cb.Trace)
+	}
+	a.End()
+	b.End()
+	// Plain Start spans stay outside any trace.
+	sp := tr.Start("engine-internal")
+	if !sp.Context().IsZero() {
+		t.Error("plain Start span should carry the zero trace")
+	}
+	sp.End()
+	if got := tr.TraceSpans(ca.Trace); len(got) != 1 || got[0].Name != "req-a" {
+		t.Fatalf("TraceSpans(a) = %+v, want just req-a", got)
+	}
+	if got := tr.TraceSpans(TraceID{}); got != nil {
+		t.Fatal("TraceSpans(zero) must return nil, not the untraced spans")
+	}
+}
+
+func TestStartRemoteDisabledAndNil(t *testing.T) {
+	var nilT *Tracer
+	if sp := nilT.StartRemote("x", SpanContext{}); sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	tr := NewTracer()
+	tr.Disable()
+	if sp := tr.StartRemote("x", SpanContext{Trace: NewTraceID()}); sp != nil {
+		t.Fatal("disabled tracer must return nil span")
+	}
+	var nilSp *Span
+	if !nilSp.Context().IsZero() {
+		t.Fatal("nil span context must be zero")
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"insta/internal/obs"
@@ -36,10 +35,15 @@ type Server struct {
 	start time.Time
 	log   *slog.Logger
 
-	// inflight counts requests currently inside a work handler. The probe
-	// routes (/healthz, /metrics) are excluded so a router polling health
-	// doesn't read its own probes as load.
-	inflight atomic.Int64
+	// Request observability, all optional and nil-tolerant on the hot path:
+	// tr opens a "serve-<route>" span per work request (joined to the
+	// caller's trace via the Traceparent header), fr records every work
+	// request into the flight-recorder ring, slo feeds the burn-rate
+	// tracker. Wire via EnableTracing/EnableFlightRecorder/EnableSLO before
+	// serving.
+	tr  *obs.Tracer
+	fr  *obs.FlightRecorder
+	slo *obs.SLOTracker
 }
 
 // New builds the HTTP layer. The design name is the only field the manager
@@ -93,6 +97,34 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // SetLogger replaces the request logger (slog.Default() until then).
 func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
 
+// EnableTracing attaches the request span tracer: every work request gets a
+// "serve-<route>" root span joined to the caller's trace when a Traceparent
+// header arrives (the distributed-tracing hook the fleet router drives), and
+// handlers find the span in the request context for sub-spans. A disabled
+// tracer costs one branch per request; pass the same tracer to EnableDebug
+// so /debug/trace?dur= windows capture request spans too.
+func (s *Server) EnableTracing(tr *obs.Tracer) { s.tr = tr }
+
+// EnableFlightRecorder attaches the always-on request ring: every completed
+// work request is recorded (trace id, route, status, latency, epoch/topoGen),
+// and anomalies pin their span trees. Dumped by GET /debug/flightrecorder
+// (mounted by EnableDebug).
+func (s *Server) EnableFlightRecorder(fr *obs.FlightRecorder) { s.fr = fr }
+
+// FlightRecorder returns the attached recorder, or nil.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.fr }
+
+// EnableSLO attaches the burn-rate tracker, feeds it every work request, and
+// exports its gauges (insta_slo_burn_rate_<window>, objective, budget) on
+// /metrics. /healthz grows an "slo" section. Call once, before serving.
+func (s *Server) EnableSLO(t *obs.SLOTracker) {
+	s.slo = t
+	t.RegisterMetrics(s.met.reg, "insta")
+}
+
+// SLO returns the attached tracker, or nil.
+func (s *Server) SLO() *obs.SLOTracker { return s.slo }
+
 // EnableDebug mounts the profiling surface: the net/http/pprof handlers under
 // /debug/pprof/ and, when tr is non-nil, GET /debug/trace?dur=SECONDS — a
 // windowed capture that enables the tracer for the requested duration
@@ -105,6 +137,17 @@ func (s *Server) EnableDebug(tr *obs.Tracer) {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	// Flight-recorder dump: the always-on request ring plus pinned
+	// anomalies. 501 when no recorder is attached, so the route shape is
+	// stable across configurations.
+	s.mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		if s.fr == nil {
+			writeErr(w, http.StatusNotImplemented, errors.New("server: no flight recorder attached"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.fr.WriteJSON(w)
+	})
 	if tr == nil {
 		return
 	}
@@ -155,21 +198,55 @@ func (sw *statusWriter) WriteHeader(code int) {
 }
 
 // route wraps a handler with latency/count instrumentation under a stable
-// route label (patterns with wildcards would explode the label space) and
+// route label (patterns with wildcards would explode the label space),
+// request tracing + flight-recorder + SLO bookkeeping when enabled, and
 // structured request logging: successes at Debug so production log volume is
-// opt-in via the level, error statuses at Warn.
+// opt-in via the level, error statuses at Warn. The span name is precomputed
+// so the disabled-observability path allocates nothing beyond the baseline.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	work := name != "healthz" && name != "metrics"
+	spanName := "serve-" + name
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var sc obs.SpanContext
+		var sp *obs.Span
 		if work {
-			s.inflight.Add(1)
+			s.met.inflight.Inc()
+			if s.tr != nil || s.fr != nil {
+				sc, _ = obs.ParseTraceparent(r.Header.Get("Traceparent"))
+				sp = s.tr.StartRemote(spanName, sc)
+				if sp != nil {
+					sc = sp.Context()
+					r = r.WithContext(obs.WithSpan(r.Context(), sp))
+				} else if sc.Trace.IsZero() && s.fr != nil {
+					sc.Trace = obs.NewTraceID()
+				}
+				if tp := obs.Traceparent(sc); tp != "" {
+					sw.Header().Set("Traceparent", tp)
+				}
+			}
 		}
 		t0 := time.Now()
 		h(sw, r)
 		d := time.Since(t0)
 		if work {
-			s.inflight.Add(-1)
+			s.met.inflight.Dec()
+			sp.End()
+			now := t0.Add(d)
+			if s.fr != nil {
+				s.fr.Record(obs.ReqRecord{
+					Trace:   sc.Trace,
+					Route:   name,
+					Replica: -1,
+					Status:  int32(sw.code),
+					ServeNs: int64(d),
+					TotalNs: int64(d),
+					Epoch:   s.mgr.EpochFast(),
+					TopoGen: s.mgr.TopoGenFast(),
+					Unix:    now.UnixNano(),
+				})
+			}
+			s.slo.Record(d, sw.code >= 500, now)
 		}
 		s.met.observe(name, sw.code, d)
 		level := slog.LevelDebug
@@ -240,8 +317,9 @@ func errCode(err error) int {
 }
 
 // Inflight reports how many work requests (anything but the /healthz and
-// /metrics probes) are currently inside a handler.
-func (s *Server) Inflight() int64 { return s.inflight.Load() }
+// /metrics probes) are currently inside a handler, read from the
+// insta_inflight gauge.
+func (s *Server) Inflight() int64 { return int64(s.met.inflight.Value()) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	live := s.mgr.NumSessions()
@@ -258,11 +336,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"live_sessions": live,
 			"max_sessions":  max,
 			"headroom":      max - live,
-			"inflight":      int(s.inflight.Load()),
+			"inflight":      int(s.Inflight()),
 		},
 	}
 	if bi := s.mgr.Boot(); bi != nil {
 		resp["boot"] = bi
+	}
+	if s.slo != nil {
+		resp["slo"] = s.slo.Snapshot(time.Now())
+	}
+	if s.fr != nil {
+		resp["flight_recorder"] = map[string]any{
+			"size":            s.fr.Size(),
+			"total":           s.fr.Total(),
+			"pin_threshold_s": s.fr.PinThreshold().Seconds(),
+		}
 	}
 	if s.met.latency.Count() > 0 {
 		resp["latency_s"] = map[string]float64{

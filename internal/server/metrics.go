@@ -28,6 +28,7 @@ type metrics struct {
 	latency          *obs.Histogram // all routes
 	ecoLat           *obs.Histogram // POST /session/{id}/eco only
 	admissionRejects *obs.Counter   // session creates refused at the cap
+	inflight         *obs.Gauge     // work requests currently inside a handler
 }
 
 func newMetrics(m *Manager) *metrics {
@@ -38,6 +39,7 @@ func newMetrics(m *Manager) *metrics {
 		latency:          reg.Histogram("insta_request_seconds", latBounds),
 		ecoLat:           reg.Histogram("insta_eco_seconds", latBounds),
 		admissionRejects: reg.Counter("insta_admission_rejects_total"),
+		inflight:         reg.Gauge("insta_inflight"),
 	}
 	reg.Collector("insta_sessions", func(w io.Writer) {
 		c := m.Counters()

@@ -71,6 +71,8 @@ func TestMetricsByteCompat(t *testing.T) {
 		emptyHistExposition("insta_eco_seconds") +
 		"# TYPE insta_admission_rejects_total counter\n" +
 		"insta_admission_rejects_total 0\n" +
+		"# TYPE insta_inflight gauge\n" +
+		"insta_inflight 0\n" +
 		"# TYPE insta_sessions gauge\n" +
 		"insta_sessions_live 0\n" +
 		"insta_sessions_created_total 0\n" +

@@ -152,6 +152,18 @@ type Manager struct {
 	topoConflicts                atomic.Int64
 	relevelHist                  *obs.Histogram // levels re-levelized per structural batch
 
+	// Lock-free mirrors of epoch/topoGen, stored at each bump while mu is
+	// held. The flight recorder stamps both onto every completed request;
+	// reading the mu-guarded fields there would make request completion
+	// block behind long structural commits.
+	epochA   atomic.Uint64
+	topoGenA atomic.Uint64
+
+	// live is the live-session gauge, maintained at the table mutation
+	// points (Create/remove) so readers — /healthz, /metrics, the flight
+	// recorder path — never take smu just to count sessions.
+	live obs.Gauge
+
 	log *slog.Logger
 }
 
@@ -428,12 +440,22 @@ func (m *Manager) Counters() Counters {
 	}
 }
 
-// NumSessions returns the live session count.
+// NumSessions returns the live session count, read from the maintained gauge
+// rather than by locking the session table.
 func (m *Manager) NumSessions() int {
-	m.smu.Lock()
-	defer m.smu.Unlock()
-	return len(m.sessions)
+	return int(m.live.Value())
 }
+
+// LiveGauge returns the live-session gauge for metrics registration.
+func (m *Manager) LiveGauge() *obs.Gauge { return &m.live }
+
+// EpochFast returns the base epoch from its lock-free mirror — for
+// per-request telemetry stamping, where Epoch()'s RLock would serialize
+// against long commits.
+func (m *Manager) EpochFast() uint64 { return m.epochA.Load() }
+
+// TopoGenFast is EpochFast for the structural generation.
+func (m *Manager) TopoGenFast() uint64 { return m.topoGenA.Load() }
 
 // MaxSessions returns the admission cap Create enforces.
 func (m *Manager) MaxSessions() int { return m.opt.MaxSessions }
@@ -467,6 +489,7 @@ func (m *Manager) Create() (*Session, error) {
 	}
 	s.touch()
 	m.sessions[s.ID] = s
+	m.live.Inc()
 	m.created.Add(1)
 	if m.debugLog() {
 		m.log.Debug("session created", "session", s.ID, "epoch", epoch)
@@ -501,6 +524,7 @@ func (m *Manager) remove(id string) bool {
 		return false
 	}
 	delete(m.sessions, id)
+	m.live.Dec()
 	return true
 }
 
@@ -566,6 +590,7 @@ func (m *Manager) Exclusive(fn func()) {
 	defer m.mu.Unlock()
 	fn()
 	m.epoch++
+	m.epochA.Store(m.epoch)
 	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
 	if m.be != nil {
 		m.baseScn = scenarioBaseViews(m.be)
@@ -1292,6 +1317,7 @@ func (s *Session) ApplyTopo(req TopoRequest) (*TopoResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		ts.SetTracer(m.e.Tracer())
 		s.ts = ts
 		created = true
 	}
@@ -1489,6 +1515,7 @@ func (s *Session) Commit() (*ECOResult, error) {
 		s.resizes = s.resizes[:0]
 	}
 	m.epoch++
+	m.epochA.Store(m.epoch)
 	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
 	res := &ECOResult{
 		WNS:       m.baseWNS,
@@ -1554,6 +1581,8 @@ func (s *Session) Commit() (*ECOResult, error) {
 // m.mu.Lock (every in-flight evaluation has drained).
 func (s *Session) commitStructuralLocked(t0 time.Time) (*ECOResult, error) {
 	m := s.m
+	sp := m.e.Tracer().StartArg("structural-commit", "edits", int64(s.ts.Stats().Edits))
+	defer sp.End()
 	if s.epoch != m.epoch {
 		// Someone committed after this session's last edit; the working set
 		// was seeded from a base that no longer exists.
@@ -1582,6 +1611,7 @@ func (s *Session) commitStructuralLocked(t0 time.Time) (*ECOResult, error) {
 	}
 	m.ownsBase = true
 	m.topoGen++
+	m.topoGenA.Store(m.topoGen)
 	m.remapHist = append(m.remapHist, remapGen{gen: m.topoGen, remap: d.Remap})
 	m.baseRemap = composeArcRemap(m.baseRemap, d.Remap, m.extArcs)
 	// Replay repowers and moves into the signoff netlist so later estimate_eco
@@ -1600,6 +1630,7 @@ func (s *Session) commitStructuralLocked(t0 time.Time) (*ECOResult, error) {
 	s.resizes = s.resizes[:0]
 	s.moves = s.moves[:0]
 	m.epoch++
+	m.epochA.Store(m.epoch)
 	m.baseWNS, m.baseTNS = m.e.WNS(), m.e.TNS()
 	res := &ECOResult{
 		WNS:       m.baseWNS,

@@ -27,6 +27,7 @@ import (
 	"insta/internal/core"
 	"insta/internal/levelize"
 	"insta/internal/num"
+	"insta/internal/obs"
 )
 
 // Delta is one annotation in the session's *current* arc id space (after any
@@ -67,7 +68,14 @@ type Session struct {
 	stats    SessionStats
 	detached bool
 	closed   bool
+	tracer   *obs.Tracer // optional; nil-safe span annotations on Apply/Detach
 }
+
+// SetTracer attaches a span tracer: each Apply and the final Detach emit
+// spans ("topo-apply" with recompile/reseed children, "topo-detach"), so
+// structural commits show up in request traces and /debug/trace captures.
+// Nil (the default) and disabled tracers cost one branch.
+func (s *Session) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // NewSession opens a structural session over base engine e (which must be
 // fully evaluated — Run, or a previous structural commit) and, optionally,
@@ -124,6 +132,8 @@ func (s *Session) Apply(ops []Op) (*Result, error) {
 	if s.detached || s.closed {
 		return nil, fmt.Errorf("topo: session is no longer active")
 	}
+	sp := s.tracer.StartArg("topo-apply", "ops", int64(len(ops)))
+	defer sp.End()
 	// Once the working tables are session-private (after the first edit) the
 	// batch applies in place — the arc-table clone, like the slab rebuild and
 	// the tensor allocation below, drops out of the steady-state preview.
@@ -136,6 +146,7 @@ func (s *Session) Apply(ops []Op) (*Result, error) {
 	// instead of rebuilding every O(arcs) slab; removal batches and any
 	// unpatchable shape take the slow slab rebuild. Both are bit-identical
 	// to a cold Compile of the edited tables.
+	csp := sp.Child("topo-recompile")
 	var st *core.State
 	var inc levelize.IncStats
 	if res.Remap == nil {
@@ -147,14 +158,18 @@ func (s *Session) Apply(ops []Op) (*Result, error) {
 	if st == nil {
 		st, inc, err = core.CompileIncremental(res.Tables, s.state, res.Seeds)
 		if err != nil {
+			csp.End()
 			return nil, err
 		}
 	}
+	csp.End()
 	// Stand up the working engines. The scenario-batched engine (if any) is
 	// built first so its failure leaves the session untouched; the
 	// single-corner engine is then either seeded fresh off the base (first
 	// edit) or reseeded in place (session-private already — the steady state,
 	// where an edit costs no tensor allocation at all).
+	rsp := sp.ChildArg("topo-reseed", "seeds", int64(len(res.Seeds)))
+	defer rsp.End()
 	var beng *batch.Engine
 	if s.beng != nil {
 		beng, err = batch.NewSeeded(st, s.beng, res.Seeds, s.beng.Scenarios(), s.beng.Options())
@@ -288,6 +303,8 @@ func (s *Session) Detach() (*Detached, error) {
 	if s.stats.Edits == 0 {
 		return nil, fmt.Errorf("topo: no structural edits to commit")
 	}
+	dsp := s.tracer.StartArg("topo-detach", "edits", int64(s.stats.Edits))
+	defer dsp.End()
 	d := &Detached{
 		Tables: s.tab,
 		State:  s.state,
