@@ -53,6 +53,13 @@
 #                      compile-and-propagate rebuild of the edited block-1
 #                      netlist by >= 10x, bit-identical to it, rewriting
 #                      BENCH_topo.json
+#  11. hier gate     — the hierarchical bench re-runs with the tentpole
+#                      bounds armed (INSTA_HIER_GATE=1): on every stitched
+#                      chip preset the hierarchical WNS/TNS and recovered
+#                      per-endpoint slacks must land inside the documented
+#                      model-error bound of the flattened ground truth, and
+#                      composed analysis must beat flat compile+propagate by
+#                      >= 10x at chip-16x, rewriting BENCH_hier.json
 #
 # Run from the repo root: ./ci.sh
 set -eu
@@ -66,8 +73,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sched + core + batch + topo + server + obs + snap + fleet, short) =="
-go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/topo/... ./internal/server/... ./internal/obs/... ./internal/snap/... ./internal/fleet/...
+echo "== go test -race (sched + core + batch + topo + server + obs + snap + fleet + hier, short) =="
+go test -race -short ./internal/sched/... ./internal/core/... ./internal/batch/... ./internal/topo/... ./internal/server/... ./internal/obs/... ./internal/snap/... ./internal/fleet/... ./internal/hier/...
 
 echo "== serve load smoke (-race, 100 concurrent ECO requests) =="
 go test -race -run 'TestServeLoadSmoke|TestServeConcurrentSessionsBitIdentical' ./internal/server/
@@ -86,5 +93,8 @@ INSTA_FLEET_GATE=1 go test -run TestFleetBenchRegression .
 
 echo "== topo gate (incremental structural edit >= 10x cold rebuild) =="
 INSTA_TOPO_GATE=1 go test -run TestTopoBenchRegression .
+
+echo "== hier gate (composed analysis >= 10x flat at chip-16x, within model-error bound) =="
+INSTA_HIER_GATE=1 go test -run TestHierBenchRegression .
 
 echo "ci.sh: all checks passed"

@@ -13,7 +13,9 @@ import (
 
 	"insta/internal/bench"
 	"insta/internal/cmdutil"
+	"insta/internal/core"
 	"insta/internal/exp"
+	"insta/internal/hier"
 	"insta/internal/obs"
 )
 
@@ -24,6 +26,8 @@ func main() {
 	fig6Ks := flag.String("fig6-ks", "1,128", "comma-separated Top-K values for Figure 6")
 	scatterPath := flag.String("scatter", "", "optional CSV path for the Figure 6 scatter data")
 	blocks := flag.String("blocks", strings.Join(bench.BlockNames(), ","), "comma-separated block presets")
+	hierChip := flag.String("hier", "",
+		"also correlate hierarchical against flat analysis over this stitched chip preset (chip-2x, chip-4x, chip-16x)")
 	sf := cmdutil.SchedFlags()
 	sn := cmdutil.SnapFlags()
 	ob := cmdutil.ObsFlags()
@@ -31,18 +35,74 @@ func main() {
 
 	opt := sf.Options()
 	opt.TopK = *topK
-	opt.Tracer = ob.Setup("insta-correlate")
+	tr := ob.Setup("insta-correlate")
+	opt.Tracer = tr
 	if c := sn.Cache(); c != nil {
 		exp.UseSnapshots(c)
 	}
+	var hierRun *hier.ChipRun
+	var hierCmp *hier.Compare
 	defer ob.Finish(func(m *obs.Manifest) {
 		m.TopK, m.Workers, m.Grain = *topK, sf.Workers, sf.Grain
 		m.AddExtra("blocks", *blocks)
+		if hierRun != nil {
+			m.AddExtra("hier_chip", *hierChip)
+			m.AddExtra("hier_cache_hits", hierRun.CacheHits)
+			m.AddExtra("hier_cache_misses", hierRun.CacheMisses)
+			m.AddExtra("hier_extract_ms", float64(hierRun.ExtractNs)/1e6)
+		}
+		if hierCmp != nil {
+			m.AddExtra("hier_analyze_ms", float64(hierCmp.AnalyzeNs)/1e6)
+			m.AddExtra("hier_flat_ms", float64(hierCmp.FlatNs)/1e6)
+			m.AddExtra("hier_recover_ms", float64(hierCmp.RecoverNs)/1e6)
+			for _, s := range hierCmp.Scen {
+				m.AddExtra("hier_max_delta_"+s.Name, s.Deltas.Max)
+			}
+		}
 	})
 	names := strings.Split(*blocks, ",")
 	if _, err := exp.TableI(os.Stdout, names, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "table I:", err)
 		os.Exit(1)
+	}
+	if *hierChip != "" {
+		spec, err := bench.ChipSpecByName(*hierChip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hier:", err)
+			os.Exit(1)
+		}
+		boot := func(name string) (*core.State, error) {
+			bspec, err := bench.ChipBlockSpec(name)
+			if err != nil {
+				return nil, err
+			}
+			bt, err := sn.BootPreset(bspec, tr)
+			if err != nil {
+				return nil, err
+			}
+			return bt.State, nil
+		}
+		if hierRun, err = hier.BuildChip(spec, boot, nil, opt, sn.Cache()); err != nil {
+			fmt.Fprintln(os.Stderr, "hier:", err)
+			os.Exit(1)
+		}
+		if hierCmp, err = hierRun.CompareFlat(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "hier:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nHierarchical vs flat (%s: %d instances, flat %d pins, top %d pins)\n",
+			spec.Name, len(spec.Blocks), hierCmp.FlatPins, hierCmp.TopPins)
+		fmt.Printf("%-10s %10s %12s %12s %12s %12s %12s %9s %10s\n",
+			"corner", "endpoints", "maxΔ", "meanΔ", "q50Δ", "q95Δ", "q99Δ", "disagree", "bound")
+		for _, s := range hierCmp.Scen {
+			d := s.Deltas
+			fmt.Printf("%-10s %10d %12.4g %12.4g %12.4g %12.4g %12.4g %9d %10.4g\n",
+				s.Name, d.N, d.Max, d.Mean, d.Q50, d.Q95, d.Q99, d.Disagree, s.Bound)
+		}
+		fmt.Printf("extract %.1f ms, hier analyze %.2f ms, flat %.1f ms (%.0fx), recovery %.1f ms\n",
+			float64(hierRun.ExtractNs)/1e6, float64(hierCmp.AnalyzeNs)/1e6,
+			float64(hierCmp.FlatNs)/1e6, float64(hierCmp.FlatNs)/float64(hierCmp.AnalyzeNs),
+			float64(hierCmp.RecoverNs)/1e6)
 	}
 	if !*fig6 {
 		return

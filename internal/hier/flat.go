@@ -1,0 +1,173 @@
+// Flattened-chip construction: the ground truth the hierarchical path is
+// measured against. ComposeFlat builds the same multi-block chip as
+// ComposeTop — same instances, same wires — as one flat circuitops.Tables,
+// so the differential suites can compare per-endpoint slacks directly.
+package hier
+
+import (
+	"fmt"
+
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/liberty"
+)
+
+// FlatMap relates the flattened chip back to its instances: pin offsets and,
+// per instance, which block endpoint rows survived flattening (wired-out
+// ports stop being endpoints once a wire drives through them) and where that
+// instance's endpoints start in the flat EP order.
+type FlatMap struct {
+	PinBase []int32
+	EpBase  []int
+	EpKeep  [][]int32 // per instance: kept block endpoint indices, in order
+}
+
+// ComposeFlat flattens the chip: every instance's full tables are offset and
+// concatenated under a fresh chip-level clock root, wired input ports lose
+// their startpoint rows (the driving wire feeds them), wired output ports
+// lose their endpoint rows, and the interconnect becomes ordinary net arcs.
+// states must align with the instance list the models were extracted from —
+// one compiled block state per instance (sharing pointers for repeated
+// blocks is fine and cheap).
+func ComposeFlat(name string, states []*core.State, wires []bench.ChipWire) (*circuitops.Tables, *FlatMap, error) {
+	if len(states) == 0 {
+		return nil, nil, fmt.Errorf("hier: flat chip %q has no instances", name)
+	}
+	for i, st := range states {
+		if st == nil {
+			return nil, nil, fmt.Errorf("hier: flat chip %q instance %d has no state", name, i)
+		}
+		if st.Period != states[0].Period || st.NSigma != states[0].NSigma {
+			return nil, nil, fmt.Errorf("hier: instance %d period/nsigma differs from instance 0", i)
+		}
+	}
+
+	// Wired ports by (instance, block pin id).
+	type port struct {
+		inst int
+		pin  int32
+	}
+	wiredIn := make(map[port]bool)
+	wiredOut := make(map[port]bool)
+	tabs := make(map[*core.State]*circuitops.Tables)
+	bounds := make([][2][]int32, len(states)) // per instance: ins pins, outs pins
+	for i, st := range states {
+		if tabs[st] == nil {
+			tabs[st] = st.Tables()
+		}
+		ins, outs := Boundary(st)
+		pins := make([]int32, len(ins))
+		for j, in := range ins {
+			pins[j] = in.Pin
+		}
+		bounds[i] = [2][]int32{pins, outs}
+	}
+	for wi, w := range wires {
+		if w.FromInst < 0 || w.FromInst >= len(states) || w.ToInst < 0 || w.ToInst >= len(states) {
+			return nil, nil, fmt.Errorf("hier: wire %d instance out of range", wi)
+		}
+		if w.FromPort < 0 || w.FromPort >= len(bounds[w.FromInst][1]) {
+			return nil, nil, fmt.Errorf("hier: wire %d source port %d out of range", wi, w.FromPort)
+		}
+		if w.ToPort < 0 || w.ToPort >= len(bounds[w.ToInst][0]) {
+			return nil, nil, fmt.Errorf("hier: wire %d sink port %d out of range", wi, w.ToPort)
+		}
+		wiredIn[port{w.ToInst, bounds[w.ToInst][0][w.ToPort]}] = true
+		wiredOut[port{w.FromInst, bounds[w.FromInst][1][w.FromPort]}] = true
+	}
+
+	out := &circuitops.Tables{
+		Design: name,
+		Period: states[0].Period,
+		NSigma: states[0].NSigma,
+		// Fresh zero-variance chip root; every block clock tree hangs off it,
+		// so cross-block CPPR credit is zero — the assumption the extracted
+		// constraint requirements fold in (DESIGN.md §16).
+		ClockNodes: []circuitops.ClockNodeRow{{Parent: -1, CumVar: 0}},
+	}
+	fm := &FlatMap{
+		PinBase: make([]int32, len(states)),
+		EpBase:  make([]int, len(states)),
+		EpKeep:  make([][]int32, len(states)),
+	}
+	pinBase, cellBase, netBase := int32(0), int32(0), int32(0)
+	for i, st := range states {
+		tab := tabs[st]
+		fm.PinBase[i] = pinBase
+		fm.EpBase[i] = len(out.EPs)
+		clkBase := int32(len(out.ClockNodes))
+
+		for _, cn := range tab.ClockNodes {
+			p := cn.Parent + clkBase
+			if cn.Parent < 0 {
+				p = 0 // block root re-parents under the chip root
+			}
+			out.ClockNodes = append(out.ClockNodes, circuitops.ClockNodeRow{Parent: p, CumVar: cn.CumVar})
+		}
+		maxCell, maxNet := int32(0), int32(0)
+		for _, a := range tab.Arcs {
+			r := a
+			r.From += pinBase
+			r.To += pinBase
+			if r.Cell >= 0 {
+				if r.Cell >= maxCell {
+					maxCell = r.Cell + 1
+				}
+				r.Cell += cellBase
+			}
+			if r.Net >= 0 {
+				if r.Net >= maxNet {
+					maxNet = r.Net + 1
+				}
+				r.Net += netBase
+			}
+			out.Arcs = append(out.Arcs, r)
+		}
+		for _, s := range tab.SPs {
+			if wiredIn[port{i, s.Pin}] {
+				continue
+			}
+			r := s
+			r.Pin += pinBase
+			r.ClockNode += clkBase
+			out.SPs = append(out.SPs, r)
+		}
+		for ei, e := range tab.EPs {
+			if wiredOut[port{i, e.Pin}] {
+				continue
+			}
+			r := e
+			r.Pin += pinBase
+			r.CaptureNode += clkBase
+			out.EPs = append(out.EPs, r)
+			fm.EpKeep[i] = append(fm.EpKeep[i], int32(ei))
+		}
+		for xi, x := range tab.Exceptions {
+			if x.SPPin < 0 || x.EPPin < 0 {
+				// An open ("any") exception would widen to cross-block paths
+				// in the flat chip but stay block-local in the extracted
+				// model; composable blocks must pin both ends.
+				return nil, nil, fmt.Errorf("hier: instance %d exception %d has an open endpoint", i, xi)
+			}
+			r := x
+			r.SPPin += pinBase
+			r.EPPin += pinBase
+			out.Exceptions = append(out.Exceptions, r)
+		}
+		pinBase += int32(st.NumPins)
+		cellBase += maxCell
+		netBase += maxNet
+	}
+	out.NumPins = int(pinBase)
+	for wi, w := range wires {
+		out.Arcs = append(out.Arcs, circuitops.ArcRow{
+			From: fm.PinBase[w.FromInst] + bounds[w.FromInst][1][w.FromPort],
+			To:   fm.PinBase[w.ToInst] + bounds[w.ToInst][0][w.ToPort],
+			Kind: 1, Sense: uint8(liberty.PositiveUnate), Cell: -1, Net: netBase + int32(wi),
+			MeanRise: w.Mean, StdRise: w.Std,
+			MeanFall: w.Mean, StdFall: w.Std,
+		})
+	}
+	return out, fm, nil
+}

@@ -1,0 +1,275 @@
+// Differential and cache tests for the hierarchical layer: the flattened
+// chip (ComposeFlat + the ordinary engine) is the ground truth, and the
+// hierarchical path — extract, compose, analyze, recover — must land within
+// the documented model-error bound of it on every stitched preset.
+package hier
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"insta/internal/batch"
+	"insta/internal/bench"
+	"insta/internal/circuitops"
+	"insta/internal/core"
+	"insta/internal/refsta"
+	"insta/internal/snap"
+)
+
+// blockStates caches compiled block presets across tests — block generation
+// plus reference timing is by far the slowest part of the suite.
+var blockStates = struct {
+	sync.Mutex
+	m map[string]*core.State
+}{m: map[string]*core.State{}}
+
+func bootBlock(tb testing.TB, name string) *core.State {
+	tb.Helper()
+	blockStates.Lock()
+	defer blockStates.Unlock()
+	if st, ok := blockStates.m[name]; ok {
+		return st
+	}
+	spec, err := bench.ChipBlockSpec(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := bench.Generate(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ref, err := refsta.New(b.D, b.Lib, b.Con, b.Par, refsta.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st, err := core.Compile(circuitops.Extract(ref))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	blockStates.m[name] = st
+	return st
+}
+
+func mustChipRun(tb testing.TB, chip string, scns []batch.Scenario,
+	opt core.Options, cache *snap.Cache) *ChipRun {
+	tb.Helper()
+	spec, err := bench.ChipSpecByName(chip)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	run, err := BuildChip(spec, func(n string) (*core.State, error) {
+		return bootBlock(tb, n), nil
+	}, scns, opt, cache)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return run
+}
+
+// flatOracle runs the ordinary flat engine over the flattened chip for one
+// scenario.
+func flatOracle(tb testing.TB, flatTab *circuitops.Tables, scn batch.Scenario,
+	opt core.Options) (slacks []float64, wns, tns float64) {
+	tb.Helper()
+	st, err := core.Compile(batch.ScaleTables(flatTab, scn))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e, err := core.NewEngineFromState(st, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+	return e.EvalSlacks(), e.WNS(), e.TNS()
+}
+
+func summarize(slacks []float64) (wns, tns float64) {
+	for _, s := range slacks {
+		if s < wns {
+			wns = s
+		}
+		if s < 0 {
+			tns += s
+		}
+	}
+	return wns, tns
+}
+
+func TestHierFlatDifferential(t *testing.T) {
+	cases := []struct {
+		chip string
+		scns []batch.Scenario
+	}{
+		{"chip-2x", batch.DefaultScenarios()},
+		{"chip-4x", nil},
+	}
+	opt := core.Options{TopK: 32, Workers: 2}
+	for _, tc := range cases {
+		t.Run(tc.chip, func(t *testing.T) {
+			run := mustChipRun(t, tc.chip, tc.scns, opt, nil)
+			flatTab, fm, err := ComposeFlat(run.Spec.Name, run.States, run.Spec.Wires)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Analyze(run.Chip, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			for si, sr := range a.Scen {
+				flatSl, flatWNS, flatTNS := flatOracle(t, flatTab, sr.Scenario, opt)
+				rec, err := run.RecoveredSlacks(a, si, fm, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rec) != len(flatSl) {
+					t.Fatalf("%s: recovered %d endpoints, flat has %d",
+						sr.Scenario.Name, len(rec), len(flatSl))
+				}
+				bound := ScenarioBound(sr) + 1e-6
+				d := DeltaStats(flatSl, rec)
+				if d.N == 0 {
+					t.Fatalf("%s: no comparable endpoints", sr.Scenario.Name)
+				}
+				t.Logf("%s/%s: N=%d max=%.4g mean=%.4g q99=%.4g disagree=%d bound=%.4g",
+					run.Spec.Name, sr.Scenario.Name, d.N, d.Max, d.Mean, d.Q99, d.Disagree, bound)
+				if d.Max > bound {
+					t.Errorf("%s: recovered slack delta %.6g exceeds model bound %.6g",
+						sr.Scenario.Name, d.Max, bound)
+				}
+				recWNS, recTNS := summarize(rec)
+				if diff := math.Abs(recWNS - flatWNS); diff > bound {
+					t.Errorf("%s: recovered WNS %.6g vs flat %.6g (diff %.6g > bound %.6g)",
+						sr.Scenario.Name, recWNS, flatWNS, diff, bound)
+				}
+				if diff := math.Abs(recTNS - flatTNS); diff > bound*float64(d.N) {
+					t.Errorf("%s: recovered TNS %.6g vs flat %.6g (diff %.6g > %d*bound)",
+						sr.Scenario.Name, recTNS, flatTNS, diff, d.N)
+				}
+				if diff := math.Abs(sr.WNS - flatWNS); diff > bound {
+					t.Errorf("%s: fast summary WNS %.6g vs flat %.6g (diff %.6g > bound %.6g)",
+						sr.Scenario.Name, sr.WNS, flatWNS, diff, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestHierWorkerStability pins the bit-for-bit determinism of the composed
+// analysis and the recovery path across worker counts.
+func TestHierWorkerStability(t *testing.T) {
+	scns := batch.DefaultScenarios()
+	base := core.Options{TopK: 16}
+	run := mustChipRun(t, "chip-2x", scns, base, nil)
+	_, fm, err := ComposeFlat(run.Spec.Name, run.States, run.Spec.Wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type shot struct {
+		top [][]float64
+		rec [][]float64
+	}
+	snapAt := func(workers int) shot {
+		opt := base
+		opt.Workers = workers
+		a, err := Analyze(run.Chip, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		var s shot
+		for si, sr := range a.Scen {
+			s.top = append(s.top, sr.Engine.EvalSlacks())
+			rec, err := run.RecoveredSlacks(a, si, fm, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.rec = append(s.rec, rec)
+		}
+		return s
+	}
+	w1, w4 := snapAt(1), snapAt(4)
+	for si := range w1.top {
+		if !reflect.DeepEqual(w1.top[si], w4.top[si]) {
+			t.Errorf("scenario %d: top-graph slacks differ between 1 and 4 workers", si)
+		}
+		if !reflect.DeepEqual(w1.rec[si], w4.rec[si]) {
+			t.Errorf("scenario %d: recovered slacks differ between 1 and 4 workers", si)
+		}
+	}
+}
+
+// TestBlockModelCache proves the content-hash caching story: a second build
+// of an unchanged chip is all hits, and perturbing a block's timing flips its
+// hash into a clean miss — exactly one model invalidates.
+func TestBlockModelCache(t *testing.T) {
+	cache, err := snap.NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{TopK: 8, Workers: 2}
+	run1 := mustChipRun(t, "chip-4x", nil, opt, cache)
+	if run1.CacheMisses != 1 || run1.CacheHits != 0 {
+		t.Fatalf("first build: %d misses / %d hits (want 1/0 — one unique block)",
+			run1.CacheMisses, run1.CacheHits)
+	}
+	if run1.ExtractNs <= 0 {
+		t.Fatal("first build recorded no extraction time")
+	}
+	run2 := mustChipRun(t, "chip-4x", nil, opt, cache)
+	if run2.CacheMisses != 0 || run2.CacheHits != 1 {
+		t.Fatalf("second build: %d misses / %d hits (want 0/1)",
+			run2.CacheMisses, run2.CacheHits)
+	}
+	if run2.ExtractNs != 0 {
+		t.Fatal("cache hit still spent extraction time")
+	}
+	if !reflect.DeepEqual(run1.Models[0], run2.Models[0]) {
+		t.Fatal("cached model differs from extracted model")
+	}
+
+	// A block edit — here a 0.1% arc derate — must flip the hash, and the
+	// perturbed state's model must be a clean miss while the original stays
+	// cached.
+	st := run1.States[0]
+	pert := scaleState(st, batch.Scenario{DelayScale: 1.001, SigmaScale: 1, RCScale: 1})
+	h0, h1 := StateHash(st, nil, 8), StateHash(pert, nil, 8)
+	if h0 == h1 {
+		t.Fatal("perturbed state hashes identically to original")
+	}
+	if m, err := LoadModel(cache, h1); err != nil || m != nil {
+		t.Fatalf("perturbed hash: got model %v, err %v (want clean miss)", m != nil, err)
+	}
+	if m, err := LoadModel(cache, h0); err != nil || m == nil {
+		t.Fatalf("original hash: got model %v, err %v (want hit)", m != nil, err)
+	}
+}
+
+// TestBoundaryInference sanity-checks boundary detection on a real preset:
+// primary inputs become boundary inputs, primary outputs boundary outputs.
+func TestBoundaryInference(t *testing.T) {
+	st := bootBlock(t, "des")
+	ins, outs := Boundary(st)
+	if len(ins) == 0 || len(outs) == 0 {
+		t.Fatalf("des boundary: %d ins, %d outs", len(ins), len(outs))
+	}
+	for _, p := range outs {
+		ei := st.EpOfPin[p]
+		if ei < 0 {
+			t.Fatalf("boundary output %d is not an endpoint", p)
+		}
+		if !math.IsInf(st.EpHold[0][ei], 1) || !math.IsInf(st.EpHold[1][ei], 1) {
+			t.Fatalf("boundary output %d carries a hold check", p)
+		}
+	}
+	seen := map[int32]bool{}
+	for _, in := range ins {
+		if seen[in.Pin] {
+			t.Fatalf("duplicate boundary input %d", in.Pin)
+		}
+		seen[in.Pin] = true
+	}
+}

@@ -105,7 +105,14 @@ func (c *Cache) Load(key string) (*Snapshot, error) {
 // a temp file in the cache directory and a rename — then enforces the byte
 // bound. Returns the final path and encoded size.
 func (c *Cache) Store(key string, st *core.State, scns []batch.Scenario) (string, int64, error) {
-	buf := Encode(st, scns, key)
+	return c.StoreBytes(key, Encode(st, scns, key))
+}
+
+// StoreBytes stores an already-encoded snapshot buffer under key with the
+// same atomic temp-file + rename + eviction discipline as Store. It is the
+// write path for containers Encode doesn't produce directly (e.g. block-model
+// sections via EncodeExtra).
+func (c *Cache) StoreBytes(key string, buf []byte) (string, int64, error) {
 	f, err := os.CreateTemp(c.dir, ".snap-*")
 	if err != nil {
 		return "", 0, err

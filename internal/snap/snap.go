@@ -53,6 +53,11 @@ const (
 	secMeta      = 1
 	secScenarios = 2
 	slabBase     = 16
+
+	// SecBlockModel carries one serialized hier.BlockModel (hier/persist.go).
+	// Readers predating it skip the section like any unknown id; newer
+	// readers surface it through Snapshot.Extra.
+	SecBlockModel = 3
 )
 
 // crcTable is the Castagnoli polynomial (hardware-accelerated on amd64/arm64).
@@ -84,6 +89,20 @@ type Snapshot struct {
 	Scenarios []batch.Scenario
 	Key       string
 	Bytes     int64 // encoded size
+
+	// Extra holds every section whose id is neither structured nor a known
+	// state slab, in file order — payloads this reader has no schema for
+	// (e.g. SecBlockModel sections, or sections from a newer minor
+	// revision). They survive a canonical re-encode, so passing a file
+	// through Decode/EncodeExtra never drops data it didn't understand.
+	Extra []ExtraSection
+}
+
+// ExtraSection is one opaque section: an id outside this reader's schema and
+// its raw payload.
+type ExtraSection struct {
+	ID      uint32
+	Payload []byte
 }
 
 // Engine stands up a ready-to-propagate single-corner engine over the
@@ -173,6 +192,14 @@ func appendString(dst []byte, s string) []byte {
 // Encode serializes the compiled state (plus an optional scenario list and
 // cache key) into the snapshot byte format.
 func Encode(st *core.State, scns []batch.Scenario, key string) []byte {
+	return EncodeExtra(st, scns, key, nil)
+}
+
+// EncodeExtra is Encode plus opaque extra sections, framed canonically after
+// the scenario section and before the state slabs — the position Decode
+// captures them from, so Decode→EncodeExtra round-trips a canonical file
+// byte-identically even when this reader has no schema for those sections.
+func EncodeExtra(st *core.State, scns []batch.Scenario, key string, extra []ExtraSection) []byte {
 	slabs := stateSlabs(st)
 
 	// Meta section.
@@ -184,7 +211,7 @@ func Encode(st *core.State, scns []batch.Scenario, key string) []byte {
 	meta = appendString(meta, st.Design)
 	meta = appendString(meta, key)
 
-	nSections := 1 + len(slabs)
+	nSections := 1 + len(slabs) + len(extra)
 	if len(scns) > 0 {
 		nSections++
 	}
@@ -196,6 +223,9 @@ func Encode(st *core.State, scns []batch.Scenario, key string) []byte {
 		for _, s := range scns {
 			size += 4 + len(s.Name) + 3*8
 		}
+	}
+	for _, ex := range extra {
+		size += 12 + len(ex.Payload)
 	}
 	for _, sl := range slabs {
 		size += 12
@@ -224,6 +254,9 @@ func Encode(st *core.State, scns []batch.Scenario, key string) []byte {
 			sb = binary.LittleEndian.AppendUint64(sb, math.Float64bits(s.RCScale))
 		}
 		buf = appendSection(buf, secScenarios, sb)
+	}
+	for _, ex := range extra {
+		buf = appendSection(buf, ex.ID, ex.Payload)
 	}
 	for _, sl := range slabs {
 		hdr := len(buf)
@@ -347,7 +380,14 @@ func Decode(buf []byte) (*Snapshot, error) {
 		default:
 			sl, ok := byID[id]
 			if !ok {
-				continue // unknown section: written by a newer minor revision
+				// Unknown section: written by a newer minor revision (or a
+				// structured id this reader has no schema for, like
+				// SecBlockModel). Carried through opaquely instead of
+				// dropped, so re-encoding preserves it.
+				snap.Extra = append(snap.Extra, ExtraSection{
+					ID: id, Payload: append([]byte(nil), payload...),
+				})
+				continue
 			}
 			switch {
 			case sl.f64 != nil:

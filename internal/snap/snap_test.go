@@ -1,6 +1,7 @@
 package snap
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"testing"
@@ -396,10 +397,17 @@ func FuzzSnapRoundTrip(f *testing.F) {
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte(Magic))
 	f.Add([]byte{})
+	// Canonical file carrying sections this reader has no schema for: a
+	// block-model payload and a synthetic future id.
+	f.Add(EncodeExtra(st, testScenarios, "fuzz", []ExtraSection{
+		{ID: SecBlockModel, Payload: []byte("opaque block model bytes")},
+		{ID: 7001, Payload: []byte{0xDE, 0xAD, 0xBE, 0xEF}},
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decode must never panic; on success the snapshot must re-encode
-		// byte-identically (canonical format) and restore a working engine.
+		// byte-identically (canonical format, unknown sections carried
+		// through opaquely) and restore a working engine.
 		s, err := Decode(data)
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) {
@@ -407,7 +415,7 @@ func FuzzSnapRoundTrip(f *testing.F) {
 			}
 			return
 		}
-		if got := Encode(s.State, s.Scenarios, s.Key); string(got) != string(data) {
+		if got := EncodeExtra(s.State, s.Scenarios, s.Key, s.Extra); string(got) != string(data) {
 			t.Fatal("accepted snapshot does not re-encode byte-identically")
 		}
 		e, err := s.Engine(core.Options{TopK: 2, Workers: 1})
@@ -417,4 +425,43 @@ func FuzzSnapRoundTrip(f *testing.F) {
 		e.Run()
 		e.Close()
 	})
+}
+
+// TestExtraSectionForwardCompat pins the forward-compatibility contract: a
+// container carrying section types this reader has no schema for — the
+// block-model section, or ids from a future minor version — decodes cleanly,
+// leaves the structured content untouched, and re-encodes byte-identically
+// through the canonical EncodeExtra framing (unknown data is carried, never
+// dropped).
+func TestExtraSectionForwardCompat(t *testing.T) {
+	st := compileState(t, 11)
+	extras := []ExtraSection{
+		{ID: SecBlockModel, Payload: []byte("opaque block-model payload")},
+		{ID: 7001, Payload: []byte{0xDE, 0xAD, 0xBE, 0xEF}},
+	}
+	buf := EncodeExtra(st, testScenarios, "fc", extras)
+	s, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("unknown sections must be skipped, not rejected: %v", err)
+	}
+	if len(s.Extra) != len(extras) {
+		t.Fatalf("captured %d extra sections, want %d", len(s.Extra), len(extras))
+	}
+	for i, ex := range extras {
+		if s.Extra[i].ID != ex.ID || !bytes.Equal(s.Extra[i].Payload, ex.Payload) {
+			t.Fatalf("extra section %d not carried through intact", i)
+		}
+	}
+	// The structured content decodes exactly as it would without the extras.
+	if got, want := Encode(s.State, s.Scenarios, s.Key), Encode(st, testScenarios, "fc"); !bytes.Equal(got, want) {
+		t.Fatal("unknown sections perturbed the structured content")
+	}
+	// Canonical re-encode round-trips the whole file byte-identically.
+	if !bytes.Equal(EncodeExtra(s.State, s.Scenarios, s.Key, s.Extra), buf) {
+		t.Fatal("re-encode with carried extras is not byte-identical")
+	}
+	// And a plain Encode of the same state is exactly the extras-free file.
+	if bytes.Equal(Encode(s.State, s.Scenarios, s.Key), buf) {
+		t.Fatal("extras-free encode unexpectedly matches the extras file")
+	}
 }
